@@ -1,0 +1,125 @@
+// Reproduces Fig. 6: ablation of PPFR's two modules on (CoraLike, GAT).
+//   Left panel   — FR only (zero PP): sweep the number of fine-tune epochs;
+//                  fairness improves but accuracy AND privacy degrade (RQ1).
+//   Middle panel — PP + fixed FR: sweep the perturbation ratio γ; privacy
+//                  risk falls as γ grows, at an accuracy cost.
+//   Right panel  — fixed PP + FR: sweep fine-tune epochs; PP restrains the
+//                  risk near the vanilla level while FR debiases.
+// Plus a library-specific ablation of the QCLP zero-sum constraint.
+//
+//   ./bench_fig6_ablation [--dataset=CoraLike] [--model=GAT] [--epochs=150]
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace {
+
+using namespace ppfr;
+
+struct Point {
+  double x = 0.0;
+  core::EvalResult eval;
+};
+
+void PrintSeries(const std::string& title, const std::string& x_name,
+                 const std::vector<Point>& points, const core::EvalResult& vanilla) {
+  std::printf("%s\n", title.c_str());
+  TablePrinter table({x_name, "Acc%", "Bias", "Risk AUC"});
+  table.AddRow({"(vanilla)", TablePrinter::Num(100.0 * vanilla.accuracy),
+                TablePrinter::Num(vanilla.bias, 4),
+                TablePrinter::Num(vanilla.risk_auc, 4)});
+  table.AddSeparator();
+  for (const Point& p : points) {
+    table.AddRow({TablePrinter::Num(p.x, 2), TablePrinter::Num(100.0 * p.eval.accuracy),
+                  TablePrinter::Num(p.eval.bias, 4),
+                  TablePrinter::Num(p.eval.risk_auc, 4)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const auto datasets =
+      bench::ParseDatasets(flags, {data::DatasetId::kCoraLike});
+  const auto models = bench::ParseModels(flags, {nn::ModelKind::kGat});
+  const data::DatasetId dataset = datasets.front();
+  const nn::ModelKind model_kind = models.front();
+
+  core::ExperimentEnv env = core::MakeEnv(dataset, core::kDefaultEnvSeed);
+  core::MethodConfig cfg = core::DefaultMethodConfig(dataset, model_kind);
+  bench::ApplyCommonFlags(flags, &cfg);
+
+  std::printf("Fig. 6 — PPFR ablation on (%s, %s)\n\n",
+              data::DatasetName(dataset).c_str(),
+              nn::ModelKindName(model_kind).c_str());
+
+  // Shared vanilla phase + FR weights (identical across panels).
+  auto vanilla = core::TrainFresh(model_kind, env, env.ctx, cfg, /*lambda=*/0.0);
+  const core::EvalResult vanilla_eval = core::EvaluateModel(vanilla.get(), env.Eval());
+  const core::FrOutput fr = core::ComputeFr(vanilla.get(), env, cfg);
+
+  const std::vector<int> epoch_sweep{8, 15, 30, 45, 60};
+  const std::vector<double> gamma_sweep{0.0, 0.25, 0.5, 0.75, 1.0};
+  const int fixed_epochs = 30;
+  const double fixed_gamma = cfg.pp_gamma;
+
+  // Left: FR only (original graph).
+  std::vector<Point> left;
+  for (int epochs : epoch_sweep) {
+    auto clone = vanilla->Clone();
+    core::Finetune(clone.get(), env, env.ctx, fr.sample_weights, epochs, cfg);
+    left.push_back({static_cast<double>(epochs),
+                    core::EvaluateModel(clone.get(), env.Eval())});
+  }
+  PrintSeries("(left) FR only — fine-tune epoch sweep, zero edge perturbations",
+              "#epochs", left, vanilla_eval);
+
+  // Middle: PP ratio sweep with fixed FR epochs.
+  std::vector<Point> middle;
+  for (double gamma : gamma_sweep) {
+    auto clone = vanilla->Clone();
+    const nn::GraphContext pp_ctx =
+        core::MakePpContext(env, vanilla.get(), gamma, cfg.seed ^ 0x99ULL);
+    core::Finetune(clone.get(), env, pp_ctx, fr.sample_weights, fixed_epochs, cfg);
+    middle.push_back({gamma, core::EvaluateModel(clone.get(), env.Eval())});
+  }
+  PrintSeries("(middle) PP ratio sweep, fixed FR epochs", "gamma", middle,
+              vanilla_eval);
+
+  // Right: fixed PP + FR epoch sweep.
+  const nn::GraphContext pp_ctx =
+      core::MakePpContext(env, vanilla.get(), fixed_gamma, cfg.seed ^ 0x99ULL);
+  std::vector<Point> right;
+  for (int epochs : epoch_sweep) {
+    auto clone = vanilla->Clone();
+    core::Finetune(clone.get(), env, pp_ctx, fr.sample_weights, epochs, cfg);
+    right.push_back({static_cast<double>(epochs),
+                     core::EvaluateModel(clone.get(), env.Eval())});
+  }
+  PrintSeries("(right) fixed PP + FR — fine-tune epoch sweep", "#epochs", right,
+              vanilla_eval);
+
+  // Library ablation: QCLP zero-sum constraint on vs off (DESIGN.md §5).
+  std::printf("(extra) QCLP zero-sum constraint ablation (30 fine-tune epochs)\n");
+  TablePrinter zs_table({"zero_sum", "Acc%", "Bias", "Risk AUC"});
+  for (bool zero_sum : {true, false}) {
+    core::MethodConfig variant = cfg;
+    variant.fr.zero_sum = zero_sum;
+    const core::FrOutput weights = core::ComputeFr(vanilla.get(), env, variant);
+    auto clone = vanilla->Clone();
+    core::Finetune(clone.get(), env, env.ctx, weights.sample_weights, fixed_epochs,
+                   variant);
+    const core::EvalResult eval = core::EvaluateModel(clone.get(), env.Eval());
+    zs_table.AddRow({zero_sum ? "on" : "off", TablePrinter::Num(100.0 * eval.accuracy),
+                     TablePrinter::Num(eval.bias, 4),
+                     TablePrinter::Num(eval.risk_auc, 4)});
+  }
+  zs_table.Print();
+  std::printf("\nExpected shape (paper): left panel degrades privacy as fairness\n");
+  std::printf("improves; right panel holds Risk AUC near the vanilla line.\n");
+  return 0;
+}

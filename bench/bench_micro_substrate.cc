@@ -1,0 +1,145 @@
+// Micro-benchmarks of the substrate hot paths (google-benchmark): SpMM, GCN
+// forward/backward, GAT attention, Jaccard similarity, attack distance
+// evaluation, influence per-node gradients and the QCLP solver. These bound
+// the cost of every experiment binary in this repo.
+
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "data/datasets.h"
+#include "graph/graph_ops.h"
+#include "graph/jaccard.h"
+#include "nn/graph_context.h"
+#include "nn/models.h"
+#include "nn/trainer.h"
+#include "privacy/attack/link_stealing.h"
+#include "privacy/defense/edge_rand.h"
+#include "solver/qclp.h"
+
+namespace {
+
+using namespace ppfr;
+
+const data::NodeClassificationData& CoraLikeData() {
+  static const auto* data = new data::NodeClassificationData(
+      data::GenerateSbm(data::DatasetConfig(data::DatasetId::kCoraLike), 1));
+  return *data;
+}
+
+const nn::GraphContext& CoraLikeContext() {
+  static const auto* ctx = new nn::GraphContext(
+      nn::GraphContext::Build(CoraLikeData().graph, CoraLikeData().features));
+  return *ctx;
+}
+
+void BM_SpMM(benchmark::State& state) {
+  const nn::GraphContext& ctx = CoraLikeContext();
+  Rng rng(1);
+  la::Matrix x(ctx.num_nodes(), static_cast<int>(state.range(0)));
+  for (int64_t i = 0; i < x.size(); ++i) x.data()[i] = rng.Normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctx.gcn_adj->mat.Multiply(x));
+  }
+  state.SetItemsProcessed(state.iterations() * ctx.gcn_adj->mat.nnz());
+}
+BENCHMARK(BM_SpMM)->Arg(16)->Arg(64);
+
+void BM_DenseMatMul(benchmark::State& state) {
+  Rng rng(2);
+  const int n = static_cast<int>(state.range(0));
+  la::Matrix a(n, n), b(n, n);
+  for (int64_t i = 0; i < a.size(); ++i) a.data()[i] = rng.Normal();
+  for (int64_t i = 0; i < b.size(); ++i) b.data()[i] = rng.Normal();
+  for (auto _ : state) benchmark::DoNotOptimize(la::MatMul(a, b));
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
+}
+BENCHMARK(BM_DenseMatMul)->Arg(64)->Arg(128);
+
+void BM_GcnForward(benchmark::State& state) {
+  const nn::GraphContext& ctx = CoraLikeContext();
+  auto model = nn::MakeModel(nn::ModelKind::kGcn, ctx.feature_dim(),
+                             CoraLikeData().num_classes, 1);
+  for (auto _ : state) benchmark::DoNotOptimize(model->Logits(ctx));
+}
+BENCHMARK(BM_GcnForward);
+
+void BM_GatForward(benchmark::State& state) {
+  const nn::GraphContext& ctx = CoraLikeContext();
+  auto model = nn::MakeModel(nn::ModelKind::kGat, ctx.feature_dim(),
+                             CoraLikeData().num_classes, 1);
+  for (auto _ : state) benchmark::DoNotOptimize(model->Logits(ctx));
+}
+BENCHMARK(BM_GatForward);
+
+void BM_GcnTrainEpoch(benchmark::State& state) {
+  const nn::GraphContext& ctx = CoraLikeContext();
+  auto model = nn::MakeModel(nn::ModelKind::kGcn, ctx.feature_dim(),
+                             CoraLikeData().num_classes, 1);
+  std::vector<int> train_nodes;
+  for (int v = 0; v < 140; ++v) train_nodes.push_back(v * 10);
+  nn::TrainConfig cfg;
+  cfg.epochs = 1;
+  for (auto _ : state) {
+    nn::Train(model.get(), ctx, train_nodes, CoraLikeData().labels, cfg);
+  }
+}
+BENCHMARK(BM_GcnTrainEpoch);
+
+void BM_JaccardSimilarity(benchmark::State& state) {
+  const auto& data = CoraLikeData();
+  for (auto _ : state) benchmark::DoNotOptimize(graph::JaccardSimilarity(data.graph));
+}
+BENCHMARK(BM_JaccardSimilarity);
+
+void BM_LinkStealingAttack(benchmark::State& state) {
+  const auto& data = CoraLikeData();
+  const privacy::PairSample pairs = privacy::SamplePairs(data.graph, 2000, 3);
+  Rng rng(4);
+  la::Matrix probs(data.graph.num_nodes(), data.num_classes);
+  for (int v = 0; v < probs.rows(); ++v) {
+    double sum = 0;
+    for (int c = 0; c < probs.cols(); ++c) {
+      probs(v, c) = 0.01 + rng.Uniform();
+      sum += probs(v, c);
+    }
+    for (int c = 0; c < probs.cols(); ++c) probs(v, c) /= sum;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(privacy::LinkStealingAttack(probs, pairs));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(pairs.connected.size()) * 2 *
+                          static_cast<int64_t>(privacy::AllDistanceKinds().size()));
+}
+BENCHMARK(BM_LinkStealingAttack);
+
+void BM_EdgeRand(benchmark::State& state) {
+  const auto& data = CoraLikeData();
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(privacy::EdgeRand(data.graph, 6.0, ++seed));
+  }
+}
+BENCHMARK(BM_EdgeRand);
+
+void BM_QclpSolve(benchmark::State& state) {
+  Rng rng(5);
+  solver::QclpProblem problem;
+  const int n = static_cast<int>(state.range(0));
+  problem.objective.resize(n);
+  problem.halfspace_u.resize(n);
+  for (int i = 0; i < n; ++i) {
+    problem.objective[i] = rng.Normal();
+    problem.halfspace_u[i] = rng.Normal();
+  }
+  problem.ball_radius_sq = 0.9 * n;
+  problem.halfspace_offset = 0.1;
+  problem.zero_sum = true;
+  for (auto _ : state) benchmark::DoNotOptimize(solver::SolveQclp(problem));
+}
+BENCHMARK(BM_QclpSolve)->Arg(140)->Arg(500);
+
+}  // namespace
+
+BENCHMARK_MAIN();

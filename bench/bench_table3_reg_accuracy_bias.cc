@@ -1,0 +1,42 @@
+// Reproduces Table III: accuracy and InFoRM bias of GCN models trained
+// without ("Vanilla") and with ("Reg") the fairness regulariser, on the three
+// strong-homophily benchmarks. Expected shape: Reg lowers bias on every
+// dataset, at a (small) accuracy cost.
+//
+//   ./bench_table3_reg_accuracy_bias [--datasets=...] [--epochs=150]
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace ppfr;
+  Flags flags(argc, argv);
+  const auto datasets = bench::ParseDatasets(flags, data::StrongHomophilyDatasets());
+
+  std::printf("Table III — accuracy and bias of GCN, Vanilla vs Reg\n\n");
+  TablePrinter table({"Datasets", "Methods", "Acc (up)", "Bias (down)"});
+
+  for (data::DatasetId dataset : datasets) {
+    core::ExperimentEnv env = core::MakeEnv(dataset, core::kDefaultEnvSeed);
+    core::MethodConfig cfg = core::DefaultMethodConfig(dataset, nn::ModelKind::kGcn);
+    bench::ApplyCommonFlags(flags, &cfg);
+
+    const core::MethodRun vanilla =
+        core::RunMethod(core::MethodKind::kVanilla, nn::ModelKind::kGcn, env, cfg);
+    const core::MethodRun reg =
+        core::RunMethod(core::MethodKind::kReg, nn::ModelKind::kGcn, env, cfg);
+
+    table.AddRow({data::DatasetName(dataset), "Vanilla",
+                  TablePrinter::Num(100.0 * vanilla.eval.accuracy),
+                  TablePrinter::Num(vanilla.eval.bias, 4)});
+    table.AddRow({data::DatasetName(dataset), "Reg",
+                  TablePrinter::Num(100.0 * reg.eval.accuracy),
+                  TablePrinter::Num(reg.eval.bias, 4)});
+    table.AddSeparator();
+  }
+  table.Print();
+  std::printf("\nExpected shape (paper): bias drops under Reg on every dataset while\n");
+  std::printf("accuracy decreases slightly — fairness costs performance.\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+#ifndef PPFR_BENCH_BENCH_UTIL_H_
+#define PPFR_BENCH_BENCH_UTIL_H_
+
+// Shared scaffolding for the paper-reproduction bench binaries. Each binary
+// regenerates one table or figure of "Unraveling Privacy Risks of Individual
+// Fairness in Graph Neural Networks" (ICDE'24); this header centralises
+// dataset/model parsing and the method-suite runner so every artifact reports
+// the same underlying pipelines.
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "core/experiment.h"
+#include "core/methods.h"
+
+namespace ppfr::bench {
+
+inline std::vector<data::DatasetId> ParseDatasets(const Flags& flags,
+                                                  std::vector<data::DatasetId> defaults) {
+  const std::string arg = flags.GetString("datasets", "");
+  if (arg.empty()) return defaults;
+  std::vector<data::DatasetId> out;
+  for (data::DatasetId id :
+       {data::DatasetId::kCoraLike, data::DatasetId::kCiteseerLike,
+        data::DatasetId::kPubmedLike, data::DatasetId::kEnzymesLike,
+        data::DatasetId::kCreditLike}) {
+    if (arg.find(data::DatasetName(id)) != std::string::npos) out.push_back(id);
+  }
+  return out.empty() ? defaults : out;
+}
+
+inline std::vector<nn::ModelKind> ParseModels(const Flags& flags,
+                                              std::vector<nn::ModelKind> defaults) {
+  const std::string arg = flags.GetString("models", "");
+  if (arg.empty()) return defaults;
+  std::vector<nn::ModelKind> out;
+  for (nn::ModelKind kind :
+       {nn::ModelKind::kGcn, nn::ModelKind::kGat, nn::ModelKind::kGraphSage}) {
+    if (arg.find(nn::ModelKindName(kind)) != std::string::npos) out.push_back(kind);
+  }
+  return out.empty() ? defaults : out;
+}
+
+// Applies the common bench flags (--epochs, --seed) onto a config.
+inline void ApplyCommonFlags(const Flags& flags, core::MethodConfig* cfg) {
+  cfg->train.epochs = flags.GetInt("epochs", cfg->train.epochs);
+  cfg->seed = static_cast<uint64_t>(flags.GetInt("seed", static_cast<int>(cfg->seed)));
+}
+
+// Runs Vanilla plus the four comparison methods, logging wall time.
+struct MethodSuite {
+  core::MethodRun vanilla;
+  std::map<core::MethodKind, core::MethodRun> methods;
+  std::map<core::MethodKind, core::DeltaMetrics> deltas;
+};
+
+inline MethodSuite RunMethodSuite(const core::ExperimentEnv& env, nn::ModelKind model,
+                                  const core::MethodConfig& cfg, bool verbose = true) {
+  MethodSuite suite;
+  Stopwatch watch;
+  suite.vanilla = core::RunMethod(core::MethodKind::kVanilla, model, env, cfg);
+  if (verbose) {
+    std::fprintf(stderr, "  [%s/%s] Vanilla done in %.1fs (acc %.3f)\n",
+                 env.dataset.data.name.c_str(), nn::ModelKindName(model).c_str(),
+                 watch.ElapsedSeconds(), suite.vanilla.eval.accuracy);
+  }
+  for (core::MethodKind method : core::ComparisonMethods()) {
+    watch.Reset();
+    core::MethodRun run = core::RunMethod(method, model, env, cfg);
+    suite.deltas[method] = core::ComputeDeltas(run.eval, suite.vanilla.eval);
+    if (verbose) {
+      std::fprintf(stderr, "  [%s/%s] %s done in %.1fs\n",
+                   env.dataset.data.name.c_str(), nn::ModelKindName(model).c_str(),
+                   core::MethodName(method).c_str(), watch.ElapsedSeconds());
+    }
+    suite.methods.emplace(method, std::move(run));
+  }
+  return suite;
+}
+
+}  // namespace ppfr::bench
+
+#endif  // PPFR_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,544 @@
+#include "autograd/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ppfr::ag {
+namespace {
+
+// Creates the output node; `backward(tape, out_grad)` routes gradients to
+// parents. Reduces the per-op boilerplate of discovering the output id.
+template <typename BackwardFn>
+Var MakeOp(Tape* tape, la::Matrix value, bool needs_grad, BackwardFn backward) {
+  const int out_id = tape->num_nodes();
+  return tape->MakeNode(std::move(value), needs_grad, [out_id, backward](Tape& tp) {
+    const la::Matrix& g = tp.GradRef(Var{&tp, out_id});
+    backward(tp, g);
+  });
+}
+
+bool AnyNeedsGrad(std::initializer_list<Var> vars) {
+  for (Var v : vars) {
+    if (v.tape->NeedsGrad(v)) return true;
+  }
+  return false;
+}
+
+Tape* CommonTape(std::initializer_list<Var> vars) {
+  Tape* tape = nullptr;
+  for (Var v : vars) {
+    PPFR_CHECK(v.valid());
+    if (tape == nullptr) tape = v.tape;
+    PPFR_CHECK(v.tape == tape) << "ops must stay on a single tape";
+  }
+  return tape;
+}
+
+// Elementwise unary op helper: out = f(a), da += g * f'(a).
+template <typename F, typename DF>
+Var UnaryElementwise(Var a, F f, DF df) {
+  Tape* tape = CommonTape({a});
+  const la::Matrix& av = a.value();
+  la::Matrix out(av.rows(), av.cols());
+  for (int64_t i = 0; i < av.size(); ++i) out.data()[i] = f(av.data()[i]);
+  const bool needs = tape->NeedsGrad(a);
+  return MakeOp(tape, std::move(out), needs, [a, df](Tape& tp, const la::Matrix& g) {
+    if (!tp.NeedsGrad(a)) return;
+    la::Matrix& da = tp.GradRef(a);
+    const la::Matrix& av = tp.Value(a);
+    for (int64_t i = 0; i < av.size(); ++i) {
+      da.data()[i] += g.data()[i] * df(av.data()[i]);
+    }
+  });
+}
+
+}  // namespace
+
+std::shared_ptr<const SparseOperand> MakeSparseOperand(la::CsrMatrix m, bool symmetric) {
+  auto op = std::make_shared<SparseOperand>();
+  op->symmetric = symmetric;
+  op->mat = std::move(m);
+  if (!symmetric) op->mat_t = op->mat.Transposed();
+  return op;
+}
+
+Var MatMul(Var a, Var b) {
+  Tape* tape = CommonTape({a, b});
+  la::Matrix out = la::MatMul(a.value(), b.value());
+  const bool needs = AnyNeedsGrad({a, b});
+  return MakeOp(tape, std::move(out), needs, [a, b](Tape& tp, const la::Matrix& g) {
+    if (tp.NeedsGrad(a)) tp.GradRef(a).Axpy(1.0, la::MatMulTransB(g, tp.Value(b)));
+    if (tp.NeedsGrad(b)) tp.GradRef(b).Axpy(1.0, la::MatMulTransA(tp.Value(a), g));
+  });
+}
+
+Var SpMM(const std::shared_ptr<const SparseOperand>& sp, Var x) {
+  Tape* tape = CommonTape({x});
+  la::Matrix out = sp->mat.Multiply(x.value());
+  const bool needs = tape->NeedsGrad(x);
+  return MakeOp(tape, std::move(out), needs, [sp, x](Tape& tp, const la::Matrix& g) {
+    if (!tp.NeedsGrad(x)) return;
+    const la::CsrMatrix& at = sp->symmetric ? sp->mat : sp->mat_t;
+    at.MultiplyAccum(g, 1.0, &tp.GradRef(x));
+  });
+}
+
+Var Add(Var a, Var b) {
+  Tape* tape = CommonTape({a, b});
+  la::Matrix out = la::Add(a.value(), b.value());
+  const bool needs = AnyNeedsGrad({a, b});
+  return MakeOp(tape, std::move(out), needs, [a, b](Tape& tp, const la::Matrix& g) {
+    if (tp.NeedsGrad(a)) tp.GradRef(a).Axpy(1.0, g);
+    if (tp.NeedsGrad(b)) tp.GradRef(b).Axpy(1.0, g);
+  });
+}
+
+Var Sub(Var a, Var b) {
+  Tape* tape = CommonTape({a, b});
+  la::Matrix out = la::Sub(a.value(), b.value());
+  const bool needs = AnyNeedsGrad({a, b});
+  return MakeOp(tape, std::move(out), needs, [a, b](Tape& tp, const la::Matrix& g) {
+    if (tp.NeedsGrad(a)) tp.GradRef(a).Axpy(1.0, g);
+    if (tp.NeedsGrad(b)) tp.GradRef(b).Axpy(-1.0, g);
+  });
+}
+
+Var Mul(Var a, Var b) {
+  Tape* tape = CommonTape({a, b});
+  la::Matrix out = la::Hadamard(a.value(), b.value());
+  const bool needs = AnyNeedsGrad({a, b});
+  return MakeOp(tape, std::move(out), needs, [a, b](Tape& tp, const la::Matrix& g) {
+    if (tp.NeedsGrad(a)) tp.GradRef(a).Axpy(1.0, la::Hadamard(g, tp.Value(b)));
+    if (tp.NeedsGrad(b)) tp.GradRef(b).Axpy(1.0, la::Hadamard(g, tp.Value(a)));
+  });
+}
+
+Var Div(Var a, Var b) {
+  Tape* tape = CommonTape({a, b});
+  const la::Matrix& av = a.value();
+  const la::Matrix& bv = b.value();
+  PPFR_CHECK(av.SameShape(bv));
+  la::Matrix out(av.rows(), av.cols());
+  for (int64_t i = 0; i < av.size(); ++i) out.data()[i] = av.data()[i] / bv.data()[i];
+  const bool needs = AnyNeedsGrad({a, b});
+  return MakeOp(tape, std::move(out), needs, [a, b](Tape& tp, const la::Matrix& g) {
+    const la::Matrix& av = tp.Value(a);
+    const la::Matrix& bv = tp.Value(b);
+    if (tp.NeedsGrad(a)) {
+      la::Matrix& da = tp.GradRef(a);
+      for (int64_t i = 0; i < av.size(); ++i) da.data()[i] += g.data()[i] / bv.data()[i];
+    }
+    if (tp.NeedsGrad(b)) {
+      la::Matrix& db = tp.GradRef(b);
+      for (int64_t i = 0; i < av.size(); ++i) {
+        db.data()[i] -= g.data()[i] * av.data()[i] / (bv.data()[i] * bv.data()[i]);
+      }
+    }
+  });
+}
+
+Var Neg(Var a) { return Scale(a, -1.0); }
+
+Var Scale(Var a, double s) {
+  return UnaryElementwise(
+      a, [s](double x) { return s * x; }, [s](double) { return s; });
+}
+
+Var AddScalar(Var a, double s) {
+  return UnaryElementwise(
+      a, [s](double x) { return x + s; }, [](double) { return 1.0; });
+}
+
+Var AddRowVec(Var a, Var row) {
+  Tape* tape = CommonTape({a, row});
+  const la::Matrix& av = a.value();
+  const la::Matrix& rv = row.value();
+  PPFR_CHECK_EQ(rv.rows(), 1);
+  PPFR_CHECK_EQ(rv.cols(), av.cols());
+  la::Matrix out = av;
+  for (int r = 0; r < av.rows(); ++r) {
+    double* o = out.row(r);
+    for (int c = 0; c < av.cols(); ++c) o[c] += rv(0, c);
+  }
+  const bool needs = AnyNeedsGrad({a, row});
+  return MakeOp(tape, std::move(out), needs, [a, row](Tape& tp, const la::Matrix& g) {
+    if (tp.NeedsGrad(a)) tp.GradRef(a).Axpy(1.0, g);
+    if (tp.NeedsGrad(row)) {
+      la::Matrix& dr = tp.GradRef(row);
+      for (int r = 0; r < g.rows(); ++r) {
+        const double* gr = g.row(r);
+        for (int c = 0; c < g.cols(); ++c) dr(0, c) += gr[c];
+      }
+    }
+  });
+}
+
+Var ExpandScalar(Var s, int rows, int cols) {
+  Tape* tape = CommonTape({s});
+  PPFR_CHECK_EQ(s.rows(), 1);
+  PPFR_CHECK_EQ(s.cols(), 1);
+  la::Matrix out(rows, cols, s.value()(0, 0));
+  const bool needs = tape->NeedsGrad(s);
+  return MakeOp(tape, std::move(out), needs, [s](Tape& tp, const la::Matrix& g) {
+    if (tp.NeedsGrad(s)) tp.GradRef(s)(0, 0) += g.SumAll();
+  });
+}
+
+Var Relu(Var a) {
+  return UnaryElementwise(
+      a, [](double x) { return x > 0.0 ? x : 0.0; },
+      [](double x) { return x > 0.0 ? 1.0 : 0.0; });
+}
+
+Var LeakyRelu(Var a, double slope) {
+  return UnaryElementwise(
+      a, [slope](double x) { return x > 0.0 ? x : slope * x; },
+      [slope](double x) { return x > 0.0 ? 1.0 : slope; });
+}
+
+Var Elu(Var a, double alpha) {
+  return UnaryElementwise(
+      a, [alpha](double x) { return x > 0.0 ? x : alpha * (std::exp(x) - 1.0); },
+      [alpha](double x) { return x > 0.0 ? 1.0 : alpha * std::exp(x); });
+}
+
+Var Tanh(Var a) {
+  return UnaryElementwise(
+      a, [](double x) { return std::tanh(x); },
+      [](double x) {
+        const double t = std::tanh(x);
+        return 1.0 - t * t;
+      });
+}
+
+Var Sigmoid(Var a) {
+  return UnaryElementwise(
+      a, [](double x) { return 1.0 / (1.0 + std::exp(-x)); },
+      [](double x) {
+        const double s = 1.0 / (1.0 + std::exp(-x));
+        return s * (1.0 - s);
+      });
+}
+
+Var Square(Var a) {
+  return UnaryElementwise(
+      a, [](double x) { return x * x; }, [](double x) { return 2.0 * x; });
+}
+
+Var Sqrt(Var a) {
+  return UnaryElementwise(
+      a, [](double x) { return std::sqrt(std::max(x, 0.0)); },
+      [](double x) { return 0.5 / std::sqrt(std::max(x, 1e-12)); });
+}
+
+Var Abs(Var a) {
+  return UnaryElementwise(
+      a, [](double x) { return std::fabs(x); },
+      [](double x) { return x > 0.0 ? 1.0 : (x < 0.0 ? -1.0 : 0.0); });
+}
+
+Var LogSoftmaxRows(Var logits) {
+  Tape* tape = CommonTape({logits});
+  const la::Matrix& x = logits.value();
+  la::Matrix out(x.rows(), x.cols());
+  for (int r = 0; r < x.rows(); ++r) {
+    const double* in = x.row(r);
+    double* o = out.row(r);
+    double mx = in[0];
+    for (int c = 1; c < x.cols(); ++c) mx = std::max(mx, in[c]);
+    double sum = 0.0;
+    for (int c = 0; c < x.cols(); ++c) sum += std::exp(in[c] - mx);
+    const double lse = mx + std::log(sum);
+    for (int c = 0; c < x.cols(); ++c) o[c] = in[c] - lse;
+  }
+  const bool needs = tape->NeedsGrad(logits);
+  const int out_id = tape->num_nodes();
+  return tape->MakeNode(std::move(out), needs, [logits, out_id](Tape& tp) {
+    if (!tp.NeedsGrad(logits)) return;
+    const la::Matrix& g = tp.GradRef(Var{&tp, out_id});
+    const la::Matrix& y = tp.Value(Var{&tp, out_id});  // log-probs
+    la::Matrix& dx = tp.GradRef(logits);
+    // dx = g - softmax(x) * rowsum(g)
+    for (int r = 0; r < g.rows(); ++r) {
+      const double* gr = g.row(r);
+      const double* yr = y.row(r);
+      double* dr = dx.row(r);
+      double gsum = 0.0;
+      for (int c = 0; c < g.cols(); ++c) gsum += gr[c];
+      for (int c = 0; c < g.cols(); ++c) dr[c] += gr[c] - std::exp(yr[c]) * gsum;
+    }
+  });
+}
+
+Var SoftmaxRows(Var logits) {
+  Tape* tape = CommonTape({logits});
+  la::Matrix out = la::SoftmaxRows(logits.value());
+  const bool needs = tape->NeedsGrad(logits);
+  const int out_id = tape->num_nodes();
+  return tape->MakeNode(std::move(out), needs, [logits, out_id](Tape& tp) {
+    if (!tp.NeedsGrad(logits)) return;
+    const la::Matrix& g = tp.GradRef(Var{&tp, out_id});
+    const la::Matrix& s = tp.Value(Var{&tp, out_id});
+    la::Matrix& dx = tp.GradRef(logits);
+    // dx = s ∘ (g - <g, s>_row)
+    for (int r = 0; r < g.rows(); ++r) {
+      const double* gr = g.row(r);
+      const double* sr = s.row(r);
+      double* dr = dx.row(r);
+      double dot = 0.0;
+      for (int c = 0; c < g.cols(); ++c) dot += gr[c] * sr[c];
+      for (int c = 0; c < g.cols(); ++c) dr[c] += sr[c] * (gr[c] - dot);
+    }
+  });
+}
+
+Var WeightedNll(Var logp, const std::vector<int>& rows, const std::vector<int>& labels,
+                const std::vector<double>& weights, double denom) {
+  Tape* tape = CommonTape({logp});
+  PPFR_CHECK_EQ(rows.size(), labels.size());
+  PPFR_CHECK_EQ(rows.size(), weights.size());
+  PPFR_CHECK_GT(denom, 0.0);
+  const la::Matrix& lp = logp.value();
+  double loss = 0.0;
+  for (size_t k = 0; k < rows.size(); ++k) {
+    PPFR_CHECK_GE(labels[k], 0);
+    PPFR_CHECK_LT(labels[k], lp.cols());
+    loss -= weights[k] * lp(rows[k], labels[k]);
+  }
+  la::Matrix out(1, 1);
+  out(0, 0) = loss / denom;
+  const bool needs = tape->NeedsGrad(logp);
+  return MakeOp(tape, std::move(out), needs,
+                [logp, rows, labels, weights, denom](Tape& tp, const la::Matrix& g) {
+                  if (!tp.NeedsGrad(logp)) return;
+                  la::Matrix& dl = tp.GradRef(logp);
+                  const double scale = g(0, 0) / denom;
+                  for (size_t k = 0; k < rows.size(); ++k) {
+                    dl(rows[k], labels[k]) -= scale * weights[k];
+                  }
+                });
+}
+
+Var GatherRows(Var a, const std::vector<int>& indices) {
+  Tape* tape = CommonTape({a});
+  const la::Matrix& av = a.value();
+  la::Matrix out(static_cast<int>(indices.size()), av.cols());
+  for (size_t k = 0; k < indices.size(); ++k) {
+    PPFR_CHECK_GE(indices[k], 0);
+    PPFR_CHECK_LT(indices[k], av.rows());
+    std::copy(av.row(indices[k]), av.row(indices[k]) + av.cols(),
+              out.row(static_cast<int>(k)));
+  }
+  const bool needs = tape->NeedsGrad(a);
+  return MakeOp(tape, std::move(out), needs, [a, indices](Tape& tp, const la::Matrix& g) {
+    if (!tp.NeedsGrad(a)) return;
+    la::Matrix& da = tp.GradRef(a);
+    for (size_t k = 0; k < indices.size(); ++k) {
+      const double* gr = g.row(static_cast<int>(k));
+      double* dr = da.row(indices[k]);
+      for (int c = 0; c < g.cols(); ++c) dr[c] += gr[c];
+    }
+  });
+}
+
+Var ConcatCols(const std::vector<Var>& parts) {
+  PPFR_CHECK(!parts.empty());
+  Tape* tape = parts[0].tape;
+  int total_cols = 0;
+  const int rows = parts[0].rows();
+  bool needs = false;
+  for (Var p : parts) {
+    PPFR_CHECK(p.tape == tape);
+    PPFR_CHECK_EQ(p.rows(), rows);
+    total_cols += p.cols();
+    needs = needs || tape->NeedsGrad(p);
+  }
+  la::Matrix out(rows, total_cols);
+  int offset = 0;
+  for (Var p : parts) {
+    const la::Matrix& pv = p.value();
+    for (int r = 0; r < rows; ++r) {
+      std::copy(pv.row(r), pv.row(r) + pv.cols(), out.row(r) + offset);
+    }
+    offset += pv.cols();
+  }
+  return MakeOp(tape, std::move(out), needs, [parts](Tape& tp, const la::Matrix& g) {
+    int offset = 0;
+    for (Var p : parts) {
+      const int pc = tp.Value(p).cols();
+      if (tp.NeedsGrad(p)) {
+        la::Matrix& dp = tp.GradRef(p);
+        for (int r = 0; r < g.rows(); ++r) {
+          const double* gr = g.row(r) + offset;
+          double* dr = dp.row(r);
+          for (int c = 0; c < pc; ++c) dr[c] += gr[c];
+        }
+      }
+      offset += pc;
+    }
+  });
+}
+
+Var SumAll(Var a) {
+  Tape* tape = CommonTape({a});
+  la::Matrix out(1, 1);
+  out(0, 0) = a.value().SumAll();
+  const bool needs = tape->NeedsGrad(a);
+  return MakeOp(tape, std::move(out), needs, [a](Tape& tp, const la::Matrix& g) {
+    if (!tp.NeedsGrad(a)) return;
+    la::Matrix& da = tp.GradRef(a);
+    const double gg = g(0, 0);
+    for (int64_t i = 0; i < da.size(); ++i) da.data()[i] += gg;
+  });
+}
+
+Var MeanAll(Var a) {
+  const double n = static_cast<double>(a.value().size());
+  PPFR_CHECK_GT(n, 0.0);
+  return Scale(SumAll(a), 1.0 / n);
+}
+
+Var RowSums(Var a) {
+  Tape* tape = CommonTape({a});
+  const la::Matrix& av = a.value();
+  la::Matrix out(av.rows(), 1);
+  for (int r = 0; r < av.rows(); ++r) {
+    double s = 0.0;
+    const double* row = av.row(r);
+    for (int c = 0; c < av.cols(); ++c) s += row[c];
+    out(r, 0) = s;
+  }
+  const bool needs = tape->NeedsGrad(a);
+  return MakeOp(tape, std::move(out), needs, [a](Tape& tp, const la::Matrix& g) {
+    if (!tp.NeedsGrad(a)) return;
+    la::Matrix& da = tp.GradRef(a);
+    for (int r = 0; r < da.rows(); ++r) {
+      const double gr = g(r, 0);
+      double* dr = da.row(r);
+      for (int c = 0; c < da.cols(); ++c) dr[c] += gr;
+    }
+  });
+}
+
+Var LaplacianQuadratic(const std::shared_ptr<const la::CsrMatrix>& laplacian, Var y) {
+  Tape* tape = CommonTape({y});
+  PPFR_CHECK_EQ(laplacian->rows(), laplacian->cols());
+  PPFR_CHECK_EQ(laplacian->rows(), y.rows());
+  // Cache L*Y for the backward pass (dL/dY = 2 L Y, L symmetric).
+  auto ly = std::make_shared<la::Matrix>(laplacian->Multiply(y.value()));
+  la::Matrix out(1, 1);
+  out(0, 0) = la::Dot(y.value(), *ly);
+  const bool needs = tape->NeedsGrad(y);
+  return MakeOp(tape, std::move(out), needs, [y, ly](Tape& tp, const la::Matrix& g) {
+    if (!tp.NeedsGrad(y)) return;
+    tp.GradRef(y).Axpy(2.0 * g(0, 0), *ly);
+  });
+}
+
+Var EdgeSoftmaxAggregate(Var h, Var attn_left, Var attn_right,
+                         const std::shared_ptr<const EdgeSet>& edges, int heads,
+                         double leaky_slope) {
+  Tape* tape = CommonTape({h, attn_left, attn_right});
+  const la::Matrix& hv = h.value();
+  const la::Matrix& sl = attn_left.value();
+  const la::Matrix& sr = attn_right.value();
+  const int n = edges->num_nodes;
+  PPFR_CHECK_EQ(hv.rows(), n);
+  PPFR_CHECK_EQ(sl.rows(), n);
+  PPFR_CHECK_EQ(sr.rows(), n);
+  PPFR_CHECK_EQ(sl.cols(), heads);
+  PPFR_CHECK_EQ(sr.cols(), heads);
+  PPFR_CHECK_EQ(hv.cols() % heads, 0);
+  const int dim = hv.cols() / heads;
+  const int64_t m = edges->num_edges();
+
+  // Saved for backward: attention coefficients and pre-activation signs.
+  auto alpha = std::make_shared<std::vector<double>>(static_cast<size_t>(m) * heads);
+  auto z_pos = std::make_shared<std::vector<char>>(static_cast<size_t>(m) * heads);
+
+  la::Matrix out(n, hv.cols());
+  for (int head = 0; head < heads; ++head) {
+    const int col0 = head * dim;
+    for (int i = 0; i < n; ++i) {
+      const int64_t begin = edges->row_ptr[i];
+      const int64_t end = edges->row_ptr[i + 1];
+      if (begin == end) continue;
+      // Stable softmax over e_ij.
+      double mx = -1e300;
+      for (int64_t k = begin; k < end; ++k) {
+        const int j = edges->col_idx[k];
+        const double z = sl(i, head) + sr(j, head);
+        const double e = z > 0.0 ? z : leaky_slope * z;
+        (*z_pos)[static_cast<size_t>(k) * heads + head] = z > 0.0 ? 1 : 0;
+        (*alpha)[static_cast<size_t>(k) * heads + head] = e;  // store e temporarily
+        mx = std::max(mx, e);
+      }
+      double denom = 0.0;
+      for (int64_t k = begin; k < end; ++k) {
+        double& slot = (*alpha)[static_cast<size_t>(k) * heads + head];
+        slot = std::exp(slot - mx);
+        denom += slot;
+      }
+      double* out_row = out.row(i) + col0;
+      for (int64_t k = begin; k < end; ++k) {
+        double& slot = (*alpha)[static_cast<size_t>(k) * heads + head];
+        slot /= denom;  // now alpha_ij
+        const double* hj = hv.row(edges->col_idx[k]) + col0;
+        for (int c = 0; c < dim; ++c) out_row[c] += slot * hj[c];
+      }
+    }
+  }
+
+  const bool needs = AnyNeedsGrad({h, attn_left, attn_right});
+  return MakeOp(
+      tape, std::move(out), needs,
+      [h, attn_left, attn_right, edges, heads, dim, leaky_slope, alpha, z_pos](
+          Tape& tp, const la::Matrix& g) {
+        const la::Matrix& hv = tp.Value(h);
+        const int n = edges->num_nodes;
+        const bool need_h = tp.NeedsGrad(h);
+        const bool need_attn = tp.NeedsGrad(attn_left) || tp.NeedsGrad(attn_right);
+        la::Matrix* dh = need_h ? &tp.GradRef(h) : nullptr;
+        la::Matrix* dsl = tp.NeedsGrad(attn_left) ? &tp.GradRef(attn_left) : nullptr;
+        la::Matrix* dsr = tp.NeedsGrad(attn_right) ? &tp.GradRef(attn_right) : nullptr;
+
+        std::vector<double> dalpha;  // per-edge scratch for the current (i, head)
+        for (int head = 0; head < heads; ++head) {
+          const int col0 = head * dim;
+          for (int i = 0; i < n; ++i) {
+            const int64_t begin = edges->row_ptr[i];
+            const int64_t end = edges->row_ptr[i + 1];
+            if (begin == end) continue;
+            const double* gi = g.row(i) + col0;
+            dalpha.assign(static_cast<size_t>(end - begin), 0.0);
+            double weighted_sum = 0.0;  // sum_j alpha_ij * dalpha_ij
+            for (int64_t k = begin; k < end; ++k) {
+              const int j = edges->col_idx[k];
+              const double a = (*alpha)[static_cast<size_t>(k) * heads + head];
+              const double* hj = hv.row(j) + col0;
+              double dot = 0.0;
+              for (int c = 0; c < dim; ++c) dot += gi[c] * hj[c];
+              dalpha[static_cast<size_t>(k - begin)] = dot;
+              weighted_sum += a * dot;
+              if (need_h) {
+                double* dhj = dh->row(j) + col0;
+                for (int c = 0; c < dim; ++c) dhj[c] += a * gi[c];
+              }
+            }
+            if (!need_attn) continue;
+            for (int64_t k = begin; k < end; ++k) {
+              const int j = edges->col_idx[k];
+              const double a = (*alpha)[static_cast<size_t>(k) * heads + head];
+              const double de =
+                  a * (dalpha[static_cast<size_t>(k - begin)] - weighted_sum);
+              const double dz =
+                  (*z_pos)[static_cast<size_t>(k) * heads + head] ? de : leaky_slope * de;
+              if (dsl != nullptr) (*dsl)(i, head) += dz;
+              if (dsr != nullptr) (*dsr)(j, head) += dz;
+            }
+          }
+        }
+      });
+}
+
+}  // namespace ppfr::ag

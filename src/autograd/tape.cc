@@ -1,0 +1,103 @@
+#include "autograd/tape.h"
+
+namespace ppfr::ag {
+
+const la::Matrix& Var::value() const { return tape->Value(*this); }
+
+double Var::scalar() const {
+  const la::Matrix& v = value();
+  PPFR_CHECK_EQ(v.rows(), 1);
+  PPFR_CHECK_EQ(v.cols(), 1);
+  return v(0, 0);
+}
+
+Var Tape::Leaf(Parameter* param) {
+  PPFR_CHECK(param != nullptr);
+  Node node;
+  node.value = param->value;
+  node.needs_grad = true;
+  node.param = param;
+  nodes_.push_back(std::move(node));
+  return Var{this, static_cast<int>(nodes_.size()) - 1};
+}
+
+Var Tape::Constant(la::Matrix value) {
+  Node node;
+  node.value = std::move(value);
+  node.needs_grad = false;
+  nodes_.push_back(std::move(node));
+  return Var{this, static_cast<int>(nodes_.size()) - 1};
+}
+
+Var Tape::ScalarConstant(double value) {
+  la::Matrix m(1, 1);
+  m(0, 0) = value;
+  return Constant(std::move(m));
+}
+
+Var Tape::MakeNode(la::Matrix value, bool needs_grad,
+                   std::function<void(Tape&)> backward) {
+  Node node;
+  node.value = std::move(value);
+  node.needs_grad = needs_grad;
+  if (needs_grad) node.backward = std::move(backward);
+  nodes_.push_back(std::move(node));
+  return Var{this, static_cast<int>(nodes_.size()) - 1};
+}
+
+bool Tape::NeedsGrad(Var v) const {
+  PPFR_CHECK(v.tape == this);
+  return nodes_[v.id].needs_grad;
+}
+
+const la::Matrix& Tape::Value(Var v) const {
+  PPFR_CHECK(v.tape == this);
+  PPFR_CHECK_GE(v.id, 0);
+  PPFR_CHECK_LT(v.id, static_cast<int>(nodes_.size()));
+  return nodes_[v.id].value;
+}
+
+la::Matrix& Tape::GradRef(Var v) {
+  PPFR_CHECK(v.tape == this);
+  Node& node = nodes_[v.id];
+  if (!node.grad_allocated) {
+    node.grad = la::Matrix(node.value.rows(), node.value.cols());
+    node.grad_allocated = true;
+  }
+  return node.grad;
+}
+
+void Tape::Backward(Var loss) {
+  const la::Matrix& loss_value = Value(loss);
+  PPFR_CHECK_EQ(loss_value.rows(), 1);
+  PPFR_CHECK_EQ(loss_value.cols(), 1);
+  la::Matrix seed(1, 1);
+  seed(0, 0) = 1.0;
+  BackwardWithSeed(loss, seed);
+}
+
+void Tape::BackwardWithSeed(Var output, const la::Matrix& seed) {
+  PPFR_CHECK(output.tape == this);
+  PPFR_CHECK(nodes_[output.id].needs_grad)
+      << "output does not depend on any parameter";
+  PPFR_CHECK(seed.SameShape(nodes_[output.id].value));
+  GradRef(output).Axpy(1.0, seed);
+
+  for (int id = output.id; id >= 0; --id) {
+    Node& node = nodes_[id];
+    if (!node.needs_grad || !node.grad_allocated) continue;
+    if (node.param != nullptr) {
+      node.param->grad.Axpy(1.0, node.grad);
+    } else if (node.backward) {
+      node.backward(*this);
+    }
+  }
+}
+
+void Tape::ZeroAllGrads() {
+  for (Node& node : nodes_) {
+    if (node.grad_allocated) node.grad.Zero();
+  }
+}
+
+}  // namespace ppfr::ag

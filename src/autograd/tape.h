@@ -1,0 +1,109 @@
+#ifndef PPFR_AUTOGRAD_TAPE_H_
+#define PPFR_AUTOGRAD_TAPE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace ppfr::ag {
+
+class Tape;
+
+// Lightweight handle to a node on a Tape. Vars are cheap to copy; the
+// referenced value lives for the lifetime of the tape.
+struct Var {
+  Tape* tape = nullptr;
+  int id = -1;
+
+  bool valid() const { return tape != nullptr && id >= 0; }
+  const la::Matrix& value() const;
+  int rows() const { return value().rows(); }
+  int cols() const { return value().cols(); }
+  // Value of a 1x1 node.
+  double scalar() const;
+};
+
+// A trainable tensor. Parameters live outside any tape (they persist across
+// forward passes); Tape::Leaf temporarily exposes them on a tape, and
+// Tape::Backward accumulates into `grad`.
+struct Parameter {
+  std::string name;
+  la::Matrix value;
+  la::Matrix grad;
+
+  Parameter(std::string param_name, la::Matrix initial)
+      : name(std::move(param_name)),
+        value(std::move(initial)),
+        grad(value.rows(), value.cols()) {}
+
+  void ZeroGrad() { grad.Zero(); }
+  int64_t size() const { return value.size(); }
+};
+
+// Reverse-mode automatic differentiation tape. Usage:
+//
+//   Tape tape;
+//   Var x = tape.Leaf(&weight);
+//   Var loss = MeanAll(Square(MatMul(x, ...)));
+//   tape.Backward(loss);           // accumulates into weight.grad
+//
+// A tape represents one forward pass; build a fresh tape per training step.
+class Tape {
+ public:
+  Tape() = default;
+  Tape(const Tape&) = delete;
+  Tape& operator=(const Tape&) = delete;
+
+  // Exposes a parameter as a differentiable leaf.
+  Var Leaf(Parameter* param);
+
+  // A constant (no gradient flows into it).
+  Var Constant(la::Matrix value);
+
+  // Scalar constant convenience (1x1).
+  Var ScalarConstant(double value);
+
+  // Creates an op node. `backward` receives this tape and must route
+  // d(output)/d(parents) contributions into parent grads via GradRef().
+  // Pass `needs_grad` as the OR over the parents' needs_grad.
+  Var MakeNode(la::Matrix value, bool needs_grad, std::function<void(Tape&)> backward);
+
+  bool NeedsGrad(Var v) const;
+  const la::Matrix& Value(Var v) const;
+
+  // Mutable gradient buffer of a node (allocated on first use).
+  la::Matrix& GradRef(Var v);
+
+  // Runs reverse accumulation from a 1x1 loss node; parameter gradients are
+  // ADDED to Parameter::grad (call ZeroGrad on params between steps).
+  void Backward(Var loss);
+
+  // Seeds `output`'s gradient with an arbitrary matrix and runs reverse
+  // accumulation from there. Together with ZeroAllGrads this lets one forward
+  // pass serve many backward passes (per-training-node loss gradients in the
+  // influence machinery).
+  void BackwardWithSeed(Var output, const la::Matrix& seed);
+
+  // Clears all node gradients so the tape can be back-propagated again.
+  void ZeroAllGrads();
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+ private:
+  struct Node {
+    la::Matrix value;
+    la::Matrix grad;  // lazily sized
+    bool needs_grad = false;
+    bool grad_allocated = false;
+    std::function<void(Tape&)> backward;  // null for leaves/constants
+    Parameter* param = nullptr;
+  };
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace ppfr::ag
+
+#endif  // PPFR_AUTOGRAD_TAPE_H_

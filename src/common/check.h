@@ -1,0 +1,58 @@
+#ifndef PPFR_COMMON_CHECK_H_
+#define PPFR_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+// Abort-on-violation precondition macros, in the spirit of glog's CHECK.
+// The library does not use exceptions; programming errors terminate with a
+// message pinpointing the failed condition.
+
+namespace ppfr::internal {
+
+[[noreturn]] inline void CheckFail(const char* file, int line, const char* cond,
+                                   const std::string& msg) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, cond,
+               msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+// Builds the optional streamed message of a failed CHECK.
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* cond)
+      : file_(file), line_(line), cond_(cond) {}
+  [[noreturn]] ~CheckMessage() { CheckFail(file_, line_, cond_, stream_.str()); }
+
+  template <typename T>
+  CheckMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* cond_;
+  std::ostringstream stream_;
+};
+
+}  // namespace ppfr::internal
+
+#define PPFR_CHECK(cond)                                             \
+  if (cond) {                                                        \
+  } else /* NOLINT */                                                \
+    ::ppfr::internal::CheckMessage(__FILE__, __LINE__, #cond)
+
+#define PPFR_CHECK_OP(a, b, op) PPFR_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+
+#define PPFR_CHECK_EQ(a, b) PPFR_CHECK_OP(a, b, ==)
+#define PPFR_CHECK_NE(a, b) PPFR_CHECK_OP(a, b, !=)
+#define PPFR_CHECK_LT(a, b) PPFR_CHECK_OP(a, b, <)
+#define PPFR_CHECK_LE(a, b) PPFR_CHECK_OP(a, b, <=)
+#define PPFR_CHECK_GT(a, b) PPFR_CHECK_OP(a, b, >)
+#define PPFR_CHECK_GE(a, b) PPFR_CHECK_OP(a, b, >=)
+
+#endif  // PPFR_COMMON_CHECK_H_

@@ -1,0 +1,27 @@
+#ifndef PPFR_COMMON_FLAGS_H_
+#define PPFR_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+
+namespace ppfr {
+
+// Minimal --key=value command-line parsing for the bench/example binaries.
+// Unknown flags are kept and queryable; "--flag" alone parses as "true".
+class Flags {
+ public:
+  Flags(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+  std::string GetString(const std::string& name, const std::string& def) const;
+  int GetInt(const std::string& name, int def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace ppfr
+
+#endif  // PPFR_COMMON_FLAGS_H_

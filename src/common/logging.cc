@@ -1,0 +1,47 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace ppfr {
+namespace {
+
+LogLevel g_level = LogLevel::kInfo;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+namespace internal {
+
+LogLine::LogLine(LogLevel level, const char* file, int line) : level_(level) {
+  stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line << "] ";
+}
+
+LogLine::~LogLine() {
+  if (level_ < g_level) return;
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+}
+
+}  // namespace internal
+}  // namespace ppfr

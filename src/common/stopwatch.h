@@ -1,0 +1,28 @@
+#ifndef PPFR_COMMON_STOPWATCH_H_
+#define PPFR_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace ppfr {
+
+// Wall-clock stopwatch for experiment harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ppfr
+
+#endif  // PPFR_COMMON_STOPWATCH_H_

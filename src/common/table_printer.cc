@@ -1,0 +1,68 @@
+#include "common/table_printer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace ppfr {
+
+TablePrinter::TablePrinter(std::vector<std::string> header) : header_(std::move(header)) {
+  PPFR_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  PPFR_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddSeparator() { rows_.emplace_back(); }
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto rule = [&] {
+    std::string s = "+";
+    for (size_t w : widths) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (size_t c = 0; c < cells.size(); ++c) {
+      s += " " + cells[c] + std::string(widths[c] - cells[c].size(), ' ') + " |";
+    }
+    return s + "\n";
+  };
+
+  std::string out = rule() + line(header_) + rule();
+  for (const auto& row : rows_) {
+    out += row.empty() ? rule() : line(row);
+  }
+  out += rule();
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string TablePrinter::Num(double value, int decimals) {
+  if (std::isnan(value)) return "-";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string TablePrinter::Pct(double ratio, int decimals) {
+  if (std::isnan(ratio)) return "-";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%+.*f", decimals, ratio * 100.0);
+  return buf;
+}
+
+}  // namespace ppfr

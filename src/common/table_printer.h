@@ -1,0 +1,45 @@
+#ifndef PPFR_COMMON_TABLE_PRINTER_H_
+#define PPFR_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace ppfr {
+
+// Renders paper-style ASCII tables for the experiment harnesses, e.g.
+//
+//   +----------+---------+--------+
+//   | Datasets | Methods | Acc    |
+//   +----------+---------+--------+
+//   | Cora     | Vanilla | 86.12  |
+//   ...
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  // Appends a data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  // Inserts a horizontal separator before the next row.
+  void AddSeparator();
+
+  // Renders the whole table.
+  std::string ToString() const;
+
+  // Renders to stdout.
+  void Print() const;
+
+  // Formats a double with the given number of decimals ("-" for NaN).
+  static std::string Num(double value, int decimals = 2);
+
+  // Formats a ratio as a percentage with sign, e.g. -35.51.
+  static std::string Pct(double ratio, int decimals = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace ppfr
+
+#endif  // PPFR_COMMON_TABLE_PRINTER_H_

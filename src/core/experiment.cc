@@ -1,0 +1,70 @@
+#include "core/experiment.h"
+
+namespace ppfr::core {
+namespace {
+constexpr int kAttackPairsPerClass = 2000;
+}  // namespace
+
+EvalInputs ExperimentEnv::Eval() const {
+  EvalInputs inputs;
+  inputs.ctx = &ctx;
+  inputs.labels = &dataset.data.labels;
+  inputs.test_nodes = &dataset.split.test;
+  inputs.laplacian = similarity.laplacian;
+  inputs.pairs = &attack_pairs;
+  return inputs;
+}
+
+ExperimentEnv MakeEnv(data::DatasetId id, uint64_t seed) {
+  ExperimentEnv env;
+  env.dataset = data::LoadDataset(id, seed);
+  env.ctx = nn::GraphContext::Build(env.dataset.data.graph, env.dataset.data.features);
+  env.similarity = fairness::SimilarityContext::FromGraph(env.dataset.data.graph);
+  env.attack_pairs =
+      privacy::SamplePairs(env.dataset.data.graph, kAttackPairsPerClass, seed ^ 0xa77acc);
+  return env;
+}
+
+MethodConfig DefaultMethodConfig(data::DatasetId id, nn::ModelKind kind) {
+  MethodConfig cfg;
+  cfg.train.epochs = 150;
+  cfg.train.lr = 0.01;
+  cfg.train.weight_decay = 5e-4;
+  cfg.train.sage_fanout = 5;
+  cfg.finetune_scale = 0.2;
+  cfg.finetune_lr = 1e-3;
+  cfg.pp_gamma = 0.5;
+  cfg.dp_epsilon = 4.0;
+  cfg.lambda = 3e-4;
+
+  // LapGraph on the largest graph, as in the paper (EdgeRand elsewhere).
+  cfg.use_lap_graph = id == data::DatasetId::kPubmedLike;
+
+  switch (id) {
+    case data::DatasetId::kCoraLike:
+      cfg.lambda = 3e-4;
+      break;
+    case data::DatasetId::kCiteseerLike:
+      cfg.lambda = 3e-4;
+      break;
+    case data::DatasetId::kPubmedLike:
+      cfg.lambda = 6e-5;
+      break;
+    case data::DatasetId::kEnzymesLike:
+      cfg.lambda = 3e-4;
+      break;
+    case data::DatasetId::kCreditLike:
+      cfg.lambda = 2e-4;
+      break;
+  }
+  if (kind == nn::ModelKind::kGat) {
+    cfg.train.lr = 0.01;
+    cfg.finetune_scale = 0.25;
+  }
+  if (kind == nn::ModelKind::kGraphSage) {
+    cfg.finetune_scale = 0.25;
+  }
+  return cfg;
+}
+
+}  // namespace ppfr::core

@@ -1,0 +1,59 @@
+#ifndef PPFR_CORE_EXPERIMENT_H_
+#define PPFR_CORE_EXPERIMENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/fr.h"
+#include "core/metrics.h"
+#include "data/datasets.h"
+#include "fairness/bias_metric.h"
+#include "nn/graph_context.h"
+#include "nn/trainer.h"
+#include "privacy/attack/pair_sampler.h"
+
+namespace ppfr::core {
+
+// Everything one dataset's experiments share: the generated data, the
+// original-graph context and similarity structures, and the attack pairs
+// (always sampled against the TRUE edges).
+struct ExperimentEnv {
+  data::Dataset dataset;
+  nn::GraphContext ctx;
+  fairness::SimilarityContext similarity;
+  privacy::PairSample attack_pairs;
+
+  const std::vector<int>& labels() const { return dataset.data.labels; }
+  const std::vector<int>& train_nodes() const { return dataset.split.train; }
+  const std::vector<int>& test_nodes() const { return dataset.split.test; }
+
+  EvalInputs Eval() const;
+};
+
+// Builds the environment for a dataset. Deterministic in (id, seed).
+ExperimentEnv MakeEnv(data::DatasetId id, uint64_t seed);
+
+// Configuration of one method run — shared by all benches so every table and
+// figure reports the same underlying pipelines.
+struct MethodConfig {
+  nn::TrainConfig train;      // vanilla-phase schedule
+  double lambda = 5e-3;       // fairness-regulariser weight (Reg / DPReg)
+  double dp_epsilon = 4.0;    // edge-DP budget
+  bool use_lap_graph = false; // LapGraph instead of EdgeRand (larger graphs)
+  double pp_gamma = 0.5;      // PP heterophilic edge ratio γ
+  double finetune_scale = 0.2;  // s, fine-tune epochs = s · vanilla epochs
+  double finetune_lr = 5e-3;
+  FrConfig fr;
+  uint64_t seed = 7;
+};
+
+// Paper-matched defaults per dataset/model (single source of truth for the
+// bench harnesses; see EXPERIMENTS.md for the values).
+MethodConfig DefaultMethodConfig(data::DatasetId id, nn::ModelKind kind);
+
+// Default environment seed used across benches.
+inline constexpr uint64_t kDefaultEnvSeed = 20240610;
+
+}  // namespace ppfr::core
+
+#endif  // PPFR_CORE_EXPERIMENT_H_

@@ -1,0 +1,126 @@
+#include "core/methods.h"
+
+#include <cmath>
+
+#include "privacy/defense/edge_rand.h"
+#include "privacy/defense/heterophilic_perturbation.h"
+#include "privacy/defense/lap_graph.h"
+
+namespace ppfr::core {
+
+std::string MethodName(MethodKind kind) {
+  switch (kind) {
+    case MethodKind::kVanilla:
+      return "Vanilla";
+    case MethodKind::kReg:
+      return "Reg";
+    case MethodKind::kDpReg:
+      return "DPReg";
+    case MethodKind::kDpFr:
+      return "DPFR";
+    case MethodKind::kPpFr:
+      return "PPFR";
+  }
+  return "?";
+}
+
+std::vector<MethodKind> ComparisonMethods() {
+  return {MethodKind::kReg, MethodKind::kDpReg, MethodKind::kDpFr, MethodKind::kPpFr};
+}
+
+std::unique_ptr<nn::GnnModel> TrainFresh(nn::ModelKind model_kind,
+                                         const ExperimentEnv& env,
+                                         const nn::GraphContext& train_ctx,
+                                         const MethodConfig& config, double lambda) {
+  std::unique_ptr<nn::GnnModel> model =
+      nn::MakeModel(model_kind, env.ctx.feature_dim(), env.dataset.data.num_classes,
+                    config.seed);
+  nn::TrainConfig train = config.train;
+  if (lambda > 0.0) {
+    train.fairness_reg = lambda;
+    train.fairness_laplacian = env.similarity.laplacian;
+  }
+  nn::Train(model.get(), train_ctx, env.train_nodes(), env.labels(), train);
+  return model;
+}
+
+nn::GraphContext MakeDpContext(const ExperimentEnv& env, const MethodConfig& config) {
+  const graph::Graph& g = env.dataset.data.graph;
+  graph::Graph perturbed =
+      config.use_lap_graph
+          ? privacy::LapGraph(g, config.dp_epsilon, config.seed ^ 0xd9ULL)
+          : privacy::EdgeRand(g, config.dp_epsilon, config.seed ^ 0xd9ULL);
+  return nn::GraphContext::Build(std::move(perturbed), env.dataset.data.features);
+}
+
+nn::GraphContext MakePpContext(const ExperimentEnv& env, nn::GnnModel* model,
+                               double gamma, uint64_t seed) {
+  const la::Matrix probs = model->PredictProbs(env.ctx);
+  const std::vector<int> predicted = la::ArgmaxRows(probs);
+  graph::Graph perturbed = privacy::AddHeterophilicEdges(env.dataset.data.graph,
+                                                         predicted, gamma, seed);
+  return nn::GraphContext::Build(std::move(perturbed), env.dataset.data.features);
+}
+
+FrOutput ComputeFr(nn::GnnModel* model, const ExperimentEnv& env,
+                   const MethodConfig& config) {
+  return ComputeFairnessWeights(model, env.ctx, env.train_nodes(), env.labels(),
+                                env.similarity.laplacian, config.fr);
+}
+
+void Finetune(nn::GnnModel* model, const ExperimentEnv& env,
+              const nn::GraphContext& ctx, const std::vector<double>& sample_weights,
+              int epochs, const MethodConfig& config) {
+  nn::TrainConfig finetune = config.train;
+  finetune.epochs = epochs;
+  finetune.lr = config.finetune_lr > 0.0 ? config.finetune_lr : config.train.lr;
+  finetune.sample_weights = sample_weights;
+  finetune.fairness_reg = 0.0;
+  finetune.fairness_laplacian = nullptr;
+  finetune.seed = config.seed ^ 0xf1eULL;
+  nn::Train(model, ctx, env.train_nodes(), env.labels(), finetune);
+}
+
+MethodRun RunMethod(MethodKind method, nn::ModelKind model_kind,
+                    const ExperimentEnv& env, const MethodConfig& config) {
+  MethodRun run;
+  const int finetune_epochs = std::max(
+      1, static_cast<int>(std::lround(config.finetune_scale * config.train.epochs)));
+
+  switch (method) {
+    case MethodKind::kVanilla:
+      run.model = TrainFresh(model_kind, env, env.ctx, config, /*lambda=*/0.0);
+      break;
+    case MethodKind::kReg:
+      run.model = TrainFresh(model_kind, env, env.ctx, config, config.lambda);
+      break;
+    case MethodKind::kDpReg: {
+      const nn::GraphContext dp_ctx = MakeDpContext(env, config);
+      run.model = TrainFresh(model_kind, env, dp_ctx, config, config.lambda);
+      break;
+    }
+    case MethodKind::kDpFr: {
+      run.model = TrainFresh(model_kind, env, env.ctx, config, /*lambda=*/0.0);
+      const FrOutput fr = ComputeFr(run.model.get(), env, config);
+      run.fr_weights = fr.sample_weights;
+      const nn::GraphContext dp_ctx = MakeDpContext(env, config);
+      Finetune(run.model.get(), env, dp_ctx, fr.sample_weights, finetune_epochs,
+               config);
+      break;
+    }
+    case MethodKind::kPpFr: {
+      run.model = TrainFresh(model_kind, env, env.ctx, config, /*lambda=*/0.0);
+      const FrOutput fr = ComputeFr(run.model.get(), env, config);
+      run.fr_weights = fr.sample_weights;
+      const nn::GraphContext pp_ctx =
+          MakePpContext(env, run.model.get(), config.pp_gamma, config.seed ^ 0x99ULL);
+      Finetune(run.model.get(), env, pp_ctx, fr.sample_weights, finetune_epochs,
+               config);
+      break;
+    }
+  }
+  run.eval = EvaluateModel(run.model.get(), env.Eval());
+  return run;
+}
+
+}  // namespace ppfr::core

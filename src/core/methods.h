@@ -1,0 +1,63 @@
+#ifndef PPFR_CORE_METHODS_H_
+#define PPFR_CORE_METHODS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace ppfr::core {
+
+// The training pipelines compared in §VII:
+//  - Vanilla: plain training (the Δ baseline, "w/o").
+//  - Reg:     vanilla training + InFoRM fairness regulariser.
+//  - DPReg:   edge-DP perturbed graph + regulariser, trained from scratch.
+//  - DPFR:    vanilla training, then FR-reweighted fine-tune on the DP graph.
+//  - PPFR:    vanilla training, then FR-reweighted fine-tune on the PP graph
+//             (the paper's method).
+enum class MethodKind { kVanilla, kReg, kDpReg, kDpFr, kPpFr };
+
+std::string MethodName(MethodKind kind);
+
+// The four methods compared against Vanilla in Tables IV/V and Figs 5/7.
+std::vector<MethodKind> ComparisonMethods();
+
+struct MethodRun {
+  std::unique_ptr<nn::GnnModel> model;
+  EvalResult eval;                   // always on the original graph
+  std::vector<double> fr_weights;    // (1 + w), FR-based methods only
+};
+
+// Runs one full pipeline and evaluates it against the original graph.
+MethodRun RunMethod(MethodKind method, nn::ModelKind model_kind,
+                    const ExperimentEnv& env, const MethodConfig& config);
+
+// ---- Pipeline primitives (exposed for the ablation bench / examples) ----
+
+// Vanilla (or Reg when lambda > 0) training of a fresh model.
+std::unique_ptr<nn::GnnModel> TrainFresh(nn::ModelKind model_kind,
+                                         const ExperimentEnv& env,
+                                         const nn::GraphContext& train_ctx,
+                                         const MethodConfig& config, double lambda);
+
+// Applies the configured edge-DP mechanism to the original graph.
+nn::GraphContext MakeDpContext(const ExperimentEnv& env, const MethodConfig& config);
+
+// Applies the paper's privacy-aware perturbation guided by `model`'s
+// predictions, with the given γ.
+nn::GraphContext MakePpContext(const ExperimentEnv& env, nn::GnnModel* model,
+                               double gamma, uint64_t seed);
+
+// FR weights for `model` computed on the original context.
+FrOutput ComputeFr(nn::GnnModel* model, const ExperimentEnv& env,
+                   const MethodConfig& config);
+
+// Continues training `model` on `ctx` for `epochs` with per-node weights.
+void Finetune(nn::GnnModel* model, const ExperimentEnv& env,
+              const nn::GraphContext& ctx, const std::vector<double>& sample_weights,
+              int epochs, const MethodConfig& config);
+
+}  // namespace ppfr::core
+
+#endif  // PPFR_CORE_METHODS_H_

@@ -1,0 +1,43 @@
+#include "core/metrics.h"
+
+#include <cmath>
+
+#include "fairness/bias_metric.h"
+#include "nn/trainer.h"
+#include "privacy/risk_metric.h"
+
+namespace ppfr::core {
+
+EvalResult EvaluateModel(nn::GnnModel* model, const EvalInputs& inputs) {
+  PPFR_CHECK(inputs.ctx != nullptr);
+  PPFR_CHECK(inputs.labels != nullptr);
+  PPFR_CHECK(inputs.test_nodes != nullptr);
+  PPFR_CHECK(inputs.laplacian != nullptr);
+  PPFR_CHECK(inputs.pairs != nullptr);
+
+  EvalResult result;
+  const la::Matrix logits = model->Logits(*inputs.ctx);
+  const la::Matrix probs = la::SoftmaxRows(logits);
+  result.accuracy = nn::Accuracy(logits, *inputs.labels, *inputs.test_nodes);
+  result.bias = fairness::Bias(probs, *inputs.laplacian);
+  result.attack = privacy::LinkStealingAttack(probs, *inputs.pairs);
+  result.risk_auc = result.attack.mean_auc;
+  result.delta_d = privacy::DeltaD(probs, *inputs.pairs, privacy::DistanceKind::kCosine);
+  return result;
+}
+
+DeltaMetrics ComputeDeltas(const EvalResult& method, const EvalResult& vanilla) {
+  auto ratio = [](double now, double base) {
+    if (base == 0.0) return 0.0;
+    return (now - base) / base;
+  };
+  DeltaMetrics d;
+  d.d_acc = ratio(method.accuracy, vanilla.accuracy);
+  d.d_bias = ratio(method.bias, vanilla.bias);
+  d.d_risk = ratio(method.risk_auc, vanilla.risk_auc);
+  const double denom = std::max(std::fabs(d.d_acc), 1e-6);
+  d.combined = d.d_bias * d.d_risk / denom;
+  return d;
+}
+
+}  // namespace ppfr::core

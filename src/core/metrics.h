@@ -1,0 +1,48 @@
+#ifndef PPFR_CORE_METRICS_H_
+#define PPFR_CORE_METRICS_H_
+
+#include <memory>
+#include <vector>
+
+#include "la/csr_matrix.h"
+#include "nn/models.h"
+#include "privacy/attack/link_stealing.h"
+
+namespace ppfr::core {
+
+// Trustworthiness scorecard of one trained model, always measured against the
+// ORIGINAL graph: test accuracy, InFoRM bias (lower = fairer), link-stealing
+// mean AUC (lower = more private) and the Δd statistic of Definition 2.
+struct EvalResult {
+  double accuracy = 0.0;
+  double bias = 0.0;
+  double risk_auc = 0.0;
+  double delta_d = 0.0;
+  privacy::AttackResult attack;
+};
+
+// Inputs required to evaluate any model produced by any method.
+struct EvalInputs {
+  const nn::GraphContext* ctx = nullptr;  // original context
+  const std::vector<int>* labels = nullptr;
+  const std::vector<int>* test_nodes = nullptr;
+  std::shared_ptr<const la::CsrMatrix> laplacian;  // L_S of the original graph
+  const privacy::PairSample* pairs = nullptr;      // true-edge attack pairs
+};
+
+EvalResult EvaluateModel(nn::GnnModel* model, const EvalInputs& inputs);
+
+// Relative changes vs the vanilla model and the combined metric of Eq. 22:
+//   Δ(x) = (method.x - vanilla.x) / vanilla.x,   Δ = Δbias·Δrisk / |Δacc|.
+struct DeltaMetrics {
+  double d_acc = 0.0;
+  double d_bias = 0.0;
+  double d_risk = 0.0;
+  double combined = 0.0;
+};
+
+DeltaMetrics ComputeDeltas(const EvalResult& method, const EvalResult& vanilla);
+
+}  // namespace ppfr::core
+
+#endif  // PPFR_CORE_METRICS_H_

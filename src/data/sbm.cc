@@ -1,0 +1,117 @@
+#include "data/sbm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ppfr::data {
+namespace {
+
+// Samples edges within a node-id block pair using geometric skipping, so the
+// cost is proportional to the number of sampled edges rather than the number
+// of candidate pairs. `emit(u, v)` receives ordered candidate pairs.
+template <typename EmitFn>
+void SampleBlockPairs(int64_t num_pairs, double prob, Rng* rng, EmitFn emit) {
+  if (prob <= 0.0 || num_pairs <= 0) return;
+  PPFR_CHECK_LT(prob, 1.0);
+  const double log1mp = std::log1p(-prob);
+  int64_t cursor = -1;
+  while (true) {
+    const double u = std::max(rng->Uniform(), 1e-300);
+    const int64_t skip = 1 + static_cast<int64_t>(std::floor(std::log(u) / log1mp));
+    cursor += skip;
+    if (cursor >= num_pairs) break;
+    emit(cursor);
+  }
+}
+
+}  // namespace
+
+double SbmConfig::IntraClassProb() const {
+  // Expected same-class degree a = h * d spread over n/C - 1 same-class peers.
+  const double peers = static_cast<double>(num_nodes) / num_classes - 1.0;
+  PPFR_CHECK_GT(peers, 0.0);
+  return std::min(0.999, homophily * average_degree / peers);
+}
+
+double SbmConfig::InterClassProb() const {
+  const double peers =
+      static_cast<double>(num_nodes) * (num_classes - 1) / num_classes;
+  PPFR_CHECK_GT(peers, 0.0);
+  return std::min(0.999, (1.0 - homophily) * average_degree / peers);
+}
+
+NodeClassificationData GenerateSbm(const SbmConfig& config, uint64_t seed) {
+  PPFR_CHECK_GE(config.num_classes, 2);
+  PPFR_CHECK_GE(config.num_nodes, config.num_classes);
+  PPFR_CHECK_LE(config.signature_size * config.num_classes, config.feature_dim)
+      << "class signatures must fit in the feature space";
+  Rng rng(seed);
+
+  NodeClassificationData out;
+  out.name = config.name;
+  out.num_classes = config.num_classes;
+
+  // Balanced labels, then shuffled so node ids carry no class signal.
+  const int n = config.num_nodes;
+  out.labels.resize(n);
+  for (int v = 0; v < n; ++v) out.labels[v] = v % config.num_classes;
+  rng.Shuffle(&out.labels);
+
+  // Group nodes by class for blockwise edge sampling.
+  std::vector<std::vector<int>> members(config.num_classes);
+  for (int v = 0; v < n; ++v) members[out.labels[v]].push_back(v);
+
+  const double p = config.IntraClassProb();
+  const double q = config.InterClassProb();
+  std::vector<graph::Edge> edges;
+
+  for (int a = 0; a < config.num_classes; ++a) {
+    // Within-class pairs (i < j inside the member list).
+    const auto& ma = members[a];
+    const int64_t sa = static_cast<int64_t>(ma.size());
+    SampleBlockPairs(sa * (sa - 1) / 2, p, &rng, [&](int64_t pair_idx) {
+      // Unrank pair_idx -> (i, j) with i < j: row i starts at offset
+      // offset(i) = i*sa - i(i+1)/2; binary-search the row, then the column.
+      auto offset = [sa](int64_t i) { return i * sa - i * (i + 1) / 2; };
+      int64_t lo = 0, hi = sa - 1;  // row in [lo, hi)
+      while (lo + 1 < hi) {
+        const int64_t mid = (lo + hi) / 2;
+        if (offset(mid) <= pair_idx) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      const int64_t ii = lo;
+      const int64_t jj = pair_idx - offset(ii) + ii + 1;
+      edges.push_back({ma[static_cast<size_t>(ii)], ma[static_cast<size_t>(jj)]});
+    });
+    // Cross-class blocks (a < b): full rectangle.
+    for (int b = a + 1; b < config.num_classes; ++b) {
+      const auto& mb = members[b];
+      const int64_t sb = static_cast<int64_t>(mb.size());
+      SampleBlockPairs(sa * sb, q, &rng, [&](int64_t pair_idx) {
+        edges.push_back({ma[static_cast<size_t>(pair_idx / sb)],
+                         mb[static_cast<size_t>(pair_idx % sb)]});
+      });
+    }
+  }
+  out.graph = graph::Graph::FromEdges(n, edges);
+
+  // Class-conditional features: disjoint signature blocks of feature ids.
+  out.features = la::Matrix(n, config.feature_dim);
+  for (int v = 0; v < n; ++v) {
+    const int cls = out.labels[v];
+    const int sig_begin = cls * config.signature_size;
+    for (int f = 0; f < config.feature_dim; ++f) {
+      const bool in_signature = f >= sig_begin && f < sig_begin + config.signature_size;
+      const double prob = in_signature ? config.feature_on_prob : config.feature_noise_prob;
+      if (rng.Bernoulli(prob)) out.features(v, f) = 1.0;
+    }
+  }
+  return out;
+}
+
+}  // namespace ppfr::data

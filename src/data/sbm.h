@@ -1,0 +1,54 @@
+#ifndef PPFR_DATA_SBM_H_
+#define PPFR_DATA_SBM_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "la/matrix.h"
+
+namespace ppfr::data {
+
+// Configuration for the stochastic-block-model generator with
+// class-conditional bag-of-words-style features. Calibrated instances stand
+// in for the citation benchmarks the paper evaluates on (see datasets.h).
+struct SbmConfig {
+  std::string name = "sbm";
+  int num_nodes = 1000;
+  int num_classes = 4;
+  int feature_dim = 64;
+
+  // Target edge homophily h = p / (p + (C-1) q) and expected average degree.
+  double homophily = 0.8;
+  double average_degree = 4.0;
+
+  // Feature model: each class owns `signature_size` feature ids; a node
+  // activates each signature feature with `feature_on_prob` and every other
+  // feature with `feature_noise_prob`.
+  int signature_size = 16;
+  double feature_on_prob = 0.4;
+  double feature_noise_prob = 0.02;
+
+  // Intra-class linking probability p; derived from homophily/degree.
+  double IntraClassProb() const;
+  // Inter-class linking probability q.
+  double InterClassProb() const;
+};
+
+// A generated attributed graph for node classification.
+struct NodeClassificationData {
+  std::string name;
+  graph::Graph graph;
+  la::Matrix features;      // num_nodes x feature_dim (0/1 entries)
+  std::vector<int> labels;  // num_nodes, in [0, num_classes)
+  int num_classes = 0;
+};
+
+// Samples a graph + features + labels from the block model. Deterministic in
+// (config, seed).
+NodeClassificationData GenerateSbm(const SbmConfig& config, uint64_t seed);
+
+}  // namespace ppfr::data
+
+#endif  // PPFR_DATA_SBM_H_

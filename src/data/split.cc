@@ -1,0 +1,30 @@
+#include "data/split.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ppfr::data {
+
+Split MakeSplit(int num_nodes, int train_count, int val_count, uint64_t seed) {
+  PPFR_CHECK_GE(train_count, 0);
+  PPFR_CHECK_GE(val_count, 0);
+  PPFR_CHECK_LE(train_count + val_count, num_nodes);
+  std::vector<int> ids(num_nodes);
+  std::iota(ids.begin(), ids.end(), 0);
+  Rng rng(seed);
+  rng.Shuffle(&ids);
+
+  Split split;
+  split.train.assign(ids.begin(), ids.begin() + train_count);
+  split.val.assign(ids.begin() + train_count, ids.begin() + train_count + val_count);
+  split.test.assign(ids.begin() + train_count + val_count, ids.end());
+  std::sort(split.train.begin(), split.train.end());
+  std::sort(split.val.begin(), split.val.end());
+  std::sort(split.test.begin(), split.test.end());
+  return split;
+}
+
+}  // namespace ppfr::data

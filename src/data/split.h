@@ -1,0 +1,22 @@
+#ifndef PPFR_DATA_SPLIT_H_
+#define PPFR_DATA_SPLIT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ppfr::data {
+
+// A train / validation / test partition of node ids.
+struct Split {
+  std::vector<int> train;
+  std::vector<int> val;
+  std::vector<int> test;
+};
+
+// Random disjoint split. `train_count + val_count` must not exceed the node
+// count; all remaining nodes go to test. Deterministic in the seed.
+Split MakeSplit(int num_nodes, int train_count, int val_count, uint64_t seed);
+
+}  // namespace ppfr::data
+
+#endif  // PPFR_DATA_SPLIT_H_

@@ -1,0 +1,25 @@
+#include "fairness/bias_metric.h"
+
+#include "graph/jaccard.h"
+
+namespace ppfr::fairness {
+
+SimilarityContext SimilarityContext::FromGraph(const graph::Graph& g) {
+  SimilarityContext ctx;
+  ctx.similarity = graph::JaccardSimilarity(g);
+  ctx.laplacian =
+      std::make_shared<la::CsrMatrix>(graph::SimilarityLaplacian(ctx.similarity));
+  return ctx;
+}
+
+double RawBias(const la::Matrix& y, const la::CsrMatrix& laplacian) {
+  PPFR_CHECK_EQ(y.rows(), laplacian.rows());
+  const la::Matrix ly = laplacian.Multiply(y);
+  return la::Dot(y, ly);
+}
+
+double Bias(const la::Matrix& y, const la::CsrMatrix& laplacian) {
+  return RawBias(y, laplacian) / static_cast<double>(y.rows());
+}
+
+}  // namespace ppfr::fairness

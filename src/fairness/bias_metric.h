@@ -1,0 +1,31 @@
+#ifndef PPFR_FAIRNESS_BIAS_METRIC_H_
+#define PPFR_FAIRNESS_BIAS_METRIC_H_
+
+#include <memory>
+
+#include "graph/graph.h"
+#include "la/csr_matrix.h"
+#include "la/matrix.h"
+
+namespace ppfr::fairness {
+
+// Precomputed Jaccard similarity S and its Laplacian L_S for one graph.
+// The Laplacian is shared (the trainer's regulariser and the metric both
+// hold references).
+struct SimilarityContext {
+  la::CsrMatrix similarity;
+  std::shared_ptr<const la::CsrMatrix> laplacian;
+
+  static SimilarityContext FromGraph(const graph::Graph& g);
+};
+
+// InFoRM individual-fairness bias Bias(Y, S) = Tr(Yᵀ L_S Y), divided by the
+// node count so values are comparable across graph sizes. Lower is fairer.
+double Bias(const la::Matrix& y, const la::CsrMatrix& laplacian);
+
+// Unnormalised Tr(Yᵀ L_S Y) (the quantity the training regulariser uses).
+double RawBias(const la::Matrix& y, const la::CsrMatrix& laplacian);
+
+}  // namespace ppfr::fairness
+
+#endif  // PPFR_FAIRNESS_BIAS_METRIC_H_

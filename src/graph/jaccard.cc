@@ -1,0 +1,74 @@
+#include "graph/jaccard.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ppfr::graph {
+
+la::CsrMatrix JaccardSimilarity(const Graph& g) {
+  const int n = g.num_nodes();
+  std::vector<la::Triplet> triplets;
+  std::vector<char> in_closed(n, 0);
+  std::vector<int> candidates;
+  std::vector<char> seen(n, 0);
+
+  for (int i = 0; i < n; ++i) {
+    // Mark N[i].
+    in_closed[i] = 1;
+    for (int u : g.Neighbors(i)) in_closed[u] = 1;
+    const int size_i = g.Degree(i) + 1;
+
+    // Candidate j: within two hops of i (neighbours and their neighbours).
+    candidates.clear();
+    auto consider = [&](int j) {
+      if (j > i && !seen[j]) {
+        seen[j] = 1;
+        candidates.push_back(j);
+      }
+    };
+    for (int u : g.Neighbors(i)) {
+      consider(u);
+      for (int w : g.Neighbors(u)) consider(w);
+    }
+
+    for (int j : candidates) {
+      seen[j] = 0;
+      // |N[i] ∩ N[j]| by scanning N[j] against the bitmap.
+      int inter = in_closed[j] ? 1 : 0;
+      for (int u : g.Neighbors(j)) inter += in_closed[u];
+      if (inter == 0) continue;
+      const int size_j = g.Degree(j) + 1;
+      const double sim =
+          static_cast<double>(inter) / static_cast<double>(size_i + size_j - inter);
+      triplets.push_back({i, j, sim});
+      triplets.push_back({j, i, sim});
+    }
+
+    // Unmark N[i].
+    in_closed[i] = 0;
+    for (int u : g.Neighbors(i)) in_closed[u] = 0;
+  }
+  return la::CsrMatrix::FromTriplets(n, n, std::move(triplets));
+}
+
+la::CsrMatrix SimilarityLaplacian(const la::CsrMatrix& similarity) {
+  PPFR_CHECK_EQ(similarity.rows(), similarity.cols());
+  const int n = similarity.rows();
+  std::vector<la::Triplet> triplets;
+  triplets.reserve(similarity.nnz() + n);
+  for (int r = 0; r < n; ++r) {
+    double row_sum = 0.0;
+    for (int64_t k = similarity.row_ptr()[r]; k < similarity.row_ptr()[r + 1]; ++k) {
+      const int c = similarity.col_idx()[k];
+      const double v = similarity.values()[k];
+      if (c == r) continue;  // diagonal similarity does not enter L
+      triplets.push_back({r, c, -v});
+      row_sum += v;
+    }
+    triplets.push_back({r, r, row_sum});
+  }
+  return la::CsrMatrix::FromTriplets(n, n, std::move(triplets));
+}
+
+}  // namespace ppfr::graph

@@ -1,0 +1,22 @@
+#ifndef PPFR_GRAPH_JACCARD_H_
+#define PPFR_GRAPH_JACCARD_H_
+
+#include "graph/graph.h"
+#include "la/csr_matrix.h"
+
+namespace ppfr::graph {
+
+// Jaccard node-similarity matrix S derived from the graph structure, using
+// closed neighbourhoods N[i] = N(i) ∪ {i} (this mirrors the self-loop added
+// by the GCN normalisation, and yields Lemma V.1 of the paper:
+// S_ij > 0 iff hop(i, j) <= 2). The diagonal is excluded; S is symmetric and
+// sparse — only 1-hop and 2-hop pairs have entries.
+la::CsrMatrix JaccardSimilarity(const Graph& g);
+
+// Laplacian L_S = D_S - S of a symmetric similarity matrix (D_S diagonal of
+// row sums). Used in the InFoRM bias Tr(Yᵀ L_S Y).
+la::CsrMatrix SimilarityLaplacian(const la::CsrMatrix& similarity);
+
+}  // namespace ppfr::graph
+
+#endif  // PPFR_GRAPH_JACCARD_H_

@@ -1,0 +1,50 @@
+#include "graph/sparsity_stats.h"
+
+#include <vector>
+
+namespace ppfr::graph {
+
+TwoHopStats ComputeTwoHopStats(const Graph& g) {
+  TwoHopStats stats;
+  const int n = g.num_nodes();
+  stats.connected_pairs = g.num_edges();
+  const int64_t all_pairs = static_cast<int64_t>(n) * (n - 1) / 2;
+  stats.unconnected_pairs = all_pairs - stats.connected_pairs;
+
+  // Count 2-hop pairs: neighbours-of-neighbours that are not neighbours.
+  std::vector<char> seen(n, 0);
+  std::vector<int> touched;
+  for (int i = 0; i < n; ++i) {
+    touched.clear();
+    for (int u : g.Neighbors(i)) {
+      for (int w : g.Neighbors(u)) {
+        if (w <= i || seen[w]) continue;
+        seen[w] = 1;
+        touched.push_back(w);
+      }
+    }
+    for (int w : touched) {
+      seen[w] = 0;
+      if (!g.HasEdge(i, w)) ++stats.two_hop_pairs;
+    }
+  }
+  if (stats.unconnected_pairs > 0) {
+    stats.two_hop_ratio = static_cast<double>(stats.two_hop_pairs) /
+                          static_cast<double>(stats.unconnected_pairs);
+  }
+  // Eq. 5 closed form with the aggregate linking rate r = p + q = d̄/(n-1).
+  // The paper prints ratio = (p+q)²/(1-(p+q)); its numerator counts expected
+  // common neighbours for ONE intermediate node, so summing over the n-1
+  // candidates gives the dimensionally consistent (n-1)(p+q)²/(1-(p+q)) used
+  // here (≈ d̄²/(n-1), still vanishing for sparse graphs — the proposition's
+  // argument is unaffected; validated in tests/risk_model_test.cc).
+  if (n > 1) {
+    const double rate = g.AverageDegree() / static_cast<double>(n - 1);
+    if (rate < 1.0) {
+      stats.eq5_prediction = static_cast<double>(n - 1) * rate * rate / (1.0 - rate);
+    }
+  }
+  return stats;
+}
+
+}  // namespace ppfr::graph

@@ -1,0 +1,26 @@
+#ifndef PPFR_GRAPH_SPARSITY_STATS_H_
+#define PPFR_GRAPH_SPARSITY_STATS_H_
+
+#include "graph/graph.h"
+
+namespace ppfr::graph {
+
+// Statistics backing Proposition V.2: when minimising the InFoRM bias, only
+// 1-hop and 2-hop pairs move (Lemma V.1), and 2-hop pairs are a vanishing
+// fraction of the unconnected pairs — so d̄0 stays put while d̄1 shrinks.
+struct TwoHopStats {
+  int64_t connected_pairs = 0;    // 1-hop
+  int64_t two_hop_pairs = 0;      // unconnected but hop == 2
+  int64_t unconnected_pairs = 0;  // all i < j with no edge
+  // two_hop_pairs / unconnected_pairs — the empirical Eq. 5 ratio.
+  double two_hop_ratio = 0.0;
+  // The paper's closed form (p + q)² / (1 - (p + q)) with p + q = d̄/(n-1).
+  double eq5_prediction = 0.0;
+};
+
+// Exact BFS-based count (O(n·(m/n)²) for sparse graphs).
+TwoHopStats ComputeTwoHopStats(const Graph& g);
+
+}  // namespace ppfr::graph
+
+#endif  // PPFR_GRAPH_SPARSITY_STATS_H_

@@ -1,0 +1,74 @@
+#include "influence/hvp.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "influence/param_vector.h"
+
+namespace ppfr::influence {
+
+std::vector<double> HessianVectorProduct(const std::vector<ag::Parameter*>& params,
+                                         const GradFn& grad_fn,
+                                         const std::vector<double>& v, double step) {
+  const double norm = VecNorm(v);
+  if (norm == 0.0) return std::vector<double>(v.size(), 0.0);
+
+  const std::vector<double> theta = FlattenValues(params);
+  PPFR_CHECK_EQ(theta.size(), v.size());
+
+  std::vector<double> theta_shifted = theta;
+  const double r = step / norm;
+  VecAxpy(r, v, &theta_shifted);
+  SetValues(params, theta_shifted);
+  std::vector<double> g_plus = grad_fn();
+
+  theta_shifted = theta;
+  VecAxpy(-r, v, &theta_shifted);
+  SetValues(params, theta_shifted);
+  const std::vector<double> g_minus = grad_fn();
+
+  SetValues(params, theta);  // restore
+
+  for (size_t i = 0; i < g_plus.size(); ++i) {
+    g_plus[i] = (g_plus[i] - g_minus[i]) / (2.0 * r);
+  }
+  return g_plus;
+}
+
+CgResult ConjugateGradientSolve(const std::vector<ag::Parameter*>& params,
+                                const GradFn& grad_fn, const std::vector<double>& b,
+                                const CgOptions& options) {
+  PPFR_CHECK_GT(options.damping, 0.0);
+  const size_t n = b.size();
+  auto matvec = [&](const std::vector<double>& v) {
+    std::vector<double> hv = HessianVectorProduct(params, grad_fn, v, options.hvp_step);
+    VecAxpy(options.damping, v, &hv);
+    return hv;
+  };
+
+  CgResult result;
+  result.x.assign(n, 0.0);
+  std::vector<double> r = b;  // residual (x0 = 0)
+  std::vector<double> p = r;
+  double rs_old = VecDot(r, r);
+  const double b_norm = std::max(VecNorm(b), 1e-30);
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    result.iterations = it + 1;
+    const std::vector<double> ap = matvec(p);
+    const double p_ap = VecDot(p, ap);
+    if (p_ap <= 0.0) break;  // numerical loss of positive-definiteness
+    const double alpha = rs_old / p_ap;
+    VecAxpy(alpha, p, &result.x);
+    VecAxpy(-alpha, ap, &r);
+    const double rs_new = VecDot(r, r);
+    if (std::sqrt(rs_new) / b_norm < options.tolerance) break;
+    const double beta = rs_new / rs_old;
+    for (size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+    rs_old = rs_new;
+  }
+  result.residual_norm = VecNorm(r);
+  return result;
+}
+
+}  // namespace ppfr::influence

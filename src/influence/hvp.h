@@ -1,0 +1,46 @@
+#ifndef PPFR_INFLUENCE_HVP_H_
+#define PPFR_INFLUENCE_HVP_H_
+
+#include <functional>
+#include <vector>
+
+#include "autograd/tape.h"
+
+namespace ppfr::influence {
+
+// Computes the flat training-loss gradient ∇θL at the CURRENT parameter
+// values (implementations run a forward/backward pass and flatten).
+using GradFn = std::function<std::vector<double>()>;
+
+// Hessian-vector product H·v by central finite differences of the gradient:
+//   H v ≈ [∇L(θ + r v̂) − ∇L(θ − r v̂)] / (2 r) · ‖v‖,  v̂ = v/‖v‖
+// Restores θ afterwards. Zero vector in, zero vector out.
+std::vector<double> HessianVectorProduct(const std::vector<ag::Parameter*>& params,
+                                         const GradFn& grad_fn,
+                                         const std::vector<double>& v,
+                                         double step = 1e-4);
+
+struct CgOptions {
+  double damping = 0.01;  // solves (H + damping·I) x = b
+  int max_iterations = 40;
+  double tolerance = 1e-8;  // on the relative residual
+  double hvp_step = 1e-4;
+};
+
+struct CgResult {
+  std::vector<double> x;
+  double residual_norm = 0.0;
+  int iterations = 0;
+};
+
+// Damped conjugate-gradient solve of (H + λI) x = b with implicit H via
+// finite-difference HVPs. This is the standard Koh & Liang inverse-HVP
+// machinery; damping keeps the system positive definite when the model is
+// not at an exact minimum.
+CgResult ConjugateGradientSolve(const std::vector<ag::Parameter*>& params,
+                                const GradFn& grad_fn, const std::vector<double>& b,
+                                const CgOptions& options);
+
+}  // namespace ppfr::influence
+
+#endif  // PPFR_INFLUENCE_HVP_H_

@@ -1,0 +1,107 @@
+#include "influence/influence.h"
+
+#include "fairness/bias_metric.h"
+#include "influence/param_vector.h"
+#include "privacy/risk_metric.h"
+
+namespace ppfr::influence {
+
+InfluenceCalculator::InfluenceCalculator(nn::GnnModel* model,
+                                         const nn::GraphContext& ctx,
+                                         std::vector<int> train_nodes,
+                                         const std::vector<int>& labels,
+                                         const InfluenceConfig& config)
+    : model_(model), ctx_(ctx), train_nodes_(std::move(train_nodes)), config_(config) {
+  PPFR_CHECK(!train_nodes_.empty());
+  params_ = model_->Params();
+  train_labels_.reserve(train_nodes_.size());
+  for (int v : train_nodes_) {
+    PPFR_CHECK_GE(v, 0);
+    PPFR_CHECK_LT(v, static_cast<int>(labels.size()));
+    train_labels_.push_back(labels[v]);
+  }
+}
+
+std::vector<double> InfluenceCalculator::TrainingLossGrad() {
+  for (ag::Parameter* p : params_) p->ZeroGrad();
+  ag::Tape tape;
+  ag::Var logits = model_->Forward(tape, ctx_, nn::ForwardOptions{});
+  ag::Var logp = ag::LogSoftmaxRows(logits);
+  const std::vector<double> ones(train_nodes_.size(), 1.0);
+  ag::Var loss = ag::WeightedNll(logp, train_nodes_, train_labels_, ones,
+                                 static_cast<double>(train_nodes_.size()));
+  tape.Backward(loss);
+  return FlattenGrads(params_);
+}
+
+std::vector<double> InfluenceCalculator::FunctionGrad(const FunctionBuilder& build_f) {
+  for (ag::Parameter* p : params_) p->ZeroGrad();
+  ag::Tape tape;
+  ag::Var logits = model_->Forward(tape, ctx_, nn::ForwardOptions{});
+  ag::Var f = build_f(tape, logits);
+  tape.Backward(f);
+  return FlattenGrads(params_);
+}
+
+const std::vector<std::vector<double>>& InfluenceCalculator::PerNodeLossGrads() {
+  if (!per_node_grads_.empty()) return per_node_grads_;
+  // One forward pass; per node, reseed the backward from the loss node.
+  ag::Tape tape;
+  ag::Var logits = model_->Forward(tape, ctx_, nn::ForwardOptions{});
+  ag::Var logp = ag::LogSoftmaxRows(logits);
+  la::Matrix seed(1, 1);
+  seed(0, 0) = 1.0;
+  per_node_grads_.reserve(train_nodes_.size());
+  for (size_t k = 0; k < train_nodes_.size(); ++k) {
+    for (ag::Parameter* p : params_) p->ZeroGrad();
+    tape.ZeroAllGrads();
+    ag::Var loss_v = ag::WeightedNll(logp, {train_nodes_[k]}, {train_labels_[k]},
+                                     {1.0}, 1.0);
+    tape.BackwardWithSeed(loss_v, seed);
+    per_node_grads_.push_back(FlattenGrads(params_));
+  }
+  return per_node_grads_;
+}
+
+std::vector<double> InfluenceCalculator::InfluenceOnFunction(
+    const FunctionBuilder& build_f) {
+  const std::vector<double> grad_f = FunctionGrad(build_f);
+  const GradFn train_grad = [this] { return TrainingLossGrad(); };
+  const CgResult solve = ConjugateGradientSolve(params_, train_grad, grad_f, config_.cg);
+
+  // I_f(w_v) = -s_fᵀ ∇θL_v with s_f = H⁻¹∇θf.
+  const auto& node_grads = PerNodeLossGrads();
+  std::vector<double> influence(train_nodes_.size());
+  for (size_t k = 0; k < node_grads.size(); ++k) {
+    influence[k] = -VecDot(solve.x, node_grads[k]);
+  }
+  return influence;
+}
+
+std::vector<double> InfluenceCalculator::InfluenceOnBias(
+    const std::shared_ptr<const la::CsrMatrix>& laplacian) {
+  return InfluenceOnFunction([laplacian](ag::Tape& tape, ag::Var logits) {
+    (void)tape;
+    ag::Var probs = ag::SoftmaxRows(logits);
+    return ag::LaplacianQuadratic(laplacian, probs);
+  });
+}
+
+std::vector<double> InfluenceCalculator::InfluenceOnRisk(
+    const privacy::PairSample& pairs) {
+  return InfluenceOnFunction([&pairs](ag::Tape& tape, ag::Var logits) {
+    return privacy::RiskSurrogate(tape, logits, pairs);
+  });
+}
+
+std::vector<double> InfluenceCalculator::InfluenceOnUtility() {
+  return InfluenceOnFunction([this](ag::Tape& tape, ag::Var logits) {
+    (void)tape;
+    ag::Var logp = ag::LogSoftmaxRows(logits);
+    const std::vector<double> ones(train_nodes_.size(), 1.0);
+    return ag::WeightedNll(logp, train_nodes_, train_labels_, ones,
+                           static_cast<double>(train_nodes_.size()));
+  });
+}
+
+}  // namespace ppfr::influence

@@ -1,0 +1,76 @@
+#ifndef PPFR_INFLUENCE_INFLUENCE_H_
+#define PPFR_INFLUENCE_INFLUENCE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "influence/hvp.h"
+#include "la/csr_matrix.h"
+#include "nn/models.h"
+#include "nn/trainer.h"
+#include "privacy/attack/pair_sampler.h"
+
+namespace ppfr::influence {
+
+// Builds an evaluation function f(θ) as an autograd expression over the
+// model's logits (the trailing argument is the logits node).
+using FunctionBuilder = std::function<ag::Var(ag::Tape&, ag::Var)>;
+
+struct InfluenceConfig {
+  CgOptions cg;
+};
+
+// Per-training-node influence on scalar evaluation functions f of the
+// model's predictions:
+//   I_f(v) = -∇θ f(θ*)ᵀ H⁻¹ ∇θ L_v(θ*).
+// Under the implicit-function-theorem sign (dθ*/dw_v = -H⁻¹∇L_v) this equals
+// |Vl|·df/dw_v, the sensitivity of f to UPWEIGHTING node v — and it equals
+// the paper's "leave-v-out" influence I_f(w_v = -1) under its Eq. 9
+// convention (which omits the IFT minus sign). Both readings agree on every
+// use in this library (QCLP coefficients, Pearson correlation study).
+//
+// One forward pass is reused for all per-node loss gradients via repeated
+// seeded backward passes; H⁻¹∇f is a single damped-CG solve per f.
+class InfluenceCalculator {
+ public:
+  InfluenceCalculator(nn::GnnModel* model, const nn::GraphContext& ctx,
+                      std::vector<int> train_nodes, const std::vector<int>& labels,
+                      const InfluenceConfig& config);
+
+  // I_f(w_v) for every training node v, given an arbitrary scalar function of
+  // the logits.
+  std::vector<double> InfluenceOnFunction(const FunctionBuilder& build_f);
+
+  // f = InFoRM bias Tr(softmax(logits)ᵀ L_S softmax(logits)).
+  std::vector<double> InfluenceOnBias(
+      const std::shared_ptr<const la::CsrMatrix>& laplacian);
+
+  // f = the paper's normalised risk surrogate 2‖d̄0−d̄1‖/(var d0 + var d1).
+  std::vector<double> InfluenceOnRisk(const privacy::PairSample& pairs);
+
+  // f = the (unweighted) training loss itself — utility influence (Eq. 11).
+  std::vector<double> InfluenceOnUtility();
+
+  int num_train_nodes() const { return static_cast<int>(train_nodes_.size()); }
+
+ private:
+  // Flat ∇θ of the mean training loss at the current parameters.
+  std::vector<double> TrainingLossGrad();
+  // Flat ∇θ f for an arbitrary builder.
+  std::vector<double> FunctionGrad(const FunctionBuilder& build_f);
+  // Flat ∇θ L_v for every v, computed from one shared forward pass.
+  const std::vector<std::vector<double>>& PerNodeLossGrads();
+
+  nn::GnnModel* model_;
+  const nn::GraphContext& ctx_;
+  std::vector<int> train_nodes_;
+  std::vector<int> train_labels_;
+  InfluenceConfig config_;
+  std::vector<ag::Parameter*> params_;
+  std::vector<std::vector<double>> per_node_grads_;  // lazily filled cache
+};
+
+}  // namespace ppfr::influence
+
+#endif  // PPFR_INFLUENCE_INFLUENCE_H_

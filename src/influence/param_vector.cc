@@ -1,0 +1,59 @@
+#include "influence/param_vector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ppfr::influence {
+
+int64_t TotalParamSize(const std::vector<ag::Parameter*>& params) {
+  int64_t total = 0;
+  for (const ag::Parameter* p : params) total += p->size();
+  return total;
+}
+
+std::vector<double> FlattenValues(const std::vector<ag::Parameter*>& params) {
+  std::vector<double> out;
+  out.reserve(TotalParamSize(params));
+  for (const ag::Parameter* p : params) {
+    out.insert(out.end(), p->value.data(), p->value.data() + p->size());
+  }
+  return out;
+}
+
+std::vector<double> FlattenGrads(const std::vector<ag::Parameter*>& params) {
+  std::vector<double> out;
+  out.reserve(TotalParamSize(params));
+  for (const ag::Parameter* p : params) {
+    out.insert(out.end(), p->grad.data(), p->grad.data() + p->size());
+  }
+  return out;
+}
+
+void SetValues(const std::vector<ag::Parameter*>& params,
+               const std::vector<double>& values) {
+  PPFR_CHECK_EQ(static_cast<int64_t>(values.size()), TotalParamSize(params));
+  int64_t offset = 0;
+  for (ag::Parameter* p : params) {
+    std::copy(values.begin() + offset, values.begin() + offset + p->size(),
+              p->value.data());
+    offset += p->size();
+  }
+}
+
+double VecDot(const std::vector<double>& a, const std::vector<double>& b) {
+  PPFR_CHECK_EQ(a.size(), b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double VecNorm(const std::vector<double>& a) { return std::sqrt(VecDot(a, a)); }
+
+void VecAxpy(double alpha, const std::vector<double>& x, std::vector<double>* y) {
+  PPFR_CHECK_EQ(x.size(), y->size());
+  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+}
+
+}  // namespace ppfr::influence

@@ -1,0 +1,34 @@
+#ifndef PPFR_INFLUENCE_PARAM_VECTOR_H_
+#define PPFR_INFLUENCE_PARAM_VECTOR_H_
+
+#include <vector>
+
+#include "autograd/tape.h"
+
+namespace ppfr::influence {
+
+// Utilities for viewing a model's parameter set as one flat vector — the
+// coordinate system of the influence-function linear algebra.
+
+// Total number of scalar parameters.
+int64_t TotalParamSize(const std::vector<ag::Parameter*>& params);
+
+// Concatenated parameter values.
+std::vector<double> FlattenValues(const std::vector<ag::Parameter*>& params);
+
+// Concatenated parameter gradients.
+std::vector<double> FlattenGrads(const std::vector<ag::Parameter*>& params);
+
+// Writes a flat vector back into the parameter values.
+void SetValues(const std::vector<ag::Parameter*>& params,
+               const std::vector<double>& values);
+
+// Basic flat-vector algebra.
+double VecDot(const std::vector<double>& a, const std::vector<double>& b);
+double VecNorm(const std::vector<double>& a);
+// y += alpha * x
+void VecAxpy(double alpha, const std::vector<double>& x, std::vector<double>* y);
+
+}  // namespace ppfr::influence
+
+#endif  // PPFR_INFLUENCE_PARAM_VECTOR_H_

@@ -1,0 +1,97 @@
+#include "la/csr_matrix.h"
+
+#include <algorithm>
+
+namespace ppfr::la {
+
+CsrMatrix CsrMatrix::FromTriplets(int rows, int cols, std::vector<Triplet> triplets) {
+  CsrMatrix m(rows, cols);
+  std::sort(triplets.begin(), triplets.end(), [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+  m.col_idx_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+  for (size_t i = 0; i < triplets.size();) {
+    const Triplet& t = triplets[i];
+    PPFR_CHECK_GE(t.row, 0);
+    PPFR_CHECK_LT(t.row, rows);
+    PPFR_CHECK_GE(t.col, 0);
+    PPFR_CHECK_LT(t.col, cols);
+    double v = 0.0;
+    size_t j = i;
+    while (j < triplets.size() && triplets[j].row == t.row && triplets[j].col == t.col) {
+      v += triplets[j].value;
+      ++j;
+    }
+    m.col_idx_.push_back(t.col);
+    m.values_.push_back(v);
+    m.row_ptr_[t.row + 1]++;
+    i = j;
+  }
+  // Deduplicated counts -> prefix sums.
+  std::vector<int64_t> counts(rows, 0);
+  {
+    int64_t k = 0;
+    for (int r = 0; r < rows; ++r) {
+      counts[r] = m.row_ptr_[r + 1];
+      (void)k;
+    }
+  }
+  for (int r = 0; r < rows; ++r) m.row_ptr_[r + 1] = m.row_ptr_[r] + counts[r];
+  return m;
+}
+
+Matrix CsrMatrix::Multiply(const Matrix& x) const {
+  PPFR_CHECK_EQ(cols_, x.rows());
+  Matrix out(rows_, x.cols());
+  MultiplyAccum(x, 1.0, &out);
+  return out;
+}
+
+void CsrMatrix::MultiplyAccum(const Matrix& x, double alpha, Matrix* out) const {
+  PPFR_CHECK_EQ(cols_, x.rows());
+  PPFR_CHECK_EQ(out->rows(), rows_);
+  PPFR_CHECK_EQ(out->cols(), x.cols());
+  const int n = x.cols();
+  for (int r = 0; r < rows_; ++r) {
+    double* out_row = out->row(r);
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const double w = alpha * values_[k];
+      const double* x_row = x.row(col_idx_[k]);
+      for (int j = 0; j < n; ++j) out_row[j] += w * x_row[j];
+    }
+  }
+}
+
+CsrMatrix CsrMatrix::Transposed() const {
+  std::vector<Triplet> triplets;
+  triplets.reserve(nnz());
+  for (int r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      triplets.push_back({col_idx_[k], r, values_[k]});
+    }
+  }
+  return FromTriplets(cols_, rows_, std::move(triplets));
+}
+
+double CsrMatrix::At(int row, int col) const {
+  PPFR_CHECK_GE(row, 0);
+  PPFR_CHECK_LT(row, rows_);
+  const auto begin = col_idx_.begin() + row_ptr_[row];
+  const auto end = col_idx_.begin() + row_ptr_[row + 1];
+  const auto it = std::lower_bound(begin, end, col);
+  if (it == end || *it != col) return 0.0;
+  return values_[it - col_idx_.begin()];
+}
+
+Matrix CsrMatrix::ToDense() const {
+  Matrix out(rows_, cols_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      out(r, col_idx_[k]) += values_[k];
+    }
+  }
+  return out;
+}
+
+}  // namespace ppfr::la

@@ -1,0 +1,62 @@
+#ifndef PPFR_LA_CSR_MATRIX_H_
+#define PPFR_LA_CSR_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace ppfr::la {
+
+// A single (row, col, value) entry used to build sparse matrices.
+struct Triplet {
+  int row;
+  int col;
+  double value;
+};
+
+// Compressed-sparse-row matrix of doubles. Used for normalised adjacency
+// operators (Â), similarity matrices S and their Laplacians — all of which
+// are multiplied against dense embedding matrices during training.
+class CsrMatrix {
+ public:
+  CsrMatrix() : rows_(0), cols_(0) {}
+  CsrMatrix(int rows, int cols) : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {}
+
+  // Builds from triplets; duplicate (row, col) entries are summed.
+  static CsrMatrix FromTriplets(int rows, int cols, std::vector<Triplet> triplets);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(col_idx_.size()); }
+
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& mutable_values() { return values_; }
+
+  // out = this * x (SpMM). Shapes: (r,c) x (c,n) -> (r,n).
+  Matrix Multiply(const Matrix& x) const;
+
+  // out += alpha * (this * x), into a preallocated (r,n) matrix.
+  void MultiplyAccum(const Matrix& x, double alpha, Matrix* out) const;
+
+  CsrMatrix Transposed() const;
+
+  // Entry lookup by binary search within the row; 0.0 when absent.
+  double At(int row, int col) const;
+
+  // Converts to dense (small matrices / tests only).
+  Matrix ToDense() const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<int64_t> row_ptr_;
+  std::vector<int> col_idx_;  // sorted within each row
+  std::vector<double> values_;
+};
+
+}  // namespace ppfr::la
+
+#endif  // PPFR_LA_CSR_MATRIX_H_

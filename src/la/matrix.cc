@@ -1,0 +1,184 @@
+#include "la/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace ppfr::la {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(static_cast<int>(rows.size()), static_cast<int>(rows[0].size()));
+  for (int r = 0; r < m.rows(); ++r) {
+    PPFR_CHECK_EQ(rows[r].size(), static_cast<size_t>(m.cols()));
+    std::copy(rows[r].begin(), rows[r].end(), m.row(r));
+  }
+  return m;
+}
+
+void Matrix::Fill(double value) { std::fill(data_.begin(), data_.end(), value); }
+
+void Matrix::Axpy(double alpha, const Matrix& other) {
+  PPFR_CHECK(SameShape(other));
+  const double* src = other.data();
+  for (int64_t i = 0; i < size(); ++i) data_[i] += alpha * src[i];
+}
+
+void Matrix::Scale(double alpha) {
+  for (auto& v : data_) v *= alpha;
+}
+
+double Matrix::SumAll() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double Matrix::MaxAbs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+std::string Matrix::DebugString(int max_rows, int max_cols) const {
+  std::ostringstream os;
+  os << "Matrix(" << rows_ << "x" << cols_ << ")";
+  for (int r = 0; r < std::min(rows_, max_rows); ++r) {
+    os << "\n  [";
+    for (int c = 0; c < std::min(cols_, max_cols); ++c) {
+      os << (c ? ", " : "") << (*this)(r, c);
+    }
+    if (cols_ > max_cols) os << ", ...";
+    os << "]";
+  }
+  if (rows_ > max_rows) os << "\n  ...";
+  return os.str();
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  PPFR_CHECK_EQ(a.cols(), b.rows());
+  Matrix out(a.rows(), b.cols());
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+  for (int i = 0; i < a.rows(); ++i) {
+    double* out_row = out.row(i);
+    const double* a_row = a.row(i);
+    for (int k = 0; k < a.cols(); ++k) {
+      const double aik = a_row[k];
+      if (aik == 0.0) continue;
+      const double* b_row = b.row(k);
+      for (int j = 0; j < b.cols(); ++j) out_row[j] += aik * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+  PPFR_CHECK_EQ(a.rows(), b.rows());
+  Matrix out(a.cols(), b.cols());
+  for (int k = 0; k < a.rows(); ++k) {
+    const double* a_row = a.row(k);
+    const double* b_row = b.row(k);
+    for (int i = 0; i < a.cols(); ++i) {
+      const double aki = a_row[i];
+      if (aki == 0.0) continue;
+      double* out_row = out.row(i);
+      for (int j = 0; j < b.cols(); ++j) out_row[j] += aki * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  PPFR_CHECK_EQ(a.cols(), b.cols());
+  Matrix out(a.rows(), b.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    const double* a_row = a.row(i);
+    double* out_row = out.row(i);
+    for (int j = 0; j < b.rows(); ++j) {
+      const double* b_row = b.row(j);
+      double s = 0.0;
+      for (int k = 0; k < a.cols(); ++k) s += a_row[k] * b_row[k];
+      out_row[j] = s;
+    }
+  }
+  return out;
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix out(a.cols(), a.rows());
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int c = 0; c < a.cols(); ++c) out(c, r) = a(r, c);
+  }
+  return out;
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  PPFR_CHECK(a.SameShape(b));
+  Matrix out = a;
+  out.Axpy(1.0, b);
+  return out;
+}
+
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  PPFR_CHECK(a.SameShape(b));
+  Matrix out = a;
+  out.Axpy(-1.0, b);
+  return out;
+}
+
+Matrix Hadamard(const Matrix& a, const Matrix& b) {
+  PPFR_CHECK(a.SameShape(b));
+  Matrix out(a.rows(), a.cols());
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* po = out.data();
+  for (int64_t i = 0; i < a.size(); ++i) po[i] = pa[i] * pb[i];
+  return out;
+}
+
+double Dot(const Matrix& a, const Matrix& b) {
+  PPFR_CHECK(a.SameShape(b));
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double s = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) s += pa[i] * pb[i];
+  return s;
+}
+
+Matrix SoftmaxRows(const Matrix& logits) {
+  Matrix out(logits.rows(), logits.cols());
+  for (int r = 0; r < logits.rows(); ++r) {
+    const double* in = logits.row(r);
+    double* o = out.row(r);
+    double mx = in[0];
+    for (int c = 1; c < logits.cols(); ++c) mx = std::max(mx, in[c]);
+    double sum = 0.0;
+    for (int c = 0; c < logits.cols(); ++c) {
+      o[c] = std::exp(in[c] - mx);
+      sum += o[c];
+    }
+    for (int c = 0; c < logits.cols(); ++c) o[c] /= sum;
+  }
+  return out;
+}
+
+std::vector<int> ArgmaxRows(const Matrix& m) {
+  std::vector<int> out(m.rows());
+  for (int r = 0; r < m.rows(); ++r) {
+    const double* row = m.row(r);
+    int best = 0;
+    for (int c = 1; c < m.cols(); ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    out[r] = best;
+  }
+  return out;
+}
+
+}  // namespace ppfr::la

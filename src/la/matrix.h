@@ -1,0 +1,93 @@
+#ifndef PPFR_LA_MATRIX_H_
+#define PPFR_LA_MATRIX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ppfr::la {
+
+// Row-major dense matrix of doubles. The GNN stack works in double precision
+// because the influence-function machinery (HVP + conjugate gradient) needs
+// the numerical headroom.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int rows, int cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols, fill) {
+    PPFR_CHECK_GE(rows, 0);
+    PPFR_CHECK_GE(cols, 0);
+  }
+
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int64_t size() const { return static_cast<int64_t>(rows_) * cols_; }
+
+  double& operator()(int r, int c) {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double operator()(int r, int c) const {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  double* row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const double* row(int r) const { return data_.data() + static_cast<size_t>(r) * cols_; }
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  void Fill(double value);
+  void Zero() { Fill(0.0); }
+
+  // this += alpha * other (shapes must match).
+  void Axpy(double alpha, const Matrix& other);
+  // this *= alpha.
+  void Scale(double alpha);
+
+  double SumAll() const;
+  double FrobeniusNorm() const;
+  double MaxAbs() const;
+
+  std::string DebugString(int max_rows = 6, int max_cols = 8) const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<double> data_;
+};
+
+// out = a * b (dense GEMM). Shapes: (m,k) x (k,n) -> (m,n).
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+// out = aᵀ * b. Shapes: (k,m) x (k,n) -> (m,n).
+Matrix MatMulTransA(const Matrix& a, const Matrix& b);
+
+// out = a * bᵀ. Shapes: (m,k) x (n,k) -> (m,n).
+Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+
+Matrix Transpose(const Matrix& a);
+
+// Elementwise helpers.
+Matrix Add(const Matrix& a, const Matrix& b);
+Matrix Sub(const Matrix& a, const Matrix& b);
+Matrix Hadamard(const Matrix& a, const Matrix& b);
+
+// Frobenius inner product <a, b>.
+double Dot(const Matrix& a, const Matrix& b);
+
+// Row-wise softmax (numerically stable).
+Matrix SoftmaxRows(const Matrix& logits);
+
+// Per-row argmax (ties resolved to the smallest index).
+std::vector<int> ArgmaxRows(const Matrix& m);
+
+}  // namespace ppfr::la
+
+#endif  // PPFR_LA_MATRIX_H_

@@ -1,0 +1,69 @@
+#include "nn/gat_conv.h"
+
+#include "nn/init.h"
+
+namespace ppfr::nn {
+namespace {
+constexpr double kLeakySlope = 0.2;
+}  // namespace
+
+GatConv::GatConv(int in_dim, int out_dim, int heads, bool concat, uint64_t seed)
+    : out_dim_(out_dim), heads_(heads), concat_(concat) {
+  PPFR_CHECK_GE(heads, 1);
+  Rng owned_rng(seed);
+  Rng* rng = &owned_rng;
+  weights_.reserve(heads);
+  attn_left_.reserve(heads);
+  attn_right_.reserve(heads);
+  for (int h = 0; h < heads; ++h) {
+    weights_.emplace_back("gat.weight", GlorotUniform(in_dim, out_dim, rng));
+    attn_left_.emplace_back("gat.attn_l", GlorotUniform(out_dim, 1, rng));
+    attn_right_.emplace_back("gat.attn_r", GlorotUniform(out_dim, 1, rng));
+  }
+}
+
+ag::Var GatConv::Forward(ag::Tape& tape, const GraphContext& ctx, ag::Var x) {
+  // Per-head projections H_h and attention scores, then one fused
+  // softmax-aggregate over all heads.
+  std::vector<ag::Var> head_features;
+  std::vector<ag::Var> left_scores;
+  std::vector<ag::Var> right_scores;
+  head_features.reserve(heads_);
+  for (int h = 0; h < heads_; ++h) {
+    ag::Var w = tape.Leaf(&weights_[h]);
+    ag::Var hh = ag::MatMul(x, w);  // n x out_dim
+    head_features.push_back(hh);
+    left_scores.push_back(ag::MatMul(hh, tape.Leaf(&attn_left_[h])));    // n x 1
+    right_scores.push_back(ag::MatMul(hh, tape.Leaf(&attn_right_[h])));  // n x 1
+  }
+  ag::Var h_all = heads_ == 1 ? head_features[0] : ag::ConcatCols(head_features);
+  ag::Var sl = heads_ == 1 ? left_scores[0] : ag::ConcatCols(left_scores);
+  ag::Var sr = heads_ == 1 ? right_scores[0] : ag::ConcatCols(right_scores);
+
+  ag::Var out = ag::EdgeSoftmaxAggregate(h_all, sl, sr, ctx.edges_with_self, heads_,
+                                         kLeakySlope);
+  if (concat_ || heads_ == 1) return out;
+
+  // Average heads: out is n x (heads*out_dim); sum the head blocks.
+  ag::Var acc{};
+  for (int h = 0; h < heads_; ++h) {
+    // Slice head block h via a constant selector matrix (heads*out x out).
+    la::Matrix selector(heads_ * out_dim_, out_dim_);
+    for (int c = 0; c < out_dim_; ++c) selector(h * out_dim_ + c, c) = 1.0;
+    ag::Var block = ag::MatMul(out, tape.Constant(std::move(selector)));
+    acc = h == 0 ? block : ag::Add(acc, block);
+  }
+  return ag::Scale(acc, 1.0 / heads_);
+}
+
+std::vector<ag::Parameter*> GatConv::Params() {
+  std::vector<ag::Parameter*> params;
+  for (int h = 0; h < heads_; ++h) {
+    params.push_back(&weights_[h]);
+    params.push_back(&attn_left_[h]);
+    params.push_back(&attn_right_[h]);
+  }
+  return params;
+}
+
+}  // namespace ppfr::nn

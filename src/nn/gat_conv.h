@@ -1,0 +1,41 @@
+#ifndef PPFR_NN_GAT_CONV_H_
+#define PPFR_NN_GAT_CONV_H_
+
+#include <vector>
+
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "nn/graph_context.h"
+
+namespace ppfr::nn {
+
+// Multi-head graph attention layer (Velickovic et al.):
+//   per head h: H_h = X W_h,  e_ij = LeakyReLU(a_lᵀ H_h[i] + a_rᵀ H_h[j])
+//   alpha = softmax_j(e_ij) over j ∈ N(i) ∪ {i},  out_i = Σ_j alpha_ij H_h[j]
+// Heads are concatenated when `concat` is true (hidden layers) and averaged
+// otherwise (output layer).
+class GatConv {
+ public:
+  GatConv(int in_dim, int out_dim, int heads, bool concat, uint64_t seed);
+
+  GatConv(const GatConv&) = default;
+  GatConv& operator=(const GatConv&) = default;
+
+  ag::Var Forward(ag::Tape& tape, const GraphContext& ctx, ag::Var x);
+
+  std::vector<ag::Parameter*> Params();
+
+  int output_dim() const { return concat_ ? out_dim_ * heads_ : out_dim_; }
+
+ private:
+  int out_dim_;
+  int heads_;
+  bool concat_;
+  std::vector<ag::Parameter> weights_;     // per head: in_dim x out_dim
+  std::vector<ag::Parameter> attn_left_;   // per head: out_dim x 1
+  std::vector<ag::Parameter> attn_right_;  // per head: out_dim x 1
+};
+
+}  // namespace ppfr::nn
+
+#endif  // PPFR_NN_GAT_CONV_H_

@@ -1,0 +1,25 @@
+#include "nn/gcn_conv.h"
+
+#include "nn/init.h"
+
+namespace ppfr::nn {
+
+GcnConv::GcnConv(int in_dim, int out_dim, uint64_t seed)
+    : weight_("gcn.weight",
+              [&] {
+                Rng rng(seed);
+                return GlorotUniform(in_dim, out_dim, &rng);
+              }()),
+      bias_("gcn.bias", Zeros(1, out_dim)) {}
+
+ag::Var GcnConv::Forward(ag::Tape& tape, const GraphContext& ctx, ag::Var x) {
+  ag::Var w = tape.Leaf(&weight_);
+  ag::Var b = tape.Leaf(&bias_);
+  ag::Var xw = ag::MatMul(x, w);
+  ag::Var propagated = ag::SpMM(ctx.gcn_adj, xw);
+  return ag::AddRowVec(propagated, b);
+}
+
+std::vector<ag::Parameter*> GcnConv::Params() { return {&weight_, &bias_}; }
+
+}  // namespace ppfr::nn

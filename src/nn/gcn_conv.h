@@ -1,0 +1,33 @@
+#ifndef PPFR_NN_GCN_CONV_H_
+#define PPFR_NN_GCN_CONV_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "nn/graph_context.h"
+
+namespace ppfr::nn {
+
+// Graph convolution layer (Kipf & Welling): out = Â (X W) + b.
+class GcnConv {
+ public:
+  GcnConv(int in_dim, int out_dim, uint64_t seed);
+
+  // Copyable so models can be cloned for before/after comparisons.
+  GcnConv(const GcnConv&) = default;
+  GcnConv& operator=(const GcnConv&) = default;
+
+  ag::Var Forward(ag::Tape& tape, const GraphContext& ctx, ag::Var x);
+
+  std::vector<ag::Parameter*> Params();
+
+ private:
+  ag::Parameter weight_;
+  ag::Parameter bias_;
+};
+
+}  // namespace ppfr::nn
+
+#endif  // PPFR_NN_GCN_CONV_H_

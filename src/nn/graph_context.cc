@@ -1,0 +1,40 @@
+#include "nn/graph_context.h"
+
+#include "graph/graph_ops.h"
+
+namespace ppfr::nn {
+
+GraphContext GraphContext::Build(graph::Graph g, la::Matrix features) {
+  PPFR_CHECK_EQ(g.num_nodes(), features.rows());
+  GraphContext ctx;
+  ctx.gcn_adj = ag::MakeSparseOperand(graph::GcnNormalizedAdjacency(g), /*symmetric=*/true);
+  ctx.mean_adj =
+      ag::MakeSparseOperand(graph::MeanAggregationMatrix(g), /*symmetric=*/false);
+
+  auto edges = std::make_shared<ag::EdgeSet>();
+  const int n = g.num_nodes();
+  edges->num_nodes = n;
+  edges->row_ptr.assign(n + 1, 0);
+  for (int v = 0; v < n; ++v) {
+    edges->row_ptr[v + 1] = edges->row_ptr[v] + g.Degree(v) + 1;  // +1 self-loop
+  }
+  edges->col_idx.resize(edges->row_ptr[n]);
+  for (int v = 0; v < n; ++v) {
+    int64_t k = edges->row_ptr[v];
+    edges->col_idx[k++] = v;
+    for (int u : g.Neighbors(v)) edges->col_idx[k++] = u;
+  }
+  ctx.edges_with_self = std::move(edges);
+
+  ctx.graph = std::move(g);
+  ctx.features = std::move(features);
+  return ctx;
+}
+
+std::shared_ptr<const ag::SparseOperand> GraphContext::SampledMeanAdj(int fanout,
+                                                                      Rng* rng) const {
+  return ag::MakeSparseOperand(graph::SampledMeanAggregationMatrix(graph, fanout, rng),
+                               /*symmetric=*/false);
+}
+
+}  // namespace ppfr::nn

@@ -1,0 +1,40 @@
+#ifndef PPFR_NN_GRAPH_CONTEXT_H_
+#define PPFR_NN_GRAPH_CONTEXT_H_
+
+#include <memory>
+
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "la/matrix.h"
+
+namespace ppfr::nn {
+
+// A snapshot of everything a GNN forward pass needs about one graph:
+// features plus the propagation operators for each architecture. PPFR's
+// structure perturbations produce a *new* context from the edited graph and
+// hand it to the same model — which is what makes the method model-agnostic.
+struct GraphContext {
+  graph::Graph graph;
+  la::Matrix features;
+
+  // Symmetric GCN operator D̃^{-1/2}(A+I)D̃^{-1/2}.
+  std::shared_ptr<const ag::SparseOperand> gcn_adj;
+  // Row-stochastic neighbour mean (GraphSAGE full-graph aggregator).
+  std::shared_ptr<const ag::SparseOperand> mean_adj;
+  // Destination-grouped edges including self-loops (GAT attention support).
+  std::shared_ptr<const ag::EdgeSet> edges_with_self;
+
+  int num_nodes() const { return graph.num_nodes(); }
+  int feature_dim() const { return features.cols(); }
+
+  // Builds all operators from a graph + feature matrix.
+  static GraphContext Build(graph::Graph g, la::Matrix features);
+
+  // Per-epoch sampled GraphSAGE aggregator (fanout neighbours per node).
+  std::shared_ptr<const ag::SparseOperand> SampledMeanAdj(int fanout, Rng* rng) const;
+};
+
+}  // namespace ppfr::nn
+
+#endif  // PPFR_NN_GRAPH_CONTEXT_H_

@@ -1,0 +1,16 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace ppfr::nn {
+
+la::Matrix GlorotUniform(int rows, int cols, Rng* rng) {
+  la::Matrix m(rows, cols);
+  const double limit = std::sqrt(6.0 / (rows + cols));
+  for (int64_t i = 0; i < m.size(); ++i) m.data()[i] = rng->Uniform(-limit, limit);
+  return m;
+}
+
+la::Matrix Zeros(int rows, int cols) { return la::Matrix(rows, cols); }
+
+}  // namespace ppfr::nn

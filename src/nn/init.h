@@ -1,0 +1,17 @@
+#ifndef PPFR_NN_INIT_H_
+#define PPFR_NN_INIT_H_
+
+#include "common/rng.h"
+#include "la/matrix.h"
+
+namespace ppfr::nn {
+
+// Glorot (Xavier) uniform initialisation: U(-l, l), l = sqrt(6/(fan_in+fan_out)).
+la::Matrix GlorotUniform(int rows, int cols, Rng* rng);
+
+// Zero matrix (bias initialisation).
+la::Matrix Zeros(int rows, int cols);
+
+}  // namespace ppfr::nn
+
+#endif  // PPFR_NN_INIT_H_

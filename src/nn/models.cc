@@ -1,0 +1,112 @@
+#include "nn/models.h"
+
+namespace ppfr::nn {
+namespace {
+constexpr int kGcnHidden = 16;
+constexpr int kGatHidden = 8;
+constexpr int kGatHeads = 4;
+constexpr int kSageHidden = 16;
+}  // namespace
+
+std::string ModelKindName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kGcn:
+      return "GCN";
+    case ModelKind::kGat:
+      return "GAT";
+    case ModelKind::kGraphSage:
+      return "GraphSage";
+  }
+  return "?";
+}
+
+la::Matrix GnnModel::Logits(const GraphContext& ctx) {
+  ag::Tape tape;
+  ag::Var out = Forward(tape, ctx, ForwardOptions{});
+  return out.value();
+}
+
+la::Matrix GnnModel::PredictProbs(const GraphContext& ctx) {
+  return la::SoftmaxRows(Logits(ctx));
+}
+
+// ---- GCN ----
+
+Gcn::Gcn(int in_dim, int hidden_dim, int num_classes, uint64_t seed)
+    : conv1_(in_dim, hidden_dim, seed), conv2_(hidden_dim, num_classes, seed + 101) {}
+
+ag::Var Gcn::Forward(ag::Tape& tape, const GraphContext& ctx,
+                     const ForwardOptions& options) {
+  (void)options;
+  ag::Var x = tape.Constant(ctx.features);
+  ag::Var h = ag::Relu(conv1_.Forward(tape, ctx, x));
+  return conv2_.Forward(tape, ctx, h);
+}
+
+std::vector<ag::Parameter*> Gcn::Params() {
+  std::vector<ag::Parameter*> params = conv1_.Params();
+  for (ag::Parameter* p : conv2_.Params()) params.push_back(p);
+  return params;
+}
+
+std::unique_ptr<GnnModel> Gcn::Clone() const { return std::make_unique<Gcn>(*this); }
+
+// ---- GAT ----
+
+Gat::Gat(int in_dim, int hidden_dim, int num_classes, int heads, uint64_t seed)
+    : conv1_(in_dim, hidden_dim, heads, /*concat=*/true, seed),
+      conv2_(hidden_dim * heads, num_classes, 1, /*concat=*/false, seed + 101) {}
+
+ag::Var Gat::Forward(ag::Tape& tape, const GraphContext& ctx,
+                     const ForwardOptions& options) {
+  (void)options;
+  ag::Var x = tape.Constant(ctx.features);
+  ag::Var h = ag::Elu(conv1_.Forward(tape, ctx, x));
+  return conv2_.Forward(tape, ctx, h);
+}
+
+std::vector<ag::Parameter*> Gat::Params() {
+  std::vector<ag::Parameter*> params = conv1_.Params();
+  for (ag::Parameter* p : conv2_.Params()) params.push_back(p);
+  return params;
+}
+
+std::unique_ptr<GnnModel> Gat::Clone() const { return std::make_unique<Gat>(*this); }
+
+// ---- GraphSAGE ----
+
+GraphSage::GraphSage(int in_dim, int hidden_dim, int num_classes, uint64_t seed)
+    : conv1_(in_dim, hidden_dim, seed), conv2_(hidden_dim, num_classes, seed + 101) {}
+
+ag::Var GraphSage::Forward(ag::Tape& tape, const GraphContext& ctx,
+                           const ForwardOptions& options) {
+  ag::Var x = tape.Constant(ctx.features);
+  ag::Var h = ag::Relu(conv1_.Forward(tape, ctx, x, options.sage_aggregator));
+  return conv2_.Forward(tape, ctx, h, options.sage_aggregator);
+}
+
+std::vector<ag::Parameter*> GraphSage::Params() {
+  std::vector<ag::Parameter*> params = conv1_.Params();
+  for (ag::Parameter* p : conv2_.Params()) params.push_back(p);
+  return params;
+}
+
+std::unique_ptr<GnnModel> GraphSage::Clone() const {
+  return std::make_unique<GraphSage>(*this);
+}
+
+std::unique_ptr<GnnModel> MakeModel(ModelKind kind, int in_dim, int num_classes,
+                                    uint64_t seed) {
+  switch (kind) {
+    case ModelKind::kGcn:
+      return std::make_unique<Gcn>(in_dim, kGcnHidden, num_classes, seed);
+    case ModelKind::kGat:
+      return std::make_unique<Gat>(in_dim, kGatHidden, num_classes, kGatHeads, seed);
+    case ModelKind::kGraphSage:
+      return std::make_unique<GraphSage>(in_dim, kSageHidden, num_classes, seed);
+  }
+  PPFR_CHECK(false) << "unknown model kind";
+  return nullptr;
+}
+
+}  // namespace ppfr::nn

@@ -1,0 +1,32 @@
+#include "nn/sage_conv.h"
+
+#include "nn/init.h"
+
+namespace ppfr::nn {
+
+namespace {
+la::Matrix Glorot(int rows, int cols, uint64_t seed) {
+  Rng rng(seed);
+  return GlorotUniform(rows, cols, &rng);
+}
+}  // namespace
+
+SageConv::SageConv(int in_dim, int out_dim, uint64_t seed)
+    : weight_self_("sage.weight_self", Glorot(in_dim, out_dim, seed)),
+      weight_neigh_("sage.weight_neigh", Glorot(in_dim, out_dim, seed + 1)),
+      bias_("sage.bias", Zeros(1, out_dim)) {}
+
+ag::Var SageConv::Forward(ag::Tape& tape, const GraphContext& ctx, ag::Var x,
+                          const std::shared_ptr<const ag::SparseOperand>& aggregator) {
+  const auto& agg = aggregator != nullptr ? aggregator : ctx.mean_adj;
+  ag::Var self_term = ag::MatMul(x, tape.Leaf(&weight_self_));
+  ag::Var neigh_mean = ag::SpMM(agg, x);
+  ag::Var neigh_term = ag::MatMul(neigh_mean, tape.Leaf(&weight_neigh_));
+  return ag::AddRowVec(ag::Add(self_term, neigh_term), tape.Leaf(&bias_));
+}
+
+std::vector<ag::Parameter*> SageConv::Params() {
+  return {&weight_self_, &weight_neigh_, &bias_};
+}
+
+}  // namespace ppfr::nn

@@ -1,0 +1,71 @@
+#include "nn/trainer.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "nn/adam.h"
+
+namespace ppfr::nn {
+
+TrainStats Train(GnnModel* model, const GraphContext& ctx,
+                 const std::vector<int>& train_nodes, const std::vector<int>& labels,
+                 const TrainConfig& config) {
+  PPFR_CHECK(!train_nodes.empty());
+  PPFR_CHECK_EQ(labels.size(), static_cast<size_t>(ctx.num_nodes()));
+
+  std::vector<int> train_labels(train_nodes.size());
+  for (size_t i = 0; i < train_nodes.size(); ++i) {
+    train_labels[i] = labels[train_nodes[i]];
+  }
+  std::vector<double> weights = config.sample_weights;
+  if (weights.empty()) {
+    weights.assign(train_nodes.size(), 1.0);
+  }
+  PPFR_CHECK_EQ(weights.size(), train_nodes.size());
+
+  std::vector<ag::Parameter*> params = model->Params();
+  Adam optimizer(params, {.lr = config.lr, .weight_decay = config.weight_decay});
+  Rng sample_rng(config.seed);
+
+  TrainStats stats;
+  stats.epoch_losses.reserve(config.epochs);
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    ForwardOptions options;
+    if (model->UsesNeighborSampling()) {
+      options.sage_aggregator = ctx.SampledMeanAdj(config.sage_fanout, &sample_rng);
+    }
+
+    for (ag::Parameter* p : params) p->ZeroGrad();
+    ag::Tape tape;
+    ag::Var logits = model->Forward(tape, ctx, options);
+    ag::Var logp = ag::LogSoftmaxRows(logits);
+    ag::Var loss = ag::WeightedNll(logp, train_nodes, train_labels, weights,
+                                   static_cast<double>(train_nodes.size()));
+    if (config.fairness_laplacian != nullptr && config.fairness_reg != 0.0) {
+      ag::Var probs = ag::SoftmaxRows(logits);
+      ag::Var bias = ag::LaplacianQuadratic(config.fairness_laplacian, probs);
+      loss = ag::Add(loss, ag::Scale(bias, config.fairness_reg));
+    }
+    tape.Backward(loss);
+    optimizer.Step();
+
+    stats.epoch_losses.push_back(loss.scalar());
+    if (config.verbose && epoch % 20 == 0) {
+      PPFR_LOG(Info) << "epoch " << epoch << " loss " << loss.scalar();
+    }
+  }
+  stats.final_loss = stats.epoch_losses.empty() ? 0.0 : stats.epoch_losses.back();
+  return stats;
+}
+
+double Accuracy(const la::Matrix& logits, const std::vector<int>& labels,
+                const std::vector<int>& nodes) {
+  PPFR_CHECK(!nodes.empty());
+  const std::vector<int> pred = la::ArgmaxRows(logits);
+  int64_t correct = 0;
+  for (int v : nodes) {
+    if (pred[v] == labels[v]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(nodes.size());
+}
+
+}  // namespace ppfr::nn

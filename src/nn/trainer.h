@@ -1,0 +1,52 @@
+#ifndef PPFR_NN_TRAINER_H_
+#define PPFR_NN_TRAINER_H_
+
+#include <memory>
+#include <vector>
+
+#include "la/csr_matrix.h"
+#include "nn/models.h"
+
+namespace ppfr::nn {
+
+// One training run (vanilla training or a fine-tuning continuation).
+struct TrainConfig {
+  int epochs = 200;
+  double lr = 0.01;
+  double weight_decay = 5e-4;
+
+  // λ for the InFoRM fairness regulariser λ·Tr(Yᵀ L_S Y) on the softmax
+  // probabilities; active only when `fairness_laplacian` is provided.
+  double fairness_reg = 0.0;
+  std::shared_ptr<const la::CsrMatrix> fairness_laplacian;
+
+  // Per-train-node loss weights (1 + w_v) from fairness-aware reweighting;
+  // empty means all-ones. Aligned with `train_nodes`.
+  std::vector<double> sample_weights;
+
+  // GraphSAGE neighbour sampling fanout (per epoch).
+  int sage_fanout = 5;
+
+  uint64_t seed = 1;  // drives neighbour sampling only
+  bool verbose = false;
+};
+
+struct TrainStats {
+  std::vector<double> epoch_losses;
+  double final_loss = 0.0;
+};
+
+// Full-batch training of `model` on the given context/labels. Loss:
+//   (1/|train|) Σ_v (1+w_v)·NLL(v)  +  λ·Tr(softmax(logits)ᵀ L_S softmax(logits))
+// Weight decay is handled by the optimiser.
+TrainStats Train(GnnModel* model, const GraphContext& ctx,
+                 const std::vector<int>& train_nodes, const std::vector<int>& labels,
+                 const TrainConfig& config);
+
+// Fraction of `nodes` whose argmax prediction matches the label.
+double Accuracy(const la::Matrix& logits, const std::vector<int>& labels,
+                const std::vector<int>& nodes);
+
+}  // namespace ppfr::nn
+
+#endif  // PPFR_NN_TRAINER_H_

@@ -1,0 +1,95 @@
+#include "privacy/attack/link_stealing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "la/stats.h"
+
+namespace ppfr::privacy {
+
+std::vector<double> PairDistances(const la::Matrix& probs,
+                                  const std::vector<std::pair<int, int>>& pairs,
+                                  DistanceKind kind) {
+  std::vector<double> out;
+  out.reserve(pairs.size());
+  const size_t c = static_cast<size_t>(probs.cols());
+  for (const auto& [u, v] : pairs) {
+    out.push_back(Distance(kind, std::span<const double>(probs.row(u), c),
+                           std::span<const double>(probs.row(v), c)));
+  }
+  return out;
+}
+
+namespace {
+
+// 1-D 2-means clustering; returns the threshold separating the clusters.
+double TwoMeansThreshold(std::vector<double> values) {
+  PPFR_CHECK_GE(values.size(), 2u);
+  auto [mn_it, mx_it] = std::minmax_element(values.begin(), values.end());
+  double c0 = *mn_it, c1 = *mx_it;
+  if (c0 == c1) return c0;
+  for (int iter = 0; iter < 100; ++iter) {
+    double sum0 = 0.0, sum1 = 0.0;
+    int64_t n0 = 0, n1 = 0;
+    const double mid = 0.5 * (c0 + c1);
+    for (double v : values) {
+      if (std::fabs(v - c0) <= std::fabs(v - c1)) {
+        sum0 += v;
+        ++n0;
+      } else {
+        sum1 += v;
+        ++n1;
+      }
+    }
+    const double new_c0 = n0 > 0 ? sum0 / n0 : c0;
+    const double new_c1 = n1 > 0 ? sum1 / n1 : c1;
+    if (new_c0 == c0 && new_c1 == c1) break;
+    c0 = new_c0;
+    c1 = new_c1;
+    (void)mid;
+  }
+  return 0.5 * (c0 + c1);
+}
+
+}  // namespace
+
+AttackResult LinkStealingAttack(const la::Matrix& probs, const PairSample& pairs) {
+  PPFR_CHECK(!pairs.connected.empty());
+  PPFR_CHECK(!pairs.unconnected.empty());
+  AttackResult result;
+  result.auc_per_distance.reserve(AllDistanceKinds().size());
+  for (DistanceKind kind : AllDistanceKinds()) {
+    const std::vector<double> d_con = PairDistances(probs, pairs.connected, kind);
+    const std::vector<double> d_unc = PairDistances(probs, pairs.unconnected, kind);
+    // Attack succeeds when connected pairs score a SMALLER distance, so the
+    // AUC treats unconnected distances as the "positive" (larger) class.
+    result.auc_per_distance.push_back(la::AucFromScores(d_unc, d_con));
+  }
+  result.mean_auc = la::Mean(result.auc_per_distance);
+
+  // Unsupervised clustering attack on cosine distances.
+  const std::vector<double> d_con =
+      PairDistances(probs, pairs.connected, DistanceKind::kCosine);
+  const std::vector<double> d_unc =
+      PairDistances(probs, pairs.unconnected, DistanceKind::kCosine);
+  std::vector<double> all = d_con;
+  all.insert(all.end(), d_unc.begin(), d_unc.end());
+  const double threshold = TwoMeansThreshold(all);
+
+  int64_t tp = 0, fp = 0, fn = 0, tn = 0;
+  for (double d : d_con) (d <= threshold ? tp : fn)++;
+  for (double d : d_unc) (d <= threshold ? fp : tn)++;
+  const double predicted_pos = static_cast<double>(tp + fp);
+  const double actual_pos = static_cast<double>(tp + fn);
+  result.cluster_precision = predicted_pos > 0 ? tp / predicted_pos : 0.0;
+  result.cluster_recall = actual_pos > 0 ? tp / actual_pos : 0.0;
+  const double pr_sum = result.cluster_precision + result.cluster_recall;
+  result.cluster_f1 =
+      pr_sum > 0 ? 2.0 * result.cluster_precision * result.cluster_recall / pr_sum : 0.0;
+  result.cluster_accuracy =
+      static_cast<double>(tp + tn) / static_cast<double>(tp + tn + fp + fn);
+  return result;
+}
+
+}  // namespace ppfr::privacy

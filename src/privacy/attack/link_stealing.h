@@ -1,0 +1,42 @@
+#ifndef PPFR_PRIVACY_ATTACK_LINK_STEALING_H_
+#define PPFR_PRIVACY_ATTACK_LINK_STEALING_H_
+
+#include <vector>
+
+#include "la/matrix.h"
+#include "privacy/attack/pair_sampler.h"
+#include "privacy/distance.h"
+
+namespace ppfr::privacy {
+
+// Outcome of the black-box link-stealing attack (Attack-0 of He et al.):
+// the attacker queries the victim once per node, computes prediction
+// distances for candidate pairs, and infers "connected" for the closer pairs.
+struct AttackResult {
+  // AUC of ranking pairs by -distance, one entry per AllDistanceKinds().
+  std::vector<double> auc_per_distance;
+  // Mean of auc_per_distance — the headline risk number (§VII-B "average AUC
+  // derived from eight different distances").
+  double mean_auc = 0.0;
+
+  // Unsupervised attack: 2-means clustering of the (cosine) distances; the
+  // low-distance cluster is predicted connected.
+  double cluster_precision = 0.0;
+  double cluster_recall = 0.0;
+  double cluster_f1 = 0.0;
+  double cluster_accuracy = 0.0;
+};
+
+// Runs the attack given the victim's posteriors (n x classes) and the
+// evaluation pairs.
+AttackResult LinkStealingAttack(const la::Matrix& probs, const PairSample& pairs);
+
+// Distances of each pair list under one metric (helper, also used by the
+// risk metric and tests).
+std::vector<double> PairDistances(const la::Matrix& probs,
+                                  const std::vector<std::pair<int, int>>& pairs,
+                                  DistanceKind kind);
+
+}  // namespace ppfr::privacy
+
+#endif  // PPFR_PRIVACY_ATTACK_LINK_STEALING_H_

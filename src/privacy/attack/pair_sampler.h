@@ -1,0 +1,26 @@
+#ifndef PPFR_PRIVACY_ATTACK_PAIR_SAMPLER_H_
+#define PPFR_PRIVACY_ATTACK_PAIR_SAMPLER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ppfr::privacy {
+
+// Node pairs the attacker is evaluated on: the positives are (a sample of)
+// the true edges, the negatives an equal-size sample of unconnected pairs.
+struct PairSample {
+  std::vector<std::pair<int, int>> connected;
+  std::vector<std::pair<int, int>> unconnected;
+};
+
+// Samples up to `max_per_class` pairs of each class against the TRUE graph
+// (attacks are always scored on the confidential edges, whatever structure
+// the defender trained on). Deterministic in the seed.
+PairSample SamplePairs(const graph::Graph& g, int max_per_class, uint64_t seed);
+
+}  // namespace ppfr::privacy
+
+#endif  // PPFR_PRIVACY_ATTACK_PAIR_SAMPLER_H_

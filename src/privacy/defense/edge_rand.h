@@ -1,0 +1,21 @@
+#ifndef PPFR_PRIVACY_DEFENSE_EDGE_RAND_H_
+#define PPFR_PRIVACY_DEFENSE_EDGE_RAND_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace ppfr::privacy {
+
+// EdgeRand ε-edge-DP mechanism (Wu et al., LinkTeller, S&P'22): randomised
+// response over the upper-triangular adjacency — every potential edge cell is
+// flipped independently with probability s = 2 / (1 + e^ε). Smaller ε means
+// more flips and stronger privacy but a noisier training graph.
+graph::Graph EdgeRand(const graph::Graph& g, double epsilon, uint64_t seed);
+
+// Flip probability s for a given ε (exposed for tests/benchmarks).
+double EdgeRandFlipProbability(double epsilon);
+
+}  // namespace ppfr::privacy
+
+#endif  // PPFR_PRIVACY_DEFENSE_EDGE_RAND_H_

@@ -1,0 +1,38 @@
+#include "privacy/defense/heterophilic_perturbation.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ppfr::privacy {
+
+graph::Graph AddHeterophilicEdges(const graph::Graph& g,
+                                  const std::vector<int>& predicted_labels,
+                                  double gamma, uint64_t seed) {
+  const int n = g.num_nodes();
+  PPFR_CHECK_EQ(predicted_labels.size(), static_cast<size_t>(n));
+  PPFR_CHECK_GE(gamma, 0.0);
+  Rng rng(seed);
+
+  std::vector<graph::Edge> edges = g.Edges();
+  for (int i = 0; i < n; ++i) {
+    const int budget = static_cast<int>(std::lround(gamma * g.Degree(i)));
+    int added = 0;
+    // Rejection sampling: random non-neighbour with a different predicted
+    // label. Bounded attempts in case a node's predicted class dominates.
+    int attempts = 0;
+    const int max_attempts = 50 * (budget + 1);
+    while (added < budget && attempts < max_attempts) {
+      ++attempts;
+      const int j = static_cast<int>(rng.UniformInt(n));
+      if (j == i || g.HasEdge(i, j)) continue;
+      if (predicted_labels[j] == predicted_labels[i]) continue;
+      edges.push_back({i, j});
+      ++added;
+    }
+  }
+  return graph::Graph::FromEdges(n, edges);
+}
+
+}  // namespace ppfr::privacy

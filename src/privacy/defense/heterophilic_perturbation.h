@@ -1,0 +1,22 @@
+#ifndef PPFR_PRIVACY_DEFENSE_HETEROPHILIC_PERTURBATION_H_
+#define PPFR_PRIVACY_DEFENSE_HETEROPHILIC_PERTURBATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ppfr::privacy {
+
+// The paper's privacy-aware perturbation (PP, §VI-B2): A' = A + ΔA, where ΔA
+// connects every node i to γ·|N(i)| random non-neighbours whose *predicted*
+// label differs (heterophilic noisy edges). Guided by the risk model (Eq. 20):
+// shrinking the inter-class embedding gap ‖μ1 − μ0‖ lowers d̄0 and with it the
+// attack's ability to separate connected from unconnected pairs.
+graph::Graph AddHeterophilicEdges(const graph::Graph& g,
+                                  const std::vector<int>& predicted_labels,
+                                  double gamma, uint64_t seed);
+
+}  // namespace ppfr::privacy
+
+#endif  // PPFR_PRIVACY_DEFENSE_HETEROPHILIC_PERTURBATION_H_

@@ -1,0 +1,18 @@
+#ifndef PPFR_PRIVACY_DEFENSE_LAP_GRAPH_H_
+#define PPFR_PRIVACY_DEFENSE_LAP_GRAPH_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace ppfr::privacy {
+
+// LapGraph ε-edge-DP mechanism (Wu et al., LinkTeller, S&P'22): adds
+// Laplace(1/ε) noise to every upper-triangular adjacency cell, then keeps the
+// top-|E| noisy cells as the perturbed edge set (|E| estimated privately in
+// the original; here the true count is used, which only helps the baseline).
+graph::Graph LapGraph(const graph::Graph& g, double epsilon, uint64_t seed);
+
+}  // namespace ppfr::privacy
+
+#endif  // PPFR_PRIVACY_DEFENSE_LAP_GRAPH_H_

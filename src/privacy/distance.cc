@@ -1,0 +1,128 @@
+#include "privacy/distance.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ppfr::privacy {
+namespace {
+
+double Cosine(std::span<const double> a, std::span<const double> b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  const double denom = std::sqrt(na) * std::sqrt(nb);
+  if (denom <= 0.0) return 1.0;
+  return 1.0 - dot / denom;
+}
+
+double Correlation(std::span<const double> a, std::span<const double> b) {
+  const double n = static_cast<double>(a.size());
+  double ma = 0.0, mb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ma += a[i];
+    mb += b[i];
+  }
+  ma /= n;
+  mb /= n;
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma;
+    const double db = b[i] - mb;
+    dot += da * db;
+    na += da * da;
+    nb += db * db;
+  }
+  const double denom = std::sqrt(na) * std::sqrt(nb);
+  if (denom <= 0.0) return 1.0;
+  return 1.0 - dot / denom;
+}
+
+}  // namespace
+
+const std::vector<DistanceKind>& AllDistanceKinds() {
+  static const std::vector<DistanceKind>* kinds = new std::vector<DistanceKind>{
+      DistanceKind::kCosine,     DistanceKind::kEuclidean,
+      DistanceKind::kCorrelation, DistanceKind::kChebyshev,
+      DistanceKind::kBraycurtis, DistanceKind::kCanberra,
+      DistanceKind::kCityblock,  DistanceKind::kSqeuclidean,
+  };
+  return *kinds;
+}
+
+std::string DistanceName(DistanceKind kind) {
+  switch (kind) {
+    case DistanceKind::kCosine:
+      return "Cosine";
+    case DistanceKind::kEuclidean:
+      return "Euclidean";
+    case DistanceKind::kCorrelation:
+      return "Correlation";
+    case DistanceKind::kChebyshev:
+      return "Chebyshev";
+    case DistanceKind::kBraycurtis:
+      return "Braycurtis";
+    case DistanceKind::kCanberra:
+      return "Canberra";
+    case DistanceKind::kCityblock:
+      return "Cityblock";
+    case DistanceKind::kSqeuclidean:
+      return "Sqeuclidean";
+  }
+  return "?";
+}
+
+double Distance(DistanceKind kind, std::span<const double> a,
+                std::span<const double> b) {
+  PPFR_CHECK_EQ(a.size(), b.size());
+  PPFR_CHECK(!a.empty());
+  switch (kind) {
+    case DistanceKind::kCosine:
+      return Cosine(a, b);
+    case DistanceKind::kCorrelation:
+      return Correlation(a, b);
+    case DistanceKind::kEuclidean: {
+      double s = 0.0;
+      for (size_t i = 0; i < a.size(); ++i) s += (a[i] - b[i]) * (a[i] - b[i]);
+      return std::sqrt(s);
+    }
+    case DistanceKind::kSqeuclidean: {
+      double s = 0.0;
+      for (size_t i = 0; i < a.size(); ++i) s += (a[i] - b[i]) * (a[i] - b[i]);
+      return s;
+    }
+    case DistanceKind::kChebyshev: {
+      double m = 0.0;
+      for (size_t i = 0; i < a.size(); ++i) m = std::max(m, std::fabs(a[i] - b[i]));
+      return m;
+    }
+    case DistanceKind::kBraycurtis: {
+      double num = 0.0, den = 0.0;
+      for (size_t i = 0; i < a.size(); ++i) {
+        num += std::fabs(a[i] - b[i]);
+        den += std::fabs(a[i] + b[i]);
+      }
+      return den > 0.0 ? num / den : 0.0;
+    }
+    case DistanceKind::kCanberra: {
+      double s = 0.0;
+      for (size_t i = 0; i < a.size(); ++i) {
+        const double den = std::fabs(a[i]) + std::fabs(b[i]);
+        if (den > 0.0) s += std::fabs(a[i] - b[i]) / den;
+      }
+      return s;
+    }
+    case DistanceKind::kCityblock: {
+      double s = 0.0;
+      for (size_t i = 0; i < a.size(); ++i) s += std::fabs(a[i] - b[i]);
+      return s;
+    }
+  }
+  PPFR_CHECK(false) << "unknown distance kind";
+  return 0.0;
+}
+
+}  // namespace ppfr::privacy

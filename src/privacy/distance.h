@@ -1,0 +1,33 @@
+#ifndef PPFR_PRIVACY_DISTANCE_H_
+#define PPFR_PRIVACY_DISTANCE_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ppfr::privacy {
+
+// The eight prediction-distance metrics the link-stealing attack of He et
+// al. (USENIX Security'21) evaluates, as used in §VII-A of the paper.
+enum class DistanceKind {
+  kCosine,
+  kEuclidean,
+  kCorrelation,
+  kChebyshev,
+  kBraycurtis,
+  kCanberra,
+  kCityblock,
+  kSqeuclidean,
+};
+
+// All eight kinds, in presentation order.
+const std::vector<DistanceKind>& AllDistanceKinds();
+
+std::string DistanceName(DistanceKind kind);
+
+// d(a, b) for two prediction vectors of equal length.
+double Distance(DistanceKind kind, std::span<const double> a, std::span<const double> b);
+
+}  // namespace ppfr::privacy
+
+#endif  // PPFR_PRIVACY_DISTANCE_H_

@@ -1,0 +1,73 @@
+#include "privacy/risk_metric.h"
+
+#include <cmath>
+
+#include "la/stats.h"
+#include "privacy/attack/link_stealing.h"
+
+namespace ppfr::privacy {
+
+double DeltaD(const la::Matrix& probs, const PairSample& pairs, DistanceKind kind) {
+  const std::vector<double> d1 = PairDistances(probs, pairs.connected, kind);
+  const std::vector<double> d0 = PairDistances(probs, pairs.unconnected, kind);
+  return std::fabs(la::Mean(d0) - la::Mean(d1));
+}
+
+double NormalizedDeltaD(const la::Matrix& probs, const PairSample& pairs,
+                        DistanceKind kind) {
+  const std::vector<double> d1 = PairDistances(probs, pairs.connected, kind);
+  const std::vector<double> d0 = PairDistances(probs, pairs.unconnected, kind);
+  const double gap = std::fabs(la::Mean(d0) - la::Mean(d1));
+  const double denom = la::Variance(d0) + la::Variance(d1) + 1e-9;
+  return 2.0 * gap / denom;
+}
+
+namespace {
+
+struct PairColumns {
+  std::vector<int> first;
+  std::vector<int> second;
+};
+
+PairColumns SplitPairs(const std::vector<std::pair<int, int>>& pairs) {
+  PairColumns cols;
+  cols.first.reserve(pairs.size());
+  cols.second.reserve(pairs.size());
+  for (const auto& [u, v] : pairs) {
+    cols.first.push_back(u);
+    cols.second.push_back(v);
+  }
+  return cols;
+}
+
+// Squared-euclidean distance column (m x 1) between prediction rows.
+ag::Var PairSqDistances(ag::Var probs, const std::vector<std::pair<int, int>>& pairs) {
+  const PairColumns cols = SplitPairs(pairs);
+  ag::Var pu = ag::GatherRows(probs, cols.first);
+  ag::Var pv = ag::GatherRows(probs, cols.second);
+  return ag::RowSums(ag::Square(ag::Sub(pu, pv)));
+}
+
+// Population variance of a column vector as a 1x1 node.
+ag::Var ColumnVariance(ag::Var column) {
+  ag::Var mean = ag::MeanAll(column);
+  ag::Var centered =
+      ag::Sub(column, ag::ExpandScalar(mean, column.rows(), column.cols()));
+  return ag::MeanAll(ag::Square(centered));
+}
+
+}  // namespace
+
+ag::Var RiskSurrogate(ag::Tape& tape, ag::Var logits, const PairSample& pairs) {
+  PPFR_CHECK(!pairs.connected.empty());
+  PPFR_CHECK(!pairs.unconnected.empty());
+  (void)tape;
+  ag::Var probs = ag::SoftmaxRows(logits);
+  ag::Var d1 = PairSqDistances(probs, pairs.connected);
+  ag::Var d0 = PairSqDistances(probs, pairs.unconnected);
+  ag::Var gap = ag::Abs(ag::Sub(ag::MeanAll(d0), ag::MeanAll(d1)));
+  ag::Var denom = ag::AddScalar(ag::Add(ColumnVariance(d0), ColumnVariance(d1)), 1e-9);
+  return ag::Div(ag::Scale(gap, 2.0), denom);
+}
+
+}  // namespace ppfr::privacy

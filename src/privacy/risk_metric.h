@@ -1,0 +1,28 @@
+#ifndef PPFR_PRIVACY_RISK_METRIC_H_
+#define PPFR_PRIVACY_RISK_METRIC_H_
+
+#include "autograd/ops.h"
+#include "la/matrix.h"
+#include "privacy/attack/pair_sampler.h"
+#include "privacy/distance.h"
+
+namespace ppfr::privacy {
+
+// Definition 2 of the paper: f_risk = ‖ E[d0] − E[d1] ‖, the gap between the
+// mean prediction distance of unconnected (d0) and connected (d1) pairs.
+// Larger means more distinguishable, i.e. higher edge-leakage risk.
+double DeltaD(const la::Matrix& probs, const PairSample& pairs, DistanceKind kind);
+
+// The paper's better-conditioned surrogate used inside influence functions
+// (§VI-B1): f_risk(θ) = 2‖d̄0 − d̄1‖ / (var(d0) + var(d1)).
+double NormalizedDeltaD(const la::Matrix& probs, const PairSample& pairs,
+                        DistanceKind kind);
+
+// Differentiable version of NormalizedDeltaD built on the tape, with
+// squared-euclidean distances over softmax probabilities. `logits` is the
+// model output (n x classes); returns a 1x1 node.
+ag::Var RiskSurrogate(ag::Tape& tape, ag::Var logits, const PairSample& pairs);
+
+}  // namespace ppfr::privacy
+
+#endif  // PPFR_PRIVACY_RISK_METRIC_H_

@@ -1,0 +1,95 @@
+#include "privacy/risk_model.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ppfr::privacy {
+namespace {
+
+// Row of the left-normalised one-hop mean aggregation D̃⁻¹(A+I) applied to
+// `embeddings`, for node v, with the neighbour set optionally edited to
+// include/exclude `other`.
+std::vector<double> AggregatedRow(const graph::Graph& g, const la::Matrix& embeddings,
+                                  int v, int other, bool include_other) {
+  std::vector<double> row(embeddings.cols(), 0.0);
+  double count = 1.0;
+  for (int c = 0; c < embeddings.cols(); ++c) row[c] = embeddings(v, c);
+  for (int u : g.Neighbors(v)) {
+    if (u == other && !include_other) continue;
+    for (int c = 0; c < embeddings.cols(); ++c) row[c] += embeddings(u, c);
+    count += 1.0;
+  }
+  if (include_other && !g.HasEdge(v, other)) {
+    for (int c = 0; c < embeddings.cols(); ++c) row[c] += embeddings(other, c);
+    count += 1.0;
+  }
+  for (double& x : row) x /= count;
+  return row;
+}
+
+double RowDistance(const std::vector<double>& a, const std::vector<double>& b) {
+  double s = 0.0;
+  for (size_t c = 0; c < a.size(); ++c) s += (a[c] - b[c]) * (a[c] - b[c]);
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+EdgeSensitivity PredictEdgeSensitivity(const graph::Graph& g,
+                                       const std::vector<int>& labels,
+                                       const la::Matrix& class_means, int i, int j) {
+  PPFR_CHECK_EQ(class_means.rows(), 2) << "the Eq. 20 model is two-class";
+  PPFR_CHECK_EQ(labels[i], labels[j]) << "Eq. 20 covers intra-class pairs";
+
+  auto class1_degree = [&](int v) {
+    int d1 = 0;
+    for (int u : g.Neighbors(v)) d1 += labels[u] == 1;
+    return static_cast<double>(d1);
+  };
+  const double di = g.Degree(i);
+  const double dj = g.Degree(j);
+
+  EdgeSensitivity out;
+  out.delta = std::fabs(class1_degree(i) / ((di + 1.0) * (di + 2.0)) -
+                        class1_degree(j) / ((dj + 1.0) * (dj + 2.0)));
+  double gap_sq = 0.0;
+  for (int c = 0; c < class_means.cols(); ++c) {
+    const double d = class_means(1, c) - class_means(0, c);
+    gap_sq += d * d;
+  }
+  out.class_gap = std::sqrt(gap_sq);
+  out.predicted_delta_d = out.class_gap * out.delta;
+  return out;
+}
+
+double MeasureEdgeSensitivity(const graph::Graph& g, const la::Matrix& embeddings,
+                              int i, int j) {
+  // d0: rows aggregated WITHOUT the edge; d1: WITH the edge.
+  const double d0 = RowDistance(AggregatedRow(g, embeddings, i, j, false),
+                                AggregatedRow(g, embeddings, j, i, false));
+  const double d1 = RowDistance(AggregatedRow(g, embeddings, i, j, true),
+                                AggregatedRow(g, embeddings, j, i, true));
+  return std::fabs(d0 - d1);
+}
+
+double ClassMeanGap(const la::Matrix& embeddings, const std::vector<int>& labels) {
+  PPFR_CHECK_EQ(embeddings.rows(), static_cast<int>(labels.size()));
+  std::vector<double> mean0(embeddings.cols(), 0.0), mean1(embeddings.cols(), 0.0);
+  int64_t n0 = 0, n1 = 0;
+  for (int v = 0; v < embeddings.rows(); ++v) {
+    auto& mean = labels[v] == 0 ? mean0 : mean1;
+    (labels[v] == 0 ? n0 : n1)++;
+    for (int c = 0; c < embeddings.cols(); ++c) mean[c] += embeddings(v, c);
+  }
+  PPFR_CHECK_GT(n0, 0);
+  PPFR_CHECK_GT(n1, 0);
+  double gap_sq = 0.0;
+  for (int c = 0; c < embeddings.cols(); ++c) {
+    const double d = mean1[c] / n1 - mean0[c] / n0;
+    gap_sq += d * d;
+  }
+  return std::sqrt(gap_sq);
+}
+
+}  // namespace ppfr::privacy

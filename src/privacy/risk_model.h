@@ -1,0 +1,42 @@
+#ifndef PPFR_PRIVACY_RISK_MODEL_H_
+#define PPFR_PRIVACY_RISK_MODEL_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "la/matrix.h"
+
+namespace ppfr::privacy {
+
+// The paper's §VI-B2 analytical model of edge sensitivity under one-hop mean
+// aggregation (left-normalised Â = D̃⁻¹(A+I)). For an intra-class node pair
+// (i, j) of class 0, the expected prediction-distance change caused by the
+// edge e_ij is (Eq. 20)
+//     E[Δd(i,j)] = ‖μ1 − μ0‖ · |δ|,
+//     δ = d₁ᵢ/((dᵢ+1)(dᵢ+2)) − d₁ⱼ/((dⱼ+1)(dⱼ+2)),
+// where d₁ᵥ counts v's class-1 neighbours. The model motivates PP: shrinking
+// the inter-class embedding gap ‖μ1 − μ0‖ shrinks every edge's footprint.
+struct EdgeSensitivity {
+  double delta = 0.0;             // |δ| (structure part)
+  double class_gap = 0.0;         // ‖μ1 − μ0‖ (embedding part)
+  double predicted_delta_d = 0.0; // product, Eq. 20
+};
+
+// Eq. 20 for a single intra-class pair, given the graph, binary labels
+// (class of every node) and per-class embedding means.
+EdgeSensitivity PredictEdgeSensitivity(const graph::Graph& g,
+                                       const std::vector<int>& labels,
+                                       const la::Matrix& class_means, int i, int j);
+
+// Empirical counterpart: ‖ÂE‖ row distance between i and j WITH the edge
+// (i,j) present minus WITHOUT it, under left-normalised mean aggregation of
+// the embedding matrix. Used by tests to validate the model.
+double MeasureEdgeSensitivity(const graph::Graph& g, const la::Matrix& embeddings,
+                              int i, int j);
+
+// ‖μ1 − μ0‖ from an embedding matrix and binary labels.
+double ClassMeanGap(const la::Matrix& embeddings, const std::vector<int>& labels);
+
+}  // namespace ppfr::privacy
+
+#endif  // PPFR_PRIVACY_RISK_MODEL_H_

@@ -1,0 +1,52 @@
+#ifndef PPFR_SOLVER_PROJECTIONS_H_
+#define PPFR_SOLVER_PROJECTIONS_H_
+
+#include <functional>
+#include <vector>
+
+namespace ppfr::solver {
+
+// Euclidean projections onto the convex sets making up the QCLP feasible
+// region (Eq. 13 of the paper), plus Dykstra's algorithm for their
+// intersection.
+
+// Projection onto the box [lo, hi]^n (in place).
+void ProjectBox(double lo, double hi, std::vector<double>* w);
+
+// Projection onto the L2 ball ‖w‖² <= radius_sq (in place).
+void ProjectBall(double radius_sq, std::vector<double>* w);
+
+// Projection onto the halfspace {w : uᵀw <= offset} (in place).
+void ProjectHalfspace(const std::vector<double>& u, double offset,
+                      std::vector<double>* w);
+
+// Projection onto the hyperplane {w : uᵀw == offset} (in place).
+void ProjectHyperplane(const std::vector<double>& u, double offset,
+                       std::vector<double>* w);
+
+struct DykstraOptions {
+  int max_sweeps = 100;
+  double tolerance = 1e-10;  // on the squared change between sweeps
+  // Plain cyclic-projection sweeps run after the Dykstra loop to clean up
+  // residual constraint violations (POCS converges to a feasible point).
+  int polish_sweeps = 60;
+};
+
+// A single-set Euclidean projection operating in place.
+using ProjectionFn = std::function<void(std::vector<double>*)>;
+
+// Dykstra's alternating projection onto the intersection of convex sets
+// (converges to the exact Euclidean projection, unlike plain cyclic
+// projection).
+void DykstraProject(const std::vector<ProjectionFn>& sets,
+                    const DykstraOptions& options, std::vector<double>* w);
+
+// Convenience wrapper: box ∩ ball ∩ halfspace.
+void ProjectIntersection(double box_lo, double box_hi, double ball_radius_sq,
+                         const std::vector<double>& halfspace_u,
+                         double halfspace_offset, const DykstraOptions& options,
+                         std::vector<double>* w);
+
+}  // namespace ppfr::solver
+
+#endif  // PPFR_SOLVER_PROJECTIONS_H_

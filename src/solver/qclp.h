@@ -1,0 +1,58 @@
+#ifndef PPFR_SOLVER_QCLP_H_
+#define PPFR_SOLVER_QCLP_H_
+
+#include <vector>
+
+#include "solver/projections.h"
+
+namespace ppfr::solver {
+
+// The fairness-aware-reweighting program of Eq. 13:
+//   min_w   cᵀ w
+//   s.t.    ‖w‖² <= ball_radius_sq          (reweighting budget  α·|Vl|)
+//           uᵀ w  <= halfspace_offset        (bounded utility cost β·ΣI⁺util)
+//           box_lo <= w_i <= box_hi          (w_v ∈ [-1, 1])
+// The paper solves this with Gurobi; this projected-(sub)gradient solver with
+// Dykstra projections reaches the same optimum for this convex program.
+struct QclpProblem {
+  std::vector<double> objective;  // c
+  double ball_radius_sq = 1.0;
+  std::vector<double> halfspace_u;  // u (empty disables the constraint)
+  double halfspace_offset = 0.0;
+  double box_lo = -1.0;
+  double box_hi = 1.0;
+  // Adds the equality constraint Σ_i w_i = 0 (pure redistribution). Used by
+  // the fairness-aware reweighting so debiasing cannot degenerate into
+  // globally down-weighting the loss (see DESIGN.md §5).
+  bool zero_sum = false;
+};
+
+struct QclpOptions {
+  int max_iterations = 600;
+  double initial_step = 0.0;  // 0 = auto (ball radius / ‖c‖)
+  DykstraOptions dykstra;
+};
+
+struct QclpResult {
+  std::vector<double> w;
+  double objective_value = 0.0;
+  int iterations = 0;
+};
+
+QclpResult SolveQclp(const QclpProblem& problem, const QclpOptions& options = {});
+
+// The LP training scheme of Li & Liu (ICML'22) that the paper contrasts its
+// QCLP against (§VI-B1): same linear objective, but the only constraints are
+// the box and weight-sum preservation (Σw = 0 in our centred parameterisation)
+// — no reweighting-budget ball and no utility halfspace. Exposed for the
+// ablation benches.
+QclpResult SolveLiLiuLp(const std::vector<double>& objective,
+                        const QclpOptions& options = {});
+
+// Checks feasibility of a point up to `slack` (used in tests).
+bool IsFeasible(const QclpProblem& problem, const std::vector<double>& w,
+                double slack = 1e-6);
+
+}  // namespace ppfr::solver
+
+#endif  // PPFR_SOLVER_QCLP_H_

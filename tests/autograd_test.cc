@@ -1,0 +1,364 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "autograd/grad_check.h"
+#include "autograd/ops.h"
+#include "autograd/tape.h"
+#include "common/rng.h"
+#include "test_util.h"
+
+namespace ppfr::ag {
+namespace {
+
+using ::ppfr::testing::RandomMatrix;
+
+constexpr double kTol = 1e-5;
+
+Parameter MakeParam(const std::string& name, int rows, int cols, Rng* rng) {
+  return Parameter(name, RandomMatrix(rows, cols, rng));
+}
+
+TEST(TapeTest, LeafExposesParameterValue) {
+  Rng rng(1);
+  Parameter p = MakeParam("p", 2, 3, &rng);
+  Tape tape;
+  Var v = tape.Leaf(&p);
+  EXPECT_EQ(v.rows(), 2);
+  EXPECT_EQ(v.cols(), 3);
+  EXPECT_DOUBLE_EQ(v.value()(1, 2), p.value(1, 2));
+  EXPECT_TRUE(tape.NeedsGrad(v));
+}
+
+TEST(TapeTest, ConstantsDoNotRequireGrad) {
+  Tape tape;
+  Var c = tape.Constant(la::Matrix(2, 2, 1.0));
+  EXPECT_FALSE(tape.NeedsGrad(c));
+}
+
+TEST(TapeTest, BackwardAccumulatesIntoParameter) {
+  Rng rng(2);
+  Parameter p = MakeParam("p", 3, 1, &rng);
+  p.ZeroGrad();
+  Tape tape;
+  Var loss = SumAll(tape.Leaf(&p));
+  tape.Backward(loss);
+  for (int i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(p.grad(i, 0), 1.0);
+  // Backward again accumulates (caller is responsible for zeroing).
+  Tape tape2;
+  Var loss2 = SumAll(tape2.Leaf(&p));
+  tape2.Backward(loss2);
+  for (int i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(p.grad(i, 0), 2.0);
+}
+
+TEST(TapeTest, BackwardWithSeedMatchesScaledBackward) {
+  Rng rng(3);
+  Parameter p = MakeParam("p", 2, 2, &rng);
+  p.ZeroGrad();
+  {
+    Tape tape;
+    Var loss = MeanAll(Square(tape.Leaf(&p)));
+    la::Matrix seed(1, 1);
+    seed(0, 0) = 2.0;
+    tape.BackwardWithSeed(loss, seed);
+  }
+  la::Matrix grad_seeded = p.grad;
+  p.ZeroGrad();
+  {
+    Tape tape;
+    Var loss = Scale(MeanAll(Square(tape.Leaf(&p))), 2.0);
+    tape.Backward(loss);
+  }
+  EXPECT_LT(la::Sub(grad_seeded, p.grad).MaxAbs(), 1e-12);
+}
+
+TEST(TapeTest, ZeroAllGradsEnablesReplay) {
+  Rng rng(4);
+  Parameter p = MakeParam("p", 3, 2, &rng);
+  Tape tape;
+  Var x = tape.Leaf(&p);
+  Var loss = MeanAll(Square(x));
+
+  p.ZeroGrad();
+  tape.Backward(loss);
+  const la::Matrix first = p.grad;
+
+  p.ZeroGrad();
+  tape.ZeroAllGrads();
+  tape.Backward(loss);
+  EXPECT_LT(la::Sub(first, p.grad).MaxAbs(), 1e-12);
+}
+
+// ---- Gradient checks per op ----
+
+TEST(GradCheckTest, MatMulBothSides) {
+  Rng rng(10);
+  Parameter a = MakeParam("a", 3, 4, &rng);
+  Parameter b = MakeParam("b", 4, 2, &rng);
+  auto build = [&](Tape& t) { return MeanAll(Square(MatMul(t.Leaf(&a), t.Leaf(&b)))); };
+  const GradCheckResult r = GradCheck(build, {&a, &b}, &rng);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheckTest, SpMM) {
+  Rng rng(11);
+  Parameter x = MakeParam("x", 5, 3, &rng);
+  std::vector<la::Triplet> triplets;
+  for (int i = 0; i < 12; ++i) {
+    triplets.push_back({static_cast<int>(rng.UniformInt(5)),
+                        static_cast<int>(rng.UniformInt(5)), rng.Normal()});
+  }
+  auto sp = MakeSparseOperand(la::CsrMatrix::FromTriplets(5, 5, triplets),
+                              /*symmetric=*/false);
+  auto build = [&](Tape& t) { return MeanAll(Square(SpMM(sp, t.Leaf(&x)))); };
+  const GradCheckResult r = GradCheck(build, {&x}, &rng);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheckTest, ElementwiseBinaryOps) {
+  Rng rng(12);
+  Parameter a = MakeParam("a", 3, 3, &rng);
+  Parameter b = MakeParam("b", 3, 3, &rng);
+  // Keep b away from zero for Div.
+  for (int64_t i = 0; i < b.size(); ++i) {
+    b.value.data()[i] = 1.5 + std::fabs(b.value.data()[i]);
+  }
+  auto build = [&](Tape& t) {
+    Var av = t.Leaf(&a);
+    Var bv = t.Leaf(&b);
+    Var mix = Add(Sub(Mul(av, bv), av), Div(av, bv));
+    return MeanAll(Square(mix));
+  };
+  const GradCheckResult r = GradCheck(build, {&a, &b}, &rng);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheckTest, BroadcastAndScalarOps) {
+  Rng rng(13);
+  Parameter a = MakeParam("a", 4, 3, &rng);
+  Parameter row = MakeParam("row", 1, 3, &rng);
+  Parameter s = MakeParam("s", 1, 1, &rng);
+  auto build = [&](Tape& t) {
+    Var out = AddRowVec(t.Leaf(&a), t.Leaf(&row));
+    out = Add(out, ExpandScalar(t.Leaf(&s), 4, 3));
+    out = AddScalar(Scale(out, 0.7), -0.3);
+    return MeanAll(Square(out));
+  };
+  const GradCheckResult r = GradCheck(build, {&a, &row, &s}, &rng);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+// Unary nonlinearity sweep. Inputs are nudged away from the kink at 0 so the
+// finite-difference probe stays on one side.
+using UnaryFactory = Var (*)(Var);
+class UnaryGradSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(UnaryGradSweep, MatchesNumericGradient) {
+  Rng rng(100 + GetParam());
+  Parameter a = MakeParam("a", 4, 4, &rng);
+  for (int64_t i = 0; i < a.size(); ++i) {
+    double& v = a.value.data()[i];
+    if (std::fabs(v) < 0.05) v = v < 0 ? v - 0.1 : v + 0.1;
+  }
+  auto apply = [&](Var x) {
+    switch (GetParam()) {
+      case 0:
+        return Relu(x);
+      case 1:
+        return LeakyRelu(x, 0.2);
+      case 2:
+        return Elu(x);
+      case 3:
+        return Tanh(x);
+      case 4:
+        return Sigmoid(x);
+      case 5:
+        return Square(x);
+      case 6:
+        return Abs(x);
+      default:
+        return Sqrt(Square(x));  // positive-domain sqrt
+    }
+  };
+  auto build = [&](Tape& t) { return MeanAll(Square(apply(t.Leaf(&a)))); };
+  const GradCheckResult r = GradCheck(build, {&a}, &rng);
+  EXPECT_LT(r.max_rel_error, 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllUnaryOps, UnaryGradSweep, ::testing::Range(0, 8));
+
+TEST(GradCheckTest, LogSoftmaxAndNll) {
+  Rng rng(14);
+  Parameter logits = MakeParam("logits", 6, 4, &rng);
+  const std::vector<int> rows{0, 2, 5};
+  const std::vector<int> labels{1, 3, 0};
+  const std::vector<double> weights{1.0, 0.5, 2.0};
+  auto build = [&](Tape& t) {
+    return WeightedNll(LogSoftmaxRows(t.Leaf(&logits)), rows, labels, weights, 3.0);
+  };
+  const GradCheckResult r = GradCheck(build, {&logits}, &rng);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheckTest, SoftmaxRows) {
+  Rng rng(15);
+  Parameter logits = MakeParam("logits", 5, 3, &rng);
+  auto build = [&](Tape& t) {
+    Var p = SoftmaxRows(t.Leaf(&logits));
+    // Non-trivial downstream so the softmax Jacobian matters.
+    return MeanAll(Square(Sub(p, t.Constant(la::Matrix(5, 3, 0.2)))));
+  };
+  const GradCheckResult r = GradCheck(build, {&logits}, &rng);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheckTest, GatherConcatRowSums) {
+  Rng rng(16);
+  Parameter a = MakeParam("a", 6, 3, &rng);
+  const std::vector<int> idx{0, 0, 4, 5, 2};
+  auto build = [&](Tape& t) {
+    Var x = t.Leaf(&a);
+    Var g = GatherRows(x, idx);
+    Var cat = ConcatCols({g, Square(g)});
+    return MeanAll(Square(RowSums(cat)));
+  };
+  const GradCheckResult r = GradCheck(build, {&a}, &rng);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(GradCheckTest, LaplacianQuadratic) {
+  Rng rng(17);
+  Parameter y = MakeParam("y", 6, 2, &rng);
+  // Symmetric Laplacian of a small similarity graph.
+  std::vector<la::Triplet> sim{{0, 1, 0.5}, {1, 0, 0.5}, {2, 3, 1.0},
+                               {3, 2, 1.0}, {1, 4, 0.25}, {4, 1, 0.25}};
+  la::CsrMatrix s = la::CsrMatrix::FromTriplets(6, 6, sim);
+  std::vector<la::Triplet> lap;
+  for (int i = 0; i < 6; ++i) {
+    double degree = 0.0;
+    for (int j = 0; j < 6; ++j) {
+      const double v = s.At(i, j);
+      if (v != 0.0) {
+        lap.push_back({i, j, -v});
+        degree += v;
+      }
+    }
+    lap.push_back({i, i, degree});
+  }
+  auto laplacian =
+      std::make_shared<la::CsrMatrix>(la::CsrMatrix::FromTriplets(6, 6, lap));
+  auto build = [&](Tape& t) { return LaplacianQuadratic(laplacian, t.Leaf(&y)); };
+  const GradCheckResult r = GradCheck(build, {&y}, &rng);
+  EXPECT_LT(r.max_rel_error, kTol);
+}
+
+TEST(LaplacianQuadraticTest, EqualsPairwiseForm) {
+  // Tr(YᵀLY) must equal ½ Σ_ij S_ij ‖y_i − y_j‖² for symmetric S.
+  Rng rng(18);
+  la::Matrix y = RandomMatrix(4, 3, &rng);
+  std::vector<la::Triplet> sim{{0, 1, 0.7}, {1, 0, 0.7}, {2, 3, 0.2}, {3, 2, 0.2}};
+  la::CsrMatrix s = la::CsrMatrix::FromTriplets(4, 4, sim);
+  std::vector<la::Triplet> lap;
+  for (int i = 0; i < 4; ++i) {
+    double degree = 0.0;
+    for (int j = 0; j < 4; ++j) {
+      const double v = s.At(i, j);
+      if (v != 0.0) {
+        lap.push_back({i, j, -v});
+        degree += v;
+      }
+    }
+    lap.push_back({i, i, degree});
+  }
+  auto laplacian =
+      std::make_shared<la::CsrMatrix>(la::CsrMatrix::FromTriplets(4, 4, lap));
+  Tape tape;
+  Var quad = LaplacianQuadratic(laplacian, tape.Constant(y));
+  double pairwise = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      const double sij = s.At(i, j);
+      if (sij == 0.0) continue;
+      double dist_sq = 0.0;
+      for (int c = 0; c < 3; ++c) dist_sq += (y(i, c) - y(j, c)) * (y(i, c) - y(j, c));
+      pairwise += 0.5 * sij * dist_sq;
+    }
+  }
+  EXPECT_NEAR(quad.scalar(), pairwise, 1e-10);
+}
+
+TEST(GradCheckTest, EdgeSoftmaxAggregate) {
+  Rng rng(19);
+  const int n = 5, heads = 2, dim = 3;
+  Parameter h = MakeParam("h", n, heads * dim, &rng);
+  Parameter sl = MakeParam("sl", n, heads, &rng);
+  Parameter sr = MakeParam("sr", n, heads, &rng);
+  // Small graph with self-loops, destination-grouped.
+  auto edges = std::make_shared<EdgeSet>();
+  edges->num_nodes = n;
+  const std::vector<std::vector<int>> nbrs{{0, 1, 2}, {1, 0}, {2, 0, 3}, {3, 2, 4}, {4, 3}};
+  edges->row_ptr.assign(n + 1, 0);
+  for (int i = 0; i < n; ++i) {
+    edges->row_ptr[i + 1] = edges->row_ptr[i] + static_cast<int64_t>(nbrs[i].size());
+    for (int j : nbrs[i]) edges->col_idx.push_back(j);
+  }
+  auto build = [&](Tape& t) {
+    Var out = EdgeSoftmaxAggregate(t.Leaf(&h), t.Leaf(&sl), t.Leaf(&sr), edges, heads,
+                                   0.2);
+    return MeanAll(Square(out));
+  };
+  const GradCheckResult r = GradCheck(build, {&h, &sl, &sr}, &rng, 20);
+  EXPECT_LT(r.max_rel_error, 1e-4);
+}
+
+TEST(EdgeSoftmaxAggregateTest, UniformAttentionAverages) {
+  // With zero attention scores every neighbour gets weight 1/deg, so the op
+  // reduces to a plain neighbourhood mean.
+  const int n = 3;
+  Tape tape;
+  la::Matrix h(3, 2);
+  h(0, 0) = 1;
+  h(1, 0) = 3;
+  h(2, 0) = 5;
+  auto edges = std::make_shared<EdgeSet>();
+  edges->num_nodes = n;
+  edges->row_ptr = {0, 3, 4, 5};
+  edges->col_idx = {0, 1, 2, 1, 2};
+  Var out = EdgeSoftmaxAggregate(tape.Constant(h), tape.Constant(la::Matrix(3, 1)),
+                                 tape.Constant(la::Matrix(3, 1)), edges, 1, 0.2);
+  EXPECT_NEAR(out.value()(0, 0), 3.0, 1e-12);  // (1+3+5)/3
+  EXPECT_NEAR(out.value()(1, 0), 3.0, 1e-12);
+  EXPECT_NEAR(out.value()(2, 0), 5.0, 1e-12);
+}
+
+TEST(GradCheckTest, RiskSurrogateShapedExpression) {
+  // Composite expression mirroring the risk surrogate: means, variances,
+  // Abs and Div of 1x1 nodes.
+  Rng rng(20);
+  Parameter logits = MakeParam("logits", 8, 3, &rng);
+  const std::vector<int> us{0, 1, 2, 3};
+  const std::vector<int> vs{4, 5, 6, 7};
+  auto build = [&](Tape& t) {
+    Var p = SoftmaxRows(t.Leaf(&logits));
+    Var d = RowSums(Square(Sub(GatherRows(p, us), GatherRows(p, vs))));
+    Var mean = MeanAll(d);
+    Var var = MeanAll(Square(Sub(d, ExpandScalar(mean, d.rows(), 1))));
+    return Div(Abs(mean), AddScalar(var, 1e-3));
+  };
+  const GradCheckResult r = GradCheck(build, {&logits}, &rng, 20, 1e-6);
+  EXPECT_LT(r.max_rel_error, 1e-3);
+}
+
+TEST(OpsTest, NegAndSubConsistency) {
+  Rng rng(21);
+  Parameter a = MakeParam("a", 2, 2, &rng);
+  Tape tape;
+  Var x = tape.Leaf(&a);
+  Var lhs = Neg(x);
+  Var rhs = Sub(tape.Constant(la::Matrix(2, 2, 0.0)), x);
+  EXPECT_LT(la::Sub(lhs.value(), rhs.value()).MaxAbs(), 1e-15);
+}
+
+}  // namespace
+}  // namespace ppfr::ag

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/table_printer.h"
+
+namespace ppfr {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.NextU64() == b.NextU64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntWithinRangeAndCoversAll) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(7);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NormalMomentsApproximatelyStandard) {
+  Rng rng(11);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, BernoulliMatchesRate) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, LaplaceIsSymmetricWithCorrectScale) {
+  Rng rng(17);
+  double sum = 0.0, sum_abs = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Laplace(2.0);
+    sum += x;
+    sum_abs += std::fabs(x);
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.08);
+  // E|X| = scale for Laplace(0, scale).
+  EXPECT_NEAR(sum_abs / n, 2.0, 0.1);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinctAndInRange) {
+  Rng rng(19);
+  const std::vector<int> sample = rng.SampleWithoutReplacement(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (int v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 50);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullRange) {
+  Rng rng(23);
+  const std::vector<int> sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(31);
+  Rng fork = a.Fork();
+  // The fork differs from the parent's continuation.
+  EXPECT_NE(a.NextU64(), fork.NextU64());
+}
+
+// Uniformity sweep: chi-square-like sanity across several seeds.
+class RngUniformitySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngUniformitySweep, BucketsAreBalanced) {
+  Rng rng(GetParam());
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 20000;
+  int counts[kBuckets] = {0};
+  for (int i = 0; i < kDraws; ++i) {
+    counts[static_cast<int>(rng.Uniform() * kBuckets)]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), kDraws / kBuckets, 0.1 * kDraws / kBuckets);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngUniformitySweep,
+                         ::testing::Values(1ull, 99ull, 1234567ull, 0xdeadbeefull));
+
+TEST(TablePrinterTest, RendersAlignedTable) {
+  TablePrinter table({"A", "Long header"});
+  table.AddRow({"x", "1"});
+  table.AddSeparator();
+  table.AddRow({"yyyy", "2.5"});
+  const std::string s = table.ToString();
+  EXPECT_NE(s.find("| A    | Long header |"), std::string::npos);
+  EXPECT_NE(s.find("| yyyy | 2.5         |"), std::string::npos);
+  // Header rule + separator + closing rule => at least 4 '+--' rules.
+  int rules = 0;
+  for (size_t pos = 0; (pos = s.find("+-", pos)) != std::string::npos; ++pos) ++rules;
+  EXPECT_GE(rules, 4);
+}
+
+TEST(TablePrinterTest, NumAndPctFormatting) {
+  EXPECT_EQ(TablePrinter::Num(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::Num(std::nan(""), 2), "-");
+  EXPECT_EQ(TablePrinter::Pct(-0.3551), "-35.51");
+  EXPECT_EQ(TablePrinter::Pct(0.018), "+1.80");
+}
+
+TEST(FlagsTest, ParsesKeyValueAndBooleans) {
+  const char* argv[] = {"prog", "--alpha=0.5", "--name=test", "--verbose",
+                        "--count=12"};
+  Flags flags(5, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("alpha", 0.0), 0.5);
+  EXPECT_EQ(flags.GetString("name", ""), "test");
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_EQ(flags.GetInt("count", 0), 12);
+  EXPECT_EQ(flags.GetInt("missing", 42), 42);
+  EXPECT_FALSE(flags.Has("missing"));
+}
+
+TEST(CheckDeathTest, FailedCheckAborts) {
+  EXPECT_DEATH({ PPFR_CHECK(1 == 2) << "should fire"; }, "CHECK failed");
+  EXPECT_DEATH({ PPFR_CHECK_EQ(3, 4); }, "CHECK failed");
+}
+
+}  // namespace
+}  // namespace ppfr

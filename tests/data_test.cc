@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "data/datasets.h"
+#include "data/sbm.h"
+#include "data/split.h"
+
+namespace ppfr::data {
+namespace {
+
+TEST(SbmTest, DeterministicInSeed) {
+  SbmConfig cfg;
+  cfg.num_nodes = 200;
+  cfg.num_classes = 4;
+  cfg.feature_dim = 80;
+  const NodeClassificationData a = GenerateSbm(cfg, 77);
+  const NodeClassificationData b = GenerateSbm(cfg, 77);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  EXPECT_LT(la::Sub(a.features, b.features).MaxAbs(), 1e-15);
+
+  const NodeClassificationData c = GenerateSbm(cfg, 78);
+  EXPECT_NE(a.graph.num_edges(), c.graph.num_edges());
+}
+
+TEST(SbmTest, LabelsAreBalanced) {
+  SbmConfig cfg;
+  cfg.num_nodes = 300;
+  cfg.num_classes = 3;
+  const NodeClassificationData data = GenerateSbm(cfg, 1);
+  std::vector<int> counts(3, 0);
+  for (int label : data.labels) counts[label]++;
+  for (int c : counts) EXPECT_EQ(c, 100);
+}
+
+TEST(SbmTest, ProbabilityFormulasMatchTargets) {
+  SbmConfig cfg;
+  cfg.num_nodes = 1000;
+  cfg.num_classes = 5;
+  cfg.homophily = 0.8;
+  cfg.average_degree = 6.0;
+  const double p = cfg.IntraClassProb();
+  const double q = cfg.InterClassProb();
+  // Expected same-class degree a = (n/C - 1) p ≈ h d; cross b = n(C-1)/C q.
+  const double a = (1000.0 / 5 - 1) * p;
+  const double b = 1000.0 * 4 / 5 * q;
+  EXPECT_NEAR(a, 0.8 * 6.0, 1e-9);
+  EXPECT_NEAR(b, 0.2 * 6.0, 1e-9);
+  EXPECT_GT(p, q);  // homophily
+}
+
+// Generated graphs hit their calibration targets within sampling noise.
+class DatasetCalibrationSweep : public ::testing::TestWithParam<DatasetId> {};
+
+TEST_P(DatasetCalibrationSweep, HomophilyAndDegreeNearTarget) {
+  const SbmConfig cfg = DatasetConfig(GetParam());
+  const NodeClassificationData data = GenerateSbm(cfg, 1234);
+  EXPECT_EQ(data.graph.num_nodes(), cfg.num_nodes);
+  EXPECT_EQ(data.num_classes, cfg.num_classes);
+  EXPECT_NEAR(data.graph.EdgeHomophily(data.labels), cfg.homophily, 0.05);
+  EXPECT_NEAR(data.graph.AverageDegree(), cfg.average_degree,
+              0.15 * cfg.average_degree);
+}
+
+TEST_P(DatasetCalibrationSweep, FeaturesCarryClassSignal) {
+  const SbmConfig cfg = DatasetConfig(GetParam());
+  const NodeClassificationData data = GenerateSbm(cfg, 99);
+  // Mean feature vector per class must be most similar to the class's own
+  // signature block: on-signature activation rate >> off-signature rate.
+  for (int cls = 0; cls < cfg.num_classes; ++cls) {
+    double on = 0.0, off = 0.0;
+    int64_t members = 0;
+    for (int v = 0; v < cfg.num_nodes; ++v) {
+      if (data.labels[v] != cls) continue;
+      ++members;
+      for (int f = 0; f < cfg.feature_dim; ++f) {
+        const bool in_sig =
+            f >= cls * cfg.signature_size && f < (cls + 1) * cfg.signature_size;
+        (in_sig ? on : off) += data.features(v, f);
+      }
+    }
+    on /= static_cast<double>(members * cfg.signature_size);
+    off /= static_cast<double>(members * (cfg.feature_dim - cfg.signature_size));
+    EXPECT_GT(on, 2.0 * off) << "class " << cls;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetCalibrationSweep,
+                         ::testing::Values(DatasetId::kCoraLike,
+                                           DatasetId::kCiteseerLike,
+                                           DatasetId::kPubmedLike,
+                                           DatasetId::kEnzymesLike,
+                                           DatasetId::kCreditLike));
+
+TEST(DatasetTest, NamesAreUnique) {
+  std::set<std::string> names;
+  for (DatasetId id :
+       {DatasetId::kCoraLike, DatasetId::kCiteseerLike, DatasetId::kPubmedLike,
+        DatasetId::kEnzymesLike, DatasetId::kCreditLike}) {
+    names.insert(DatasetName(id));
+  }
+  EXPECT_EQ(names.size(), 5u);
+}
+
+TEST(DatasetTest, StrongAndWeakGroupsPartition) {
+  EXPECT_EQ(StrongHomophilyDatasets().size(), 3u);
+  EXPECT_EQ(WeakHomophilyDatasets().size(), 2u);
+  for (DatasetId id : WeakHomophilyDatasets()) {
+    EXPECT_LT(DatasetConfig(id).homophily, 0.7);
+  }
+  for (DatasetId id : StrongHomophilyDatasets()) {
+    EXPECT_GE(DatasetConfig(id).homophily, 0.7);
+  }
+}
+
+TEST(DatasetTest, LoadDatasetProducesConsistentSplit) {
+  const Dataset ds = LoadDataset(DatasetId::kEnzymesLike, 5);
+  EXPECT_EQ(static_cast<int>(ds.split.train.size()),
+            DefaultTrainCount(DatasetId::kEnzymesLike));
+  EXPECT_EQ(ds.data.graph.num_nodes(),
+            DatasetConfig(DatasetId::kEnzymesLike).num_nodes);
+}
+
+TEST(SplitTest, PartitionIsDisjointAndComplete) {
+  const Split split = MakeSplit(100, 20, 10, 3);
+  EXPECT_EQ(split.train.size(), 20u);
+  EXPECT_EQ(split.val.size(), 10u);
+  EXPECT_EQ(split.test.size(), 70u);
+  std::set<int> all;
+  for (const auto* part : {&split.train, &split.val, &split.test}) {
+    for (int v : *part) {
+      EXPECT_TRUE(all.insert(v).second) << "duplicate node " << v;
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 100);
+    }
+  }
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(SplitTest, DeterministicAndSeedSensitive) {
+  const Split a = MakeSplit(50, 10, 5, 7);
+  const Split b = MakeSplit(50, 10, 5, 7);
+  const Split c = MakeSplit(50, 10, 5, 8);
+  EXPECT_EQ(a.train, b.train);
+  EXPECT_NE(a.train, c.train);
+}
+
+TEST(SplitDeathTest, RejectsOversizedSplit) {
+  EXPECT_DEATH(MakeSplit(10, 8, 5, 1), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace ppfr::data

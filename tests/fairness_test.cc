@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "fairness/bias_metric.h"
+#include "graph/jaccard.h"
+#include "test_util.h"
+
+namespace ppfr::fairness {
+namespace {
+
+TEST(BiasMetricTest, ZeroForConstantPredictions) {
+  const auto data = ppfr::testing::SmallSbm(1, 80, 3);
+  const SimilarityContext sim = SimilarityContext::FromGraph(data.graph);
+  la::Matrix uniform(data.graph.num_nodes(), 3, 1.0 / 3.0);
+  EXPECT_NEAR(Bias(uniform, *sim.laplacian), 0.0, 1e-12);
+}
+
+TEST(BiasMetricTest, MatchesBruteForcePairwiseSum) {
+  const auto data = ppfr::testing::SmallSbm(2, 60, 3);
+  const SimilarityContext sim = SimilarityContext::FromGraph(data.graph);
+  Rng rng(5);
+  const la::Matrix y = ppfr::testing::RandomMatrix(data.graph.num_nodes(), 3, &rng);
+
+  double brute = 0.0;
+  const la::CsrMatrix& s = sim.similarity;
+  for (int i = 0; i < s.rows(); ++i) {
+    for (int64_t k = s.row_ptr()[i]; k < s.row_ptr()[i + 1]; ++k) {
+      const int j = s.col_idx()[k];
+      if (i == j) continue;
+      double dist_sq = 0.0;
+      for (int c = 0; c < y.cols(); ++c) {
+        dist_sq += (y(i, c) - y(j, c)) * (y(i, c) - y(j, c));
+      }
+      brute += 0.5 * s.values()[k] * dist_sq;
+    }
+  }
+  EXPECT_NEAR(RawBias(y, *sim.laplacian), brute, 1e-8);
+  EXPECT_NEAR(Bias(y, *sim.laplacian), brute / y.rows(), 1e-8);
+}
+
+TEST(BiasMetricTest, EqualizingSimilarNodesLowersBias) {
+  const auto data = ppfr::testing::SmallSbm(3, 80, 3);
+  const SimilarityContext sim = SimilarityContext::FromGraph(data.graph);
+  Rng rng(6);
+  la::Matrix y = ppfr::testing::RandomMatrix(data.graph.num_nodes(), 3, &rng);
+  const double before = Bias(y, *sim.laplacian);
+
+  // Copy each node's prediction onto its neighbours (one smoothing sweep).
+  la::Matrix smoothed = y;
+  for (int v = 0; v < data.graph.num_nodes(); ++v) {
+    const auto nbrs = data.graph.Neighbors(v);
+    if (nbrs.empty()) continue;
+    for (int c = 0; c < y.cols(); ++c) {
+      double mean = y(v, c);
+      for (int u : nbrs) mean += y(u, c);
+      smoothed(v, c) = mean / static_cast<double>(nbrs.size() + 1);
+    }
+  }
+  EXPECT_LT(Bias(smoothed, *sim.laplacian), before);
+}
+
+TEST(BiasMetricTest, BiasIsNonNegative) {
+  const auto data = ppfr::testing::SmallSbm(4, 70, 3);
+  const SimilarityContext sim = SimilarityContext::FromGraph(data.graph);
+  Rng rng(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    const la::Matrix y = ppfr::testing::RandomMatrix(data.graph.num_nodes(), 4, &rng);
+    EXPECT_GE(Bias(y, *sim.laplacian), -1e-10);
+  }
+}
+
+TEST(SimilarityContextTest, LaplacianSharedAndConsistent) {
+  const auto data = ppfr::testing::SmallSbm(5, 60, 3);
+  const SimilarityContext sim = SimilarityContext::FromGraph(data.graph);
+  ASSERT_NE(sim.laplacian, nullptr);
+  EXPECT_EQ(sim.laplacian->rows(), data.graph.num_nodes());
+  // L = D - S: off-diagonal entries are negated similarities.
+  const la::CsrMatrix& s = sim.similarity;
+  for (int i = 0; i < std::min(10, s.rows()); ++i) {
+    for (int64_t k = s.row_ptr()[i]; k < s.row_ptr()[i + 1]; ++k) {
+      const int j = s.col_idx()[k];
+      if (i == j) continue;
+      EXPECT_NEAR(sim.laplacian->At(i, j), -s.values()[k], 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppfr::fairness

@@ -1,0 +1,124 @@
+// End-to-end pipeline tests: the paper's qualitative claims, verified on
+// fast configurations. These are the "does the reproduction reproduce"
+// checks — the bench binaries print the full tables.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/experiment.h"
+#include "core/methods.h"
+
+namespace ppfr::core {
+namespace {
+
+struct PipelineCase {
+  nn::ModelKind model;
+  data::DatasetId dataset;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<PipelineCase>& info) {
+  return nn::ModelKindName(info.param.model) + "_" +
+         data::DatasetName(info.param.dataset);
+}
+
+class PipelineSweep : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(PipelineSweep, AllMethodsRunAndStayFinite) {
+  const PipelineCase& test_case = GetParam();
+  ExperimentEnv env = MakeEnv(test_case.dataset, 11);
+  MethodConfig cfg = DefaultMethodConfig(test_case.dataset, test_case.model);
+  cfg.train.epochs = 60;  // fast configuration
+
+  const MethodRun vanilla =
+      RunMethod(MethodKind::kVanilla, test_case.model, env, cfg);
+  EXPECT_GT(vanilla.eval.accuracy, 1.2 / env.dataset.data.num_classes);
+
+  for (MethodKind method : ComparisonMethods()) {
+    const MethodRun run = RunMethod(method, test_case.model, env, cfg);
+    const DeltaMetrics d = ComputeDeltas(run.eval, vanilla.eval);
+    EXPECT_TRUE(std::isfinite(run.eval.accuracy)) << MethodName(method);
+    EXPECT_TRUE(std::isfinite(run.eval.bias)) << MethodName(method);
+    EXPECT_TRUE(std::isfinite(run.eval.risk_auc)) << MethodName(method);
+    EXPECT_TRUE(std::isfinite(d.combined)) << MethodName(method);
+    EXPECT_GT(run.eval.accuracy, 0.0) << MethodName(method);
+    EXPECT_GE(run.eval.risk_auc, 0.0) << MethodName(method);
+    EXPECT_LE(run.eval.risk_auc, 1.0) << MethodName(method);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndDatasets, PipelineSweep,
+    ::testing::Values(PipelineCase{nn::ModelKind::kGcn, data::DatasetId::kEnzymesLike},
+                      PipelineCase{nn::ModelKind::kGat, data::DatasetId::kEnzymesLike},
+                      PipelineCase{nn::ModelKind::kGraphSage,
+                                   data::DatasetId::kEnzymesLike}),
+    CaseName);
+
+// RQ1 (Proposition V.2): on a strongly homophilous graph, the fairness
+// regulariser lowers bias, costs accuracy, and raises the attack AUC.
+TEST(PaperClaims, FairnessRegularizationTradesPrivacy) {
+  ExperimentEnv env = MakeEnv(data::DatasetId::kCoraLike, kDefaultEnvSeed);
+  const MethodConfig cfg =
+      DefaultMethodConfig(data::DatasetId::kCoraLike, nn::ModelKind::kGcn);
+  const MethodRun vanilla =
+      RunMethod(MethodKind::kVanilla, nn::ModelKind::kGcn, env, cfg);
+  const MethodRun reg = RunMethod(MethodKind::kReg, nn::ModelKind::kGcn, env, cfg);
+
+  EXPECT_LT(reg.eval.bias, vanilla.eval.bias);          // fairer (Table III)
+  EXPECT_LT(reg.eval.accuracy, vanilla.eval.accuracy);  // costs accuracy
+  EXPECT_GT(reg.eval.risk_auc, vanilla.eval.risk_auc);  // leakier (Fig. 4, RQ1)
+}
+
+// RQ2: PPFR debiases while keeping the attack AUC at or below vanilla.
+TEST(PaperClaims, PpfrBalancesFairnessAndPrivacy) {
+  ExperimentEnv env = MakeEnv(data::DatasetId::kCoraLike, kDefaultEnvSeed);
+  const MethodConfig cfg =
+      DefaultMethodConfig(data::DatasetId::kCoraLike, nn::ModelKind::kGcn);
+  const MethodRun vanilla =
+      RunMethod(MethodKind::kVanilla, nn::ModelKind::kGcn, env, cfg);
+  const MethodRun ppfr = RunMethod(MethodKind::kPpFr, nn::ModelKind::kGcn, env, cfg);
+  const DeltaMetrics d = ComputeDeltas(ppfr.eval, vanilla.eval);
+
+  EXPECT_LT(d.d_bias, 0.0) << "PPFR must reduce bias";
+  EXPECT_LT(d.d_risk, 0.02) << "PPFR must restrain privacy risk";
+  EXPECT_GT(d.combined, 0.0) << "Eq. 22 composite must be positive";
+}
+
+// DPReg costs far more accuracy than PPFR (the paper's headline comparison).
+TEST(PaperClaims, DpRegCostsMoreAccuracyThanPpfr) {
+  ExperimentEnv env = MakeEnv(data::DatasetId::kCoraLike, kDefaultEnvSeed);
+  const MethodConfig cfg =
+      DefaultMethodConfig(data::DatasetId::kCoraLike, nn::ModelKind::kGcn);
+  const MethodRun vanilla =
+      RunMethod(MethodKind::kVanilla, nn::ModelKind::kGcn, env, cfg);
+  const MethodRun dpreg =
+      RunMethod(MethodKind::kDpReg, nn::ModelKind::kGcn, env, cfg);
+  const MethodRun ppfr = RunMethod(MethodKind::kPpFr, nn::ModelKind::kGcn, env, cfg);
+  const DeltaMetrics d_dpreg = ComputeDeltas(dpreg.eval, vanilla.eval);
+  const DeltaMetrics d_ppfr = ComputeDeltas(ppfr.eval, vanilla.eval);
+  EXPECT_LT(d_dpreg.d_acc, d_ppfr.d_acc)
+      << "training from scratch on the DP graph should cost more accuracy "
+         "than PPFR fine-tuning";
+}
+
+// Full determinism of a composite pipeline (PPFR involves DP-free
+// perturbation, influence functions, QCLP and fine-tuning).
+TEST(Determinism, PpfrIsBitReproducible) {
+  ExperimentEnv env = MakeEnv(data::DatasetId::kEnzymesLike, 13);
+  MethodConfig cfg = DefaultMethodConfig(data::DatasetId::kEnzymesLike,
+                                         nn::ModelKind::kGcn);
+  cfg.train.epochs = 50;
+  const MethodRun a = RunMethod(MethodKind::kPpFr, nn::ModelKind::kGcn, env, cfg);
+  const MethodRun b = RunMethod(MethodKind::kPpFr, nn::ModelKind::kGcn, env, cfg);
+  EXPECT_DOUBLE_EQ(a.eval.accuracy, b.eval.accuracy);
+  EXPECT_DOUBLE_EQ(a.eval.bias, b.eval.bias);
+  EXPECT_DOUBLE_EQ(a.eval.risk_auc, b.eval.risk_auc);
+  ASSERT_EQ(a.fr_weights.size(), b.fr_weights.size());
+  for (size_t i = 0; i < a.fr_weights.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.fr_weights[i], b.fr_weights[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ppfr::core

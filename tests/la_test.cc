@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "la/csr_matrix.h"
+#include "la/matrix.h"
+#include "la/stats.h"
+#include "test_util.h"
+
+namespace ppfr::la {
+namespace {
+
+using ::ppfr::testing::RandomMatrix;
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.size(), 6);
+  m(1, 2) = -4.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), -4.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.5);
+}
+
+TEST(MatrixTest, MatMulKnownValues) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  const Matrix c = MatMul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(MatrixTest, TransposedMatMulVariantsAgree) {
+  Rng rng(3);
+  const Matrix a = RandomMatrix(4, 6, &rng);
+  const Matrix b = RandomMatrix(4, 5, &rng);
+  // aᵀ b via MatMulTransA vs explicit transpose.
+  const Matrix direct = MatMulTransA(a, b);
+  const Matrix reference = MatMul(Transpose(a), b);
+  EXPECT_LT(Sub(direct, reference).MaxAbs(), 1e-12);
+
+  const Matrix c = RandomMatrix(5, 6, &rng);
+  const Matrix direct2 = MatMulTransB(a, c);  // (4,6) x (5,6)ᵀ -> 4x5
+  const Matrix reference2 = MatMul(a, Transpose(c));
+  EXPECT_LT(Sub(direct2, reference2).MaxAbs(), 1e-12);
+}
+
+TEST(MatrixTest, AxpyScaleSumNorm) {
+  Matrix m = Matrix::FromRows({{1, -2}, {3, 0}});
+  const Matrix other = Matrix::FromRows({{1, 1}, {1, 1}});
+  m.Axpy(2.0, other);
+  EXPECT_DOUBLE_EQ(m(0, 0), 3);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0);
+  m.Scale(0.5);
+  EXPECT_DOUBLE_EQ(m(1, 0), 2.5);
+  EXPECT_DOUBLE_EQ(Matrix::FromRows({{3, 4}}).FrobeniusNorm(), 5.0);
+  EXPECT_DOUBLE_EQ(Matrix::FromRows({{-7, 4}}).MaxAbs(), 7.0);
+  EXPECT_DOUBLE_EQ(Matrix::FromRows({{1, 2}, {3, 4}}).SumAll(), 10.0);
+}
+
+TEST(MatrixTest, HadamardAndDot) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::FromRows({{2, 0}, {1, -1}});
+  const Matrix h = Hadamard(a, b);
+  EXPECT_DOUBLE_EQ(h(0, 0), 2);
+  EXPECT_DOUBLE_EQ(h(1, 1), -4);
+  EXPECT_DOUBLE_EQ(Dot(a, b), 2 + 0 + 3 - 4);
+}
+
+TEST(MatrixTest, SoftmaxRowsIsNormalizedAndShiftInvariant) {
+  const Matrix logits = Matrix::FromRows({{1, 2, 3}, {-5, 0, 5}});
+  const Matrix p = SoftmaxRows(logits);
+  for (int r = 0; r < 2; ++r) {
+    double sum = 0;
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_GT(p(r, c), 0.0);
+      sum += p(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+  // Shift invariance.
+  Matrix shifted = logits;
+  for (int c = 0; c < 3; ++c) shifted(0, c) += 100.0;
+  const Matrix p2 = SoftmaxRows(shifted);
+  for (int c = 0; c < 3; ++c) EXPECT_NEAR(p(0, c), p2(0, c), 1e-12);
+}
+
+TEST(MatrixTest, ArgmaxRowsBreaksTiesLow) {
+  const Matrix m = Matrix::FromRows({{1, 3, 2}, {5, 5, 1}, {0, 0, 0}});
+  const std::vector<int> amax = ArgmaxRows(m);
+  EXPECT_EQ(amax[0], 1);
+  EXPECT_EQ(amax[1], 0);
+  EXPECT_EQ(amax[2], 0);
+}
+
+TEST(CsrMatrixTest, FromTripletsDeduplicatesAndSorts) {
+  const CsrMatrix m = CsrMatrix::FromTriplets(
+      3, 3, {{0, 2, 1.0}, {0, 1, 2.0}, {0, 2, 3.0}, {2, 0, -1.0}});
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_DOUBLE_EQ(m.At(0, 2), 4.0);  // summed duplicates
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.At(2, 0), -1.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 0.0);
+}
+
+TEST(CsrMatrixTest, MultiplyMatchesDense) {
+  Rng rng(5);
+  std::vector<Triplet> triplets;
+  for (int i = 0; i < 40; ++i) {
+    triplets.push_back({static_cast<int>(rng.UniformInt(8)),
+                        static_cast<int>(rng.UniformInt(6)), rng.Normal()});
+  }
+  const CsrMatrix sparse = CsrMatrix::FromTriplets(8, 6, triplets);
+  const Matrix x = RandomMatrix(6, 4, &rng);
+  const Matrix got = sparse.Multiply(x);
+  const Matrix want = MatMul(sparse.ToDense(), x);
+  EXPECT_LT(Sub(got, want).MaxAbs(), 1e-12);
+}
+
+TEST(CsrMatrixTest, TransposedIsCorrect) {
+  const CsrMatrix m = CsrMatrix::FromTriplets(2, 3, {{0, 1, 5.0}, {1, 2, -2.0}});
+  const CsrMatrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_DOUBLE_EQ(t.At(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(t.At(2, 1), -2.0);
+}
+
+TEST(CsrMatrixTest, MultiplyAccumAddsScaled) {
+  const CsrMatrix m = CsrMatrix::FromTriplets(2, 2, {{0, 0, 1.0}, {1, 1, 2.0}});
+  const Matrix x = Matrix::FromRows({{1, 1}, {1, 1}});
+  Matrix out(2, 2, 10.0);
+  m.MultiplyAccum(x, 0.5, &out);
+  EXPECT_DOUBLE_EQ(out(0, 0), 10.5);
+  EXPECT_DOUBLE_EQ(out(1, 0), 11.0);
+}
+
+TEST(StatsTest, MeanVarianceKnown) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Variance({1, 1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(Variance({0, 2}), 1.0);  // population variance
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(StatsTest, PearsonPerfectAndAnti) {
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3}, {3, 2, 1}), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);  // constant side
+}
+
+TEST(StatsTest, AucPerfectSeparation) {
+  EXPECT_DOUBLE_EQ(AucFromScores({5, 6, 7}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(AucFromScores({1, 2, 3}, {5, 6, 7}), 0.0);
+}
+
+TEST(StatsTest, AucWithTiesIsHalf) {
+  EXPECT_DOUBLE_EQ(AucFromScores({1, 1, 1}, {1, 1}), 0.5);
+}
+
+TEST(StatsTest, AucOverlappingKnownValue) {
+  // pos {2, 4}, neg {1, 3}: pairs (2>1), (2<3), (4>1), (4>3) -> 3/4.
+  EXPECT_DOUBLE_EQ(AucFromScores({2, 4}, {1, 3}), 0.75);
+}
+
+TEST(StatsTest, AucOnRandomScoresIsNearHalf) {
+  Rng rng(9);
+  std::vector<double> pos(2000), neg(2000);
+  for (auto& v : pos) v = rng.Normal();
+  for (auto& v : neg) v = rng.Normal();
+  EXPECT_NEAR(AucFromScores(pos, neg), 0.5, 0.03);
+}
+
+// Property sweep: SpMM distributes over addition for random sparse matrices.
+class CsrPropertySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CsrPropertySweep, MultiplyIsLinear) {
+  Rng rng(GetParam());
+  std::vector<Triplet> triplets;
+  for (int i = 0; i < 60; ++i) {
+    triplets.push_back({static_cast<int>(rng.UniformInt(10)),
+                        static_cast<int>(rng.UniformInt(10)), rng.Normal()});
+  }
+  const CsrMatrix m = CsrMatrix::FromTriplets(10, 10, triplets);
+  const Matrix x = RandomMatrix(10, 3, &rng);
+  const Matrix y = RandomMatrix(10, 3, &rng);
+  const Matrix lhs = m.Multiply(Add(x, y));
+  const Matrix rhs = Add(m.Multiply(x), m.Multiply(y));
+  EXPECT_LT(Sub(lhs, rhs).MaxAbs(), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsrPropertySweep,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull));
+
+}  // namespace
+}  // namespace ppfr::la

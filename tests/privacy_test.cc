@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "privacy/attack/link_stealing.h"
+#include "privacy/attack/pair_sampler.h"
+#include "privacy/defense/edge_rand.h"
+#include "privacy/defense/heterophilic_perturbation.h"
+#include "privacy/defense/lap_graph.h"
+#include "privacy/distance.h"
+#include "privacy/risk_metric.h"
+#include "test_util.h"
+
+namespace ppfr::privacy {
+namespace {
+
+using ::ppfr::testing::SmallSbm;
+
+TEST(DistanceTest, KnownValues) {
+  const std::vector<double> a{1, 0, 0};
+  const std::vector<double> b{0, 1, 0};
+  EXPECT_NEAR(Distance(DistanceKind::kCosine, a, b), 1.0, 1e-12);
+  EXPECT_NEAR(Distance(DistanceKind::kEuclidean, a, b), std::sqrt(2.0), 1e-12);
+  EXPECT_NEAR(Distance(DistanceKind::kSqeuclidean, a, b), 2.0, 1e-12);
+  EXPECT_NEAR(Distance(DistanceKind::kChebyshev, a, b), 1.0, 1e-12);
+  EXPECT_NEAR(Distance(DistanceKind::kCityblock, a, b), 2.0, 1e-12);
+  EXPECT_NEAR(Distance(DistanceKind::kBraycurtis, a, b), 1.0, 1e-12);
+  EXPECT_NEAR(Distance(DistanceKind::kCanberra, a, b), 2.0, 1e-12);
+}
+
+class DistancePropertySweep : public ::testing::TestWithParam<DistanceKind> {};
+
+TEST_P(DistancePropertySweep, IdentityAndSymmetryAndNonNegativity) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> a(5), b(5);
+    for (auto& x : a) x = 0.05 + rng.Uniform();  // positive, probability-like
+    for (auto& x : b) x = 0.05 + rng.Uniform();
+    const double dab = Distance(GetParam(), a, b);
+    const double dba = Distance(GetParam(), b, a);
+    EXPECT_NEAR(dab, dba, 1e-12);
+    EXPECT_GE(dab, 0.0);
+    EXPECT_NEAR(Distance(GetParam(), a, a), 0.0, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, DistancePropertySweep, ::testing::ValuesIn(AllDistanceKinds()),
+    [](const auto& info) { return DistanceName(info.param); });
+
+TEST(PairSamplerTest, PositivesAreEdgesNegativesAreNot) {
+  const auto data = SmallSbm(1, 100, 3);
+  const PairSample pairs = SamplePairs(data.graph, 50, 7);
+  EXPECT_EQ(pairs.connected.size(), pairs.unconnected.size());
+  EXPECT_LE(pairs.connected.size(), 50u);
+  for (const auto& [u, v] : pairs.connected) EXPECT_TRUE(data.graph.HasEdge(u, v));
+  for (const auto& [u, v] : pairs.unconnected) {
+    EXPECT_FALSE(data.graph.HasEdge(u, v));
+    EXPECT_NE(u, v);
+  }
+}
+
+TEST(PairSamplerTest, UsesAllEdgesWhenBelowCap) {
+  const auto data = SmallSbm(2, 60, 3);
+  const PairSample pairs =
+      SamplePairs(data.graph, static_cast<int>(data.graph.num_edges()) + 100, 7);
+  EXPECT_EQ(static_cast<int64_t>(pairs.connected.size()), data.graph.num_edges());
+}
+
+TEST(LinkStealingTest, RandomPredictionsGiveChanceAuc) {
+  const auto data = SmallSbm(3, 150, 3);
+  const PairSample pairs = SamplePairs(data.graph, 400, 11);
+  Rng rng(5);
+  la::Matrix probs(data.graph.num_nodes(), 3);
+  for (int v = 0; v < probs.rows(); ++v) {
+    double sum = 0.0;
+    for (int c = 0; c < 3; ++c) {
+      probs(v, c) = 0.01 + rng.Uniform();
+      sum += probs(v, c);
+    }
+    for (int c = 0; c < 3; ++c) probs(v, c) /= sum;
+  }
+  const AttackResult result = LinkStealingAttack(probs, pairs);
+  EXPECT_NEAR(result.mean_auc, 0.5, 0.08);
+}
+
+TEST(LinkStealingTest, HomophilousOneHotPredictionsLeakEdges) {
+  const auto data = SmallSbm(4, 150, 3);
+  const PairSample pairs = SamplePairs(data.graph, 400, 11);
+  // Predictions = smoothed one-hot labels: connected nodes mostly share a
+  // class, so their distances are small -> attack succeeds.
+  la::Matrix probs(data.graph.num_nodes(), 3, 0.05);
+  for (int v = 0; v < probs.rows(); ++v) probs(v, data.labels[v]) = 0.9;
+  const AttackResult result = LinkStealingAttack(probs, pairs);
+  EXPECT_GT(result.mean_auc, 0.7);
+  EXPECT_GT(result.cluster_f1, 0.6);
+  EXPECT_EQ(result.auc_per_distance.size(), AllDistanceKinds().size());
+}
+
+TEST(RiskMetricTest, DeltaDZeroForIdenticalDistributions) {
+  const auto data = SmallSbm(5, 100, 3);
+  const PairSample pairs = SamplePairs(data.graph, 100, 3);
+  la::Matrix uniform(data.graph.num_nodes(), 3, 1.0 / 3);
+  EXPECT_NEAR(DeltaD(uniform, pairs, DistanceKind::kCosine), 0.0, 1e-12);
+}
+
+TEST(RiskMetricTest, SurrogateMatchesNumericDefinition) {
+  const auto data = SmallSbm(6, 100, 3);
+  const PairSample pairs = SamplePairs(data.graph, 200, 3);
+  Rng rng(9);
+  const la::Matrix logits =
+      ppfr::testing::RandomMatrix(data.graph.num_nodes(), 3, &rng);
+  ag::Tape tape;
+  ag::Var logits_var = tape.Constant(logits);
+  // Constant input -> needs a leaf somewhere for Backward, but value-only
+  // comparison works without backward.
+  const double surrogate =
+      RiskSurrogate(tape, logits_var, pairs).value()(0, 0);
+  const double reference = NormalizedDeltaD(la::SoftmaxRows(logits), pairs,
+                                            DistanceKind::kSqeuclidean);
+  EXPECT_NEAR(surrogate, reference, 1e-6 * std::max(1.0, reference));
+}
+
+TEST(EdgeRandTest, FlipProbabilityFormula) {
+  EXPECT_NEAR(EdgeRandFlipProbability(std::log(3.0)), 0.5, 1e-12);
+  EXPECT_GT(EdgeRandFlipProbability(1.0), EdgeRandFlipProbability(5.0));
+}
+
+TEST(EdgeRandTest, HighEpsilonPreservesGraph) {
+  const auto data = SmallSbm(7, 120, 3);
+  const graph::Graph noisy = EdgeRand(data.graph, 20.0, 3);
+  // s = 2/(1+e^20) ~ 4e-9: expect essentially no flips.
+  EXPECT_EQ(noisy.num_edges(), data.graph.num_edges());
+}
+
+TEST(EdgeRandTest, FlipCountMatchesRate) {
+  const auto data = SmallSbm(8, 150, 3);
+  const double eps = 6.0;
+  const graph::Graph noisy = EdgeRand(data.graph, eps, 5);
+  // Count differing cells between the two edge sets.
+  int64_t flips = 0;
+  for (const auto& e : data.graph.Edges()) flips += !noisy.HasEdge(e.u, e.v);
+  for (const auto& e : noisy.Edges()) flips += !data.graph.HasEdge(e.u, e.v);
+  const int64_t n = data.graph.num_nodes();
+  const double expected = EdgeRandFlipProbability(eps) * (n * (n - 1) / 2.0);
+  EXPECT_NEAR(static_cast<double>(flips), expected, 4.0 * std::sqrt(expected) + 5.0);
+}
+
+TEST(EdgeRandTest, DeterministicInSeed) {
+  const auto data = SmallSbm(9, 100, 3);
+  const graph::Graph a = EdgeRand(data.graph, 4.0, 11);
+  const graph::Graph b = EdgeRand(data.graph, 4.0, 11);
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  for (const auto& e : a.Edges()) EXPECT_TRUE(b.HasEdge(e.u, e.v));
+}
+
+TEST(LapGraphTest, KeepsEdgeBudget) {
+  const auto data = SmallSbm(10, 100, 3);
+  const graph::Graph noisy = LapGraph(data.graph, 4.0, 3);
+  EXPECT_EQ(noisy.num_edges(), data.graph.num_edges());
+}
+
+TEST(LapGraphTest, HighEpsilonRecoversOriginalEdges) {
+  const auto data = SmallSbm(11, 100, 3);
+  const graph::Graph noisy = LapGraph(data.graph, 50.0, 3);
+  int64_t preserved = 0;
+  for (const auto& e : data.graph.Edges()) preserved += noisy.HasEdge(e.u, e.v);
+  EXPECT_GT(static_cast<double>(preserved),
+            0.95 * static_cast<double>(data.graph.num_edges()));
+}
+
+TEST(LapGraphTest, LowEpsilonDestroysStructure) {
+  const auto data = SmallSbm(12, 100, 3);
+  const graph::Graph noisy = LapGraph(data.graph, 0.1, 3);
+  int64_t preserved = 0;
+  for (const auto& e : data.graph.Edges()) preserved += noisy.HasEdge(e.u, e.v);
+  // At eps=0.1 the Laplace noise dominates: most kept cells are random.
+  EXPECT_LT(static_cast<double>(preserved),
+            0.5 * static_cast<double>(data.graph.num_edges()));
+}
+
+TEST(HeterophilicPerturbationTest, ZeroGammaIsIdentity) {
+  const auto data = SmallSbm(13, 100, 3);
+  const graph::Graph out =
+      AddHeterophilicEdges(data.graph, data.labels, 0.0, 3);
+  EXPECT_EQ(out.num_edges(), data.graph.num_edges());
+}
+
+TEST(HeterophilicPerturbationTest, AddsOnlyCrossLabelNonEdges) {
+  const auto data = SmallSbm(14, 120, 3);
+  const std::vector<int>& predicted = data.labels;
+  const graph::Graph out = AddHeterophilicEdges(data.graph, predicted, 0.5, 3);
+  EXPECT_GT(out.num_edges(), data.graph.num_edges());
+  for (const auto& e : out.Edges()) {
+    if (data.graph.HasEdge(e.u, e.v)) continue;  // original edge
+    EXPECT_NE(predicted[e.u], predicted[e.v])
+        << "added edge must be heterophilic: (" << e.u << "," << e.v << ")";
+  }
+}
+
+TEST(HeterophilicPerturbationTest, BudgetScalesWithGamma) {
+  const auto data = SmallSbm(15, 150, 3);
+  const graph::Graph small = AddHeterophilicEdges(data.graph, data.labels, 0.3, 3);
+  const graph::Graph large = AddHeterophilicEdges(data.graph, data.labels, 1.0, 3);
+  const int64_t added_small = small.num_edges() - data.graph.num_edges();
+  const int64_t added_large = large.num_edges() - data.graph.num_edges();
+  EXPECT_GT(added_large, 2 * added_small);
+  // γ=1 adds about one heterophilic edge per existing edge endpoint (some
+  // collisions are deduplicated, so allow slack).
+  EXPECT_GT(static_cast<double>(added_large),
+            0.6 * static_cast<double>(data.graph.num_edges()));
+}
+
+TEST(HeterophilicPerturbationTest, ReducesHomophily) {
+  const auto data = SmallSbm(16, 150, 3);
+  const graph::Graph out = AddHeterophilicEdges(data.graph, data.labels, 1.0, 3);
+  EXPECT_LT(out.EdgeHomophily(data.labels), data.graph.EdgeHomophily(data.labels));
+}
+
+}  // namespace
+}  // namespace ppfr::privacy

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "solver/projections.h"
+#include "solver/qclp.h"
+
+namespace ppfr::solver {
+namespace {
+
+double Norm(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+TEST(ProjectionsTest, BoxClamps) {
+  std::vector<double> w{-3, 0.5, 2};
+  ProjectBox(-1, 1, &w);
+  EXPECT_EQ(w, (std::vector<double>{-1, 0.5, 1}));
+}
+
+TEST(ProjectionsTest, BallScalesOnlyWhenOutside) {
+  std::vector<double> inside{0.3, 0.4};
+  ProjectBall(1.0, &inside);
+  EXPECT_DOUBLE_EQ(inside[0], 0.3);
+  std::vector<double> outside{3, 4};
+  ProjectBall(1.0, &outside);
+  EXPECT_NEAR(Norm(outside), 1.0, 1e-12);
+  EXPECT_NEAR(outside[0] / outside[1], 0.75, 1e-12);  // direction preserved
+}
+
+TEST(ProjectionsTest, HalfspaceProjectsOntoBoundary) {
+  const std::vector<double> u{1, 1};
+  std::vector<double> ok{0.2, 0.2};
+  ProjectHalfspace(u, 1.0, &ok);
+  EXPECT_DOUBLE_EQ(ok[0], 0.2);  // already feasible
+  std::vector<double> bad{2, 2};
+  ProjectHalfspace(u, 1.0, &bad);
+  EXPECT_NEAR(bad[0] + bad[1], 1.0, 1e-12);
+  EXPECT_NEAR(bad[0], bad[1], 1e-12);
+}
+
+TEST(ProjectionsTest, HyperplaneProjectsBothSides) {
+  const std::vector<double> u{1, 1, 1};
+  std::vector<double> w{1, 2, 3};
+  ProjectHyperplane(u, 0.0, &w);
+  EXPECT_NEAR(w[0] + w[1] + w[2], 0.0, 1e-12);
+  std::vector<double> below{-5, 0, 0};
+  ProjectHyperplane(u, 0.0, &below);
+  EXPECT_NEAR(below[0] + below[1] + below[2], 0.0, 1e-12);
+}
+
+TEST(ProjectionsTest, ProjectionsAreIdempotent) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> w(4);
+    for (auto& x : w) x = rng.Normal() * 3;
+    ProjectBall(2.0, &w);
+    std::vector<double> again = w;
+    ProjectBall(2.0, &again);
+    for (int i = 0; i < 4; ++i) EXPECT_NEAR(w[i], again[i], 1e-12);
+  }
+}
+
+TEST(DykstraTest, IntersectionPointIsFeasible) {
+  Rng rng(5);
+  const std::vector<double> u{1.0, -0.5, 0.25, 1.0};
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> w(4);
+    for (auto& x : w) x = rng.Normal() * 4;
+    ProjectIntersection(-1, 1, 2.0, u, 0.3, DykstraOptions{}, &w);
+    double norm_sq = 0, dot = 0;
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_GE(w[i], -1 - 1e-8);
+      EXPECT_LE(w[i], 1 + 1e-8);
+      norm_sq += w[i] * w[i];
+      dot += u[i] * w[i];
+    }
+    EXPECT_LE(norm_sq, 2.0 + 1e-6);
+    EXPECT_LE(dot, 0.3 + 1e-6);
+  }
+}
+
+TEST(DykstraTest, MatchesExactProjectionOnBoxBall) {
+  // For the point (2, 0) with box [-1,1]² and ball radius 1, the exact
+  // projection is (1, 0) ... but with ball ‖w‖ ≤ 0.5 it is (0.5, 0).
+  std::vector<double> w{2, 0};
+  ProjectIntersection(-1, 1, 0.25, {0.0, 0.0}, 1.0, DykstraOptions{}, &w);
+  EXPECT_NEAR(w[0], 0.5, 1e-6);
+  EXPECT_NEAR(w[1], 0.0, 1e-9);
+}
+
+TEST(QclpTest, BallOnlyAnalyticSolution) {
+  // min cᵀw s.t. ‖w‖² <= r², box wide: w* = -r c/‖c‖.
+  QclpProblem p;
+  p.objective = {3, -4};
+  p.ball_radius_sq = 4.0;
+  p.box_lo = -10;
+  p.box_hi = 10;
+  const QclpResult result = SolveQclp(p);
+  EXPECT_NEAR(result.w[0], -2.0 * 3 / 5, 1e-3);
+  EXPECT_NEAR(result.w[1], 2.0 * 4 / 5, 1e-3);
+  EXPECT_NEAR(result.objective_value, -2.0 * 5, 1e-2);
+}
+
+TEST(QclpTest, BoxBindingSolution) {
+  // Large ball: solution sits at the box corner opposing c.
+  QclpProblem p;
+  p.objective = {1, -2, 0.5};
+  p.ball_radius_sq = 100.0;
+  const QclpResult result = SolveQclp(p);
+  EXPECT_NEAR(result.w[0], -1, 1e-3);
+  EXPECT_NEAR(result.w[1], 1, 1e-3);
+  EXPECT_NEAR(result.w[2], -1, 1e-3);
+}
+
+TEST(QclpTest, SolutionIsFeasible) {
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    QclpProblem p;
+    const int n = 6;
+    p.objective.resize(n);
+    p.halfspace_u.resize(n);
+    for (int i = 0; i < n; ++i) {
+      p.objective[i] = rng.Normal();
+      p.halfspace_u[i] = rng.Normal();
+    }
+    p.ball_radius_sq = 0.5 * n;
+    p.halfspace_offset = 0.2;
+    p.zero_sum = trial % 2 == 0;
+    const QclpResult result = SolveQclp(p);
+    EXPECT_TRUE(IsFeasible(p, result.w, 1e-4)) << "trial " << trial;
+  }
+}
+
+TEST(QclpTest, BeatsRandomFeasiblePoints) {
+  Rng rng(11);
+  QclpProblem p;
+  const int n = 5;
+  p.objective.resize(n);
+  p.halfspace_u.resize(n);
+  for (int i = 0; i < n; ++i) {
+    p.objective[i] = rng.Normal();
+    p.halfspace_u[i] = rng.Normal();
+  }
+  p.ball_radius_sq = 2.0;
+  p.halfspace_offset = 0.1;
+  const QclpResult result = SolveQclp(p);
+
+  // No random feasible point should do meaningfully better.
+  double best_random = 1e9;
+  for (int trial = 0; trial < 20000; ++trial) {
+    std::vector<double> w(n);
+    for (auto& x : w) x = rng.Uniform(-1, 1);
+    if (!IsFeasible(p, w, 0.0)) continue;
+    double value = 0;
+    for (int i = 0; i < n; ++i) value += p.objective[i] * w[i];
+    best_random = std::min(best_random, value);
+  }
+  EXPECT_LE(result.objective_value, best_random + 0.05 * std::fabs(best_random));
+}
+
+TEST(QclpTest, ZeroSumConstraintHolds) {
+  Rng rng(13);
+  QclpProblem p;
+  p.objective = {1.0, 0.5, -0.2, 2.0, -1.5};
+  p.ball_radius_sq = 4.0;
+  p.zero_sum = true;
+  const QclpResult result = SolveQclp(p);
+  double sum = 0;
+  for (double w : result.w) sum += w;
+  EXPECT_NEAR(sum, 0.0, 1e-4);
+  EXPECT_TRUE(IsFeasible(p, result.w, 1e-4));
+}
+
+TEST(QclpTest, ZeroObjectiveReturnsFeasiblePoint) {
+  QclpProblem p;
+  p.objective = {0, 0, 0};
+  p.ball_radius_sq = 1.0;
+  const QclpResult result = SolveQclp(p);
+  EXPECT_TRUE(IsFeasible(p, result.w, 1e-9));
+  EXPECT_DOUBLE_EQ(result.objective_value, 0.0);
+}
+
+// Exhaustive check on a 2-D grid across several random problems.
+class QclpGridSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QclpGridSweep, NearGridOptimum) {
+  Rng rng(GetParam());
+  QclpProblem p;
+  p.objective = {rng.Normal(), rng.Normal()};
+  p.halfspace_u = {rng.Normal(), rng.Normal()};
+  p.ball_radius_sq = 1.2;
+  p.halfspace_offset = 0.15;
+  const QclpResult result = SolveQclp(p);
+
+  double grid_best = 1e9;
+  constexpr int kSteps = 400;
+  for (int i = 0; i <= kSteps; ++i) {
+    for (int j = 0; j <= kSteps; ++j) {
+      std::vector<double> w{-1.0 + 2.0 * i / kSteps, -1.0 + 2.0 * j / kSteps};
+      if (!IsFeasible(p, w, 0.0)) continue;
+      grid_best = std::min(grid_best, p.objective[0] * w[0] + p.objective[1] * w[1]);
+    }
+  }
+  EXPECT_LE(result.objective_value, grid_best + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Problems, QclpGridSweep,
+                         ::testing::Values(21ull, 22ull, 23ull, 24ull, 25ull));
+
+}  // namespace
+}  // namespace ppfr::solver
