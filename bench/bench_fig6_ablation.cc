@@ -43,6 +43,7 @@ void PrintSeries(const std::string& title, const std::string& x_name,
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  la::ConfigureBackendFromFlags(flags);
   const auto datasets =
       bench::ParseDatasets(flags, {data::DatasetId::kCoraLike});
   const auto models = bench::ParseModels(flags, {nn::ModelKind::kGat});

@@ -13,6 +13,7 @@
 int main(int argc, char** argv) {
   using namespace ppfr;
   Flags flags(argc, argv);
+  la::ConfigureBackendFromFlags(flags);
   const auto datasets = bench::ParseDatasets(flags, data::StrongHomophilyDatasets());
 
   std::printf("Fig. 7 — accuracy cost dAcc (%%) on GraphSAGE (higher = better)\n\n");

@@ -2,14 +2,32 @@
 // forward/backward, GAT attention, Jaccard similarity, attack distance
 // evaluation, influence per-node gradients and the QCLP solver. These bound
 // the cost of every experiment binary in this repo.
+//
+// Before the google-benchmark suite runs, the binary prints a
+// reference-vs-parallel backend comparison per kernel and per thread count
+// (the BENCH trajectory for the la::Backend layer). Flags:
+//   --la_backend=reference|parallel --la_threads=N   backend for the BM_* suite
+//   --compare_reps=N        timing repetitions for the comparison (0 skips it)
+//   --compare_gemm_size=N   GEMM problem size (default 512, i.e. 512x512x512)
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
 #include "autograd/ops.h"
+#include "common/flags.h"
 #include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
 #include "data/datasets.h"
 #include "graph/graph_ops.h"
 #include "graph/jaccard.h"
+#include "la/backend.h"
 #include "nn/graph_context.h"
 #include "nn/models.h"
 #include "nn/trainer.h"
@@ -54,7 +72,7 @@ void BM_DenseMatMul(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(la::MatMul(a, b));
   state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
 }
-BENCHMARK(BM_DenseMatMul)->Arg(64)->Arg(128);
+BENCHMARK(BM_DenseMatMul)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_GcnForward(benchmark::State& state) {
   const nn::GraphContext& ctx = CoraLikeContext();
@@ -140,6 +158,125 @@ void BM_QclpSolve(benchmark::State& state) {
 }
 BENCHMARK(BM_QclpSolve)->Arg(140)->Arg(500);
 
+// ---------------------------------------------------------------------------
+// Reference-vs-parallel backend comparison. Each kernel is timed on a
+// standalone ReferenceBackend and on ParallelBackend instances with
+// increasing thread counts; the table reports milliseconds and speedup.
+// ---------------------------------------------------------------------------
+
+struct CompareCase {
+  std::string kernel;
+  std::string shape;
+  std::function<void(const la::Backend&)> run;
+};
+
+double TimeKernel(const la::Backend& backend, const CompareCase& cc, int reps) {
+  cc.run(backend);  // warmup
+  double best_ms = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    Stopwatch sw;
+    cc.run(backend);
+    best_ms = std::min(best_ms, sw.ElapsedMillis());
+  }
+  return best_ms;
+}
+
+void PrintBackendComparison(const Flags& flags) {
+  const int reps = flags.GetInt("compare_reps", 3);
+  if (reps <= 0) return;
+  const int n = flags.GetInt("compare_gemm_size", 512);
+
+  std::vector<int> thread_counts = {1, 2, 4};
+  const int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw > thread_counts.back()) thread_counts.push_back(hw);
+
+  Rng rng(17);
+  la::Matrix a(n, n), b(n, n), gemm_out(n, n);
+  for (int64_t i = 0; i < a.size(); ++i) a.data()[i] = rng.Normal();
+  for (int64_t i = 0; i < b.size(); ++i) b.data()[i] = rng.Normal();
+
+  const nn::GraphContext& ctx = CoraLikeContext();
+  const la::CsrMatrix& adj = ctx.gcn_adj->mat;
+  la::Matrix spmm_x(ctx.num_nodes(), 64), spmm_out(ctx.num_nodes(), 64);
+  for (int64_t i = 0; i < spmm_x.size(); ++i) spmm_x.data()[i] = rng.Normal();
+
+  const int64_t vec_n = 4 * 1000 * 1000;
+  std::vector<double> vx(vec_n), vy(vec_n);
+  for (auto& v : vx) v = rng.Normal();
+  for (auto& v : vy) v = rng.Normal();
+
+  const std::string nn_shape =
+      std::to_string(n) + "x" + std::to_string(n) + "x" + std::to_string(n);
+  std::vector<CompareCase> cases;
+  cases.push_back({"gemm", nn_shape,
+                   [&](const la::Backend& be) { be.Gemm(a, b, &gemm_out); }});
+  cases.push_back({"gemm_transA", nn_shape,
+                   [&](const la::Backend& be) { be.GemmTransA(a, b, &gemm_out); }});
+  cases.push_back({"gemm_transB", nn_shape,
+                   [&](const la::Backend& be) { be.GemmTransB(a, b, &gemm_out); }});
+  // Accumulates across repetitions on purpose: zeroing inside the timed
+  // region would charge both backends a constant memset and dilute the ratio.
+  cases.push_back({"spmm",
+                   std::to_string(adj.rows()) + "x" + std::to_string(adj.cols()) +
+                       " (" + std::to_string(adj.nnz()) + " nnz) x 64",
+                   [&](const la::Backend& be) {
+                     be.SpmmAccum(adj, spmm_x, 1.0, &spmm_out);
+                   }});
+  cases.push_back({"vec_axpy", std::to_string(vec_n),
+                   [&](const la::Backend& be) {
+                     be.VAxpy(0.5, vx.data(), vy.data(), vec_n);
+                   }});
+  cases.push_back({"vec_dot", std::to_string(vec_n),
+                   [&](const la::Backend& be) {
+                     double d = be.VDot(vx.data(), vy.data(), vec_n);
+                     benchmark::DoNotOptimize(d);
+                   }});
+
+  std::vector<std::string> header = {"Kernel", "Shape", "ref ms"};
+  for (int t : thread_counts) {
+    header.push_back("par@" + std::to_string(t) + " ms");
+    header.push_back("speedup@" + std::to_string(t));
+  }
+  TablePrinter table(std::move(header));
+
+  const auto reference = la::MakeBackend(la::BackendKind::kReference, 1);
+  for (const CompareCase& cc : cases) {
+    const double ref_ms = TimeKernel(*reference, cc, reps);
+    std::vector<std::string> row = {cc.kernel, cc.shape, TablePrinter::Num(ref_ms, 2)};
+    for (int t : thread_counts) {
+      const auto parallel = la::MakeBackend(la::BackendKind::kParallel, t);
+      const double par_ms = TimeKernel(*parallel, cc, reps);
+      row.push_back(TablePrinter::Num(par_ms, 2));
+      row.push_back(TablePrinter::Num(ref_ms / par_ms, 2) + "x");
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("la::Backend comparison (best of %d reps; %d hardware threads)\n", reps,
+              hw);
+  table.Print();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const ppfr::Flags flags(argc, argv);
+  ppfr::la::ConfigureBackendFromFlags(flags);
+  PrintBackendComparison(flags);
+  // Hand google-benchmark an argv without this binary's own flags so its
+  // unrecognized-argument guard still catches misspelled --benchmark_* args.
+  std::vector<char*> bench_argv;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.starts_with("--la_backend") || arg.starts_with("--la_threads") ||
+        arg.starts_with("--compare_")) {
+      continue;
+    }
+    bench_argv.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

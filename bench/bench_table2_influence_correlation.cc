@@ -16,6 +16,7 @@
 int main(int argc, char** argv) {
   using namespace ppfr;
   Flags flags(argc, argv);
+  la::ConfigureBackendFromFlags(flags);
   const auto datasets = bench::ParseDatasets(flags, data::StrongHomophilyDatasets());
   const auto models =
       bench::ParseModels(flags, {nn::ModelKind::kGcn, nn::ModelKind::kGat,

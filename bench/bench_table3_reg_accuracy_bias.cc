@@ -12,6 +12,7 @@
 int main(int argc, char** argv) {
   using namespace ppfr;
   Flags flags(argc, argv);
+  la::ConfigureBackendFromFlags(flags);
   const auto datasets = bench::ParseDatasets(flags, data::StrongHomophilyDatasets());
 
   std::printf("Table III — accuracy and bias of GCN, Vanilla vs Reg\n\n");

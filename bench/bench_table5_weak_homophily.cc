@@ -14,6 +14,7 @@
 int main(int argc, char** argv) {
   using namespace ppfr;
   Flags flags(argc, argv);
+  la::ConfigureBackendFromFlags(flags);
   const auto datasets = bench::ParseDatasets(flags, data::WeakHomophilyDatasets());
 
   std::printf("Table V — GCN on weak-homophily datasets (all values %%, Δ raw)\n\n");

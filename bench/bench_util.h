@@ -17,6 +17,7 @@
 #include "common/table_printer.h"
 #include "core/experiment.h"
 #include "core/methods.h"
+#include "la/backend.h"
 
 namespace ppfr::bench {
 

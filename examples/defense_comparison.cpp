@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "common/flags.h"
+#include "la/backend.h"
 #include "common/table_printer.h"
 #include "core/experiment.h"
 #include "core/methods.h"
@@ -21,6 +22,7 @@
 int main(int argc, char** argv) {
   using namespace ppfr;
   Flags flags(argc, argv);
+  la::ConfigureBackendFromFlags(flags);
   core::ExperimentEnv env =
       core::MakeEnv(data::DatasetId::kCoraLike, core::kDefaultEnvSeed);
   core::MethodConfig cfg =

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "common/flags.h"
+#include "la/backend.h"
 #include "common/table_printer.h"
 #include "core/experiment.h"
 #include "core/methods.h"
@@ -36,6 +37,7 @@ ppfr::nn::ModelKind ParseModel(const std::string& name) {
 
 int main(int argc, char** argv) {
   ppfr::Flags flags(argc, argv);
+  ppfr::la::ConfigureBackendFromFlags(flags);
   const ppfr::data::DatasetId dataset_id =
       ParseDataset(flags.GetString("dataset", "CoraLike"));
   const ppfr::nn::ModelKind model_kind = ParseModel(flags.GetString("model", "GCN"));

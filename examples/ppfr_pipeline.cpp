@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "common/flags.h"
+#include "la/backend.h"
 #include "core/experiment.h"
 #include "core/methods.h"
 #include "la/stats.h"
@@ -40,6 +41,7 @@ void PrintEval(const char* tag, const ppfr::core::EvalResult& eval) {
 int main(int argc, char** argv) {
   using namespace ppfr;
   Flags flags(argc, argv);
+  la::ConfigureBackendFromFlags(flags);
   const data::DatasetId dataset = ParseDataset(flags.GetString("dataset", "CoraLike"));
   const nn::ModelKind model_kind = ParseModel(flags.GetString("model", "GCN"));
 

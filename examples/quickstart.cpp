@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "common/flags.h"
+#include "la/backend.h"
 #include "core/experiment.h"
 #include "core/methods.h"
 #include "nn/trainer.h"
@@ -28,6 +29,7 @@ ppfr::data::DatasetId ParseDataset(const std::string& name) {
 
 int main(int argc, char** argv) {
   ppfr::Flags flags(argc, argv);
+  ppfr::la::ConfigureBackendFromFlags(flags);
   const ppfr::data::DatasetId dataset_id =
       ParseDataset(flags.GetString("dataset", "CoraLike"));
 

@@ -55,4 +55,24 @@ class CheckMessage {
 #define PPFR_CHECK_GT(a, b) PPFR_CHECK_OP(a, b, >)
 #define PPFR_CHECK_GE(a, b) PPFR_CHECK_OP(a, b, >=)
 
+// Debug-only variants for hot-path preconditions (element access, kernel
+// inner loops). Active unless NDEBUG; in release builds they compile to
+// nothing while still type-checking the condition and any streamed message.
+#ifndef NDEBUG
+#define PPFR_DCHECK(cond) PPFR_CHECK(cond)
+#define PPFR_DCHECK_OP(a, b, op) PPFR_CHECK_OP(a, b, op)
+#else
+#define PPFR_DCHECK(cond) \
+  while (false) PPFR_CHECK(cond)
+#define PPFR_DCHECK_OP(a, b, op) \
+  while (false) PPFR_CHECK_OP(a, b, op)
+#endif
+
+#define PPFR_DCHECK_EQ(a, b) PPFR_DCHECK_OP(a, b, ==)
+#define PPFR_DCHECK_NE(a, b) PPFR_DCHECK_OP(a, b, !=)
+#define PPFR_DCHECK_LT(a, b) PPFR_DCHECK_OP(a, b, <)
+#define PPFR_DCHECK_LE(a, b) PPFR_DCHECK_OP(a, b, <=)
+#define PPFR_DCHECK_GT(a, b) PPFR_DCHECK_OP(a, b, >)
+#define PPFR_DCHECK_GE(a, b) PPFR_DCHECK_OP(a, b, >=)
+
 #endif  // PPFR_COMMON_CHECK_H_

@@ -1,0 +1,102 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ppfr {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) {
+    num_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (num_threads <= 0) num_threads = 1;
+  }
+  num_threads_ = num_threads;
+  // The calling thread executes chunks too, so only n-1 workers are needed.
+  workers_.reserve(static_cast<size_t>(num_threads_ - 1));
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutdown with a drained queue
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+    }
+    task_done_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t min_grain,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  const int64_t range = end - begin;
+  if (range <= 0) return;
+  min_grain = std::max<int64_t>(min_grain, 1);
+  // Floor division so every chunk carries at least min_grain iterations (the
+  // backends use min_grain as "below this, threading doesn't pay").
+  const int64_t max_chunks = std::max<int64_t>(range / min_grain, 1);
+  const int64_t num_chunks = std::min<int64_t>(num_threads_, max_chunks);
+  if (num_chunks <= 1 || workers_.empty()) {
+    fn(begin, end);
+    return;
+  }
+
+  const int64_t chunk = (range + num_chunks - 1) / num_chunks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PPFR_CHECK_EQ(pending_, 0) << "ThreadPool::ParallelFor is not reentrant";
+    for (int64_t c = 1; c < num_chunks; ++c) {
+      const int64_t lo = begin + c * chunk;
+      const int64_t hi = std::min(end, lo + chunk);
+      if (lo >= hi) break;
+      tasks_.emplace([&fn, lo, hi] { fn(lo, hi); });
+      ++pending_;
+    }
+  }
+  task_ready_.notify_all();
+
+  // The caller runs the first chunk, then helps drain the queue before
+  // blocking, so a pool is never slower than the loop it replaces.
+  fn(begin, std::min(end, begin + chunk));
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!tasks_.empty()) {
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      } else {
+        task_done_.wait(lock, [this] { return pending_ == 0; });
+        return;
+      }
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+    }
+    task_done_.notify_all();
+  }
+}
+
+}  // namespace ppfr

@@ -1,0 +1,57 @@
+#ifndef PPFR_COMMON_THREAD_POOL_H_
+#define PPFR_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ppfr {
+
+// Fixed-size pool of worker threads with a fork-join ParallelFor. Workers are
+// spawned once and reused across calls; ParallelFor blocks the caller until
+// every chunk has run (the caller participates, so a 1-thread pool degrades
+// to an inline loop with zero synchronisation).
+//
+// ParallelFor is not reentrant, and that covers concurrent external callers
+// too: a second orchestration thread entering ParallelFor while another
+// call's chunks are pending trips a CHECK. One pool serves one caller at a
+// time (the la::Backend layer only parallelises leaf kernels, driven from a
+// single orchestration thread).
+class ThreadPool {
+ public:
+  // num_threads <= 0 selects std::thread::hardware_concurrency().
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // Splits [begin, end) into contiguous chunks of at least min_grain
+  // iterations and invokes fn(chunk_begin, chunk_end) across the pool.
+  // Chunks are disjoint, so fn may write to per-index state without locking.
+  void ParallelFor(int64_t begin, int64_t end, int64_t min_grain,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable task_done_;
+  std::queue<std::function<void()>> tasks_;
+  int64_t pending_ = 0;  // queued + running tasks
+  bool shutdown_ = false;
+};
+
+}  // namespace ppfr
+
+#endif  // PPFR_COMMON_THREAD_POOL_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "la/backend.h"
 
 namespace ppfr::influence {
 
@@ -42,18 +43,20 @@ void SetValues(const std::vector<ag::Parameter*>& params,
   }
 }
 
+// Parameter-vector arithmetic dispatches through the active la::Backend so
+// the CG solve inside the influence machinery scales with the same kernels
+// as the rest of the stack.
+
 double VecDot(const std::vector<double>& a, const std::vector<double>& b) {
   PPFR_CHECK_EQ(a.size(), b.size());
-  double s = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
-  return s;
+  return la::ActiveBackend().VDot(a.data(), b.data(), static_cast<int64_t>(a.size()));
 }
 
 double VecNorm(const std::vector<double>& a) { return std::sqrt(VecDot(a, a)); }
 
 void VecAxpy(double alpha, const std::vector<double>& x, std::vector<double>* y) {
   PPFR_CHECK_EQ(x.size(), y->size());
-  for (size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+  la::ActiveBackend().VAxpy(alpha, x.data(), y->data(), static_cast<int64_t>(x.size()));
 }
 
 }  // namespace ppfr::influence

@@ -1,0 +1,506 @@
+#include "la/backend.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/check.h"
+#include "common/flags.h"
+#include "common/thread_pool.h"
+
+namespace ppfr::la {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Naive kernels. These are the original seed loops, kept verbatim: they are
+// the ReferenceBackend (correctness oracle) and the small-problem fallback of
+// the ParallelBackend, where blocking/packing overhead would dominate.
+// ---------------------------------------------------------------------------
+
+void NaiveGemm(const Matrix& a, const Matrix& b, Matrix* out) {
+  out->Zero();
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+  for (int i = 0; i < a.rows(); ++i) {
+    double* out_row = out->row(i);
+    const double* a_row = a.row(i);
+    for (int k = 0; k < a.cols(); ++k) {
+      const double aik = a_row[k];
+      if (aik == 0.0) continue;
+      const double* b_row = b.row(k);
+      for (int j = 0; j < b.cols(); ++j) out_row[j] += aik * b_row[j];
+    }
+  }
+}
+
+void NaiveGemmTransA(const Matrix& a, const Matrix& b, Matrix* out) {
+  out->Zero();
+  for (int k = 0; k < a.rows(); ++k) {
+    const double* a_row = a.row(k);
+    const double* b_row = b.row(k);
+    for (int i = 0; i < a.cols(); ++i) {
+      const double aki = a_row[i];
+      if (aki == 0.0) continue;
+      double* out_row = out->row(i);
+      for (int j = 0; j < b.cols(); ++j) out_row[j] += aki * b_row[j];
+    }
+  }
+}
+
+void NaiveGemmTransB(const Matrix& a, const Matrix& b, Matrix* out) {
+  for (int i = 0; i < a.rows(); ++i) {
+    const double* a_row = a.row(i);
+    double* out_row = out->row(i);
+    for (int j = 0; j < b.rows(); ++j) {
+      const double* b_row = b.row(j);
+      double s = 0.0;
+      for (int k = 0; k < a.cols(); ++k) s += a_row[k] * b_row[k];
+      out_row[j] = s;
+    }
+  }
+}
+
+void NaiveTranspose(const Matrix& a, Matrix* out) {
+  for (int r = 0; r < a.rows(); ++r) {
+    for (int c = 0; c < a.cols(); ++c) (*out)(c, r) = a(r, c);
+  }
+}
+
+void NaiveSpmmAccumRows(const CsrMatrix& a, const Matrix& x, double alpha, Matrix* out,
+                        int64_t row_begin, int64_t row_end) {
+  const int n = x.cols();
+  const std::vector<int64_t>& row_ptr = a.row_ptr();
+  const std::vector<int>& col_idx = a.col_idx();
+  const std::vector<double>& values = a.values();
+  for (int64_t r = row_begin; r < row_end; ++r) {
+    double* out_row = out->row(static_cast<int>(r));
+    for (int64_t k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const double w = alpha * values[k];
+      const double* x_row = x.row(col_idx[k]);
+      for (int j = 0; j < n; ++j) out_row[j] += w * x_row[j];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ReferenceBackend
+// ---------------------------------------------------------------------------
+
+class ReferenceBackend final : public Backend {
+ public:
+  std::string name() const override { return "reference"; }
+
+  void Gemm(const Matrix& a, const Matrix& b, Matrix* out) const override {
+    NaiveGemm(a, b, out);
+  }
+  void GemmTransA(const Matrix& a, const Matrix& b, Matrix* out) const override {
+    NaiveGemmTransA(a, b, out);
+  }
+  void GemmTransB(const Matrix& a, const Matrix& b, Matrix* out) const override {
+    NaiveGemmTransB(a, b, out);
+  }
+  void Transpose(const Matrix& a, Matrix* out) const override {
+    NaiveTranspose(a, out);
+  }
+  void Hadamard(const Matrix& a, const Matrix& b, Matrix* out) const override {
+    const double* pa = a.data();
+    const double* pb = b.data();
+    double* po = out->data();
+    for (int64_t i = 0; i < a.size(); ++i) po[i] = pa[i] * pb[i];
+  }
+  void SpmmAccum(const CsrMatrix& a, const Matrix& x, double alpha,
+                 Matrix* out) const override {
+    NaiveSpmmAccumRows(a, x, alpha, out, 0, a.rows());
+  }
+  double VDot(const double* a, const double* b, int64_t n) const override {
+    double s = 0.0;
+    for (int64_t i = 0; i < n; ++i) s += a[i] * b[i];
+    return s;
+  }
+  void VAxpy(double alpha, const double* x, double* y, int64_t n) const override {
+    for (int64_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+  }
+  void VScale(double alpha, double* x, int64_t n) const override {
+    for (int64_t i = 0; i < n; ++i) x[i] *= alpha;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// ParallelBackend: cache-blocked GEMM with packed operands (GEBP scheme) and
+// row-partitioned sparse/elementwise kernels on a shared thread pool.
+//
+// Determinism: for a fixed problem the floating-point summation order is
+// independent of the thread count — GEMM assigns each output tile to exactly
+// one thread and walks k in ascending panel order, SpMM partitions disjoint
+// rows, and reductions sum fixed-size block partials in block order.
+// ---------------------------------------------------------------------------
+
+// Register micro-tile (MR x NR accumulators) and cache panels: an MC x KC
+// packed panel of A lives in L2, a KC x NR sliver of packed B streams from
+// L1, and the KC x NC packed B panel sits in L3.
+constexpr int kMr = 4;
+constexpr int kNr = 8;
+constexpr int kMc = 64;
+constexpr int kKc = 256;
+constexpr int kNc = 2048;
+
+// Below these sizes the naive loops win (no packing / dispatch overhead).
+constexpr int64_t kGemmSerialCutoff = 32 * 1024;   // m*n*k
+constexpr int64_t kElementwiseCutoff = 32 * 1024;  // flat elements
+constexpr int64_t kSpmmWorkCutoff = 32 * 1024;     // nnz * x.cols()
+constexpr int64_t kReduceBlock = 4096;             // deterministic partial sums
+
+int64_t RoundUp(int64_t v, int64_t multiple) {
+  return (v + multiple - 1) / multiple * multiple;
+}
+
+class ParallelBackend final : public Backend {
+ public:
+  explicit ParallelBackend(int num_threads) : pool_(num_threads) {}
+
+  std::string name() const override { return "parallel"; }
+  int num_threads() const override { return pool_.num_threads(); }
+
+  void Gemm(const Matrix& a, const Matrix& b, Matrix* out) const override {
+    const int m = a.rows(), k = a.cols(), n = b.cols();
+    const int64_t work = static_cast<int64_t>(m) * n * k;
+    if (work < kGemmSerialCutoff || n < kNr || k < 8) {
+      NaiveGemm(a, b, out);
+      return;
+    }
+    BlockedGemm(a, b, out);
+  }
+
+  void GemmTransA(const Matrix& a, const Matrix& b, Matrix* out) const override {
+    const int64_t work = static_cast<int64_t>(a.cols()) * b.cols() * a.rows();
+    if (work < kGemmSerialCutoff || b.cols() < kNr || a.rows() < 8) {
+      NaiveGemmTransA(a, b, out);
+      return;
+    }
+    // aᵀ·b via an explicit transpose; the packed-GEMM throughput dwarfs the
+    // one extra pass over a.
+    Matrix at(a.cols(), a.rows());
+    Transpose(a, &at);
+    BlockedGemm(at, b, out);
+  }
+
+  void GemmTransB(const Matrix& a, const Matrix& b, Matrix* out) const override {
+    const int64_t work = static_cast<int64_t>(a.rows()) * b.rows() * a.cols();
+    if (work < kGemmSerialCutoff || b.rows() < kNr || a.cols() < 8) {
+      NaiveGemmTransB(a, b, out);
+      return;
+    }
+    Matrix bt(b.cols(), b.rows());
+    Transpose(b, &bt);
+    BlockedGemm(a, bt, out);
+  }
+
+  void Transpose(const Matrix& a, Matrix* out) const override {
+    constexpr int kTile = 32;
+    if (a.size() < kElementwiseCutoff) {
+      NaiveTranspose(a, out);
+      return;
+    }
+    const int rows = a.rows(), cols = a.cols();
+    const int64_t row_tiles = (rows + kTile - 1) / kTile;
+    pool_.ParallelFor(0, row_tiles, 1, [&](int64_t t0, int64_t t1) {
+      for (int64_t t = t0; t < t1; ++t) {
+        const int r0 = static_cast<int>(t) * kTile;
+        const int r1 = std::min(rows, r0 + kTile);
+        for (int c0 = 0; c0 < cols; c0 += kTile) {
+          const int c1 = std::min(cols, c0 + kTile);
+          for (int r = r0; r < r1; ++r) {
+            for (int c = c0; c < c1; ++c) (*out)(c, r) = a(r, c);
+          }
+        }
+      }
+    });
+  }
+
+  void Hadamard(const Matrix& a, const Matrix& b, Matrix* out) const override {
+    const double* pa = a.data();
+    const double* pb = b.data();
+    double* po = out->data();
+    pool_.ParallelFor(0, a.size(), kElementwiseCutoff, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] * pb[i];
+    });
+  }
+
+  void SpmmAccum(const CsrMatrix& a, const Matrix& x, double alpha,
+                 Matrix* out) const override {
+    const int64_t work = a.nnz() * x.cols();
+    if (work < kSpmmWorkCutoff || a.rows() == 0) {
+      NaiveSpmmAccumRows(a, x, alpha, out, 0, a.rows());
+      return;
+    }
+    // Row-range partition: each thread owns a disjoint slice of output rows,
+    // sized so a chunk carries at least ~kSpmmWorkCutoff flops.
+    const int64_t avg_row_work = std::max<int64_t>(1, work / a.rows());
+    const int64_t grain = std::max<int64_t>(1, kSpmmWorkCutoff / avg_row_work);
+    pool_.ParallelFor(0, a.rows(), grain, [&](int64_t lo, int64_t hi) {
+      NaiveSpmmAccumRows(a, x, alpha, out, lo, hi);
+    });
+  }
+
+  double VDot(const double* a, const double* b, int64_t n) const override {
+    if (n < kElementwiseCutoff) {
+      double s = 0.0;
+      for (int64_t i = 0; i < n; ++i) s += a[i] * b[i];
+      return s;
+    }
+    // Fixed-size block partials summed in block order: the result does not
+    // depend on how blocks were assigned to threads.
+    const int64_t num_blocks = (n + kReduceBlock - 1) / kReduceBlock;
+    std::vector<double> partial(static_cast<size_t>(num_blocks), 0.0);
+    pool_.ParallelFor(0, num_blocks, 4, [&](int64_t b0, int64_t b1) {
+      for (int64_t blk = b0; blk < b1; ++blk) {
+        const int64_t lo = blk * kReduceBlock;
+        const int64_t hi = std::min(n, lo + kReduceBlock);
+        double s = 0.0;
+        for (int64_t i = lo; i < hi; ++i) s += a[i] * b[i];
+        partial[static_cast<size_t>(blk)] = s;
+      }
+    });
+    double s = 0.0;
+    for (double p : partial) s += p;
+    return s;
+  }
+
+  void VAxpy(double alpha, const double* x, double* y, int64_t n) const override {
+    pool_.ParallelFor(0, n, kElementwiseCutoff, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) y[i] += alpha * x[i];
+    });
+  }
+
+  void VScale(double alpha, double* x, int64_t n) const override {
+    pool_.ParallelFor(0, n, kElementwiseCutoff, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) x[i] *= alpha;
+    });
+  }
+
+ private:
+  // GEBP-blocked GEMM. B panels are packed transposed into NR-wide, k-major
+  // slivers (so the micro-kernel streams both operands with unit stride), A
+  // panels into MR-wide k-major slivers; both are zero-padded to full tiles
+  // so the register kernel never branches on edges.
+  void BlockedGemm(const Matrix& a, const Matrix& b, Matrix* out) const {
+    const int m = a.rows(), k = a.cols(), n = b.cols();
+    out->Zero();
+    if (m == 0 || n == 0 || k == 0) return;
+
+    std::vector<double> bpack;
+    for (int jc = 0; jc < n; jc += kNc) {
+      const int nc = std::min(kNc, n - jc);
+      const int ncp = static_cast<int>(RoundUp(nc, kNr));
+      for (int kc = 0; kc < k; kc += kKc) {
+        const int kb = std::min(kKc, k - kc);
+        bpack.assign(static_cast<size_t>(kb) * ncp, 0.0);
+        for (int p = 0; p < ncp / kNr; ++p) {
+          double* dst = bpack.data() + static_cast<size_t>(p) * kb * kNr;
+          const int valid = std::min(kNr, nc - p * kNr);
+          for (int kk = 0; kk < kb; ++kk) {
+            const double* b_row = b.row(kc + kk) + jc + p * kNr;
+            for (int j = 0; j < valid; ++j) dst[kk * kNr + j] = b_row[j];
+          }
+        }
+
+        const int64_t num_ic_blocks = (m + kMc - 1) / kMc;
+        const int64_t num_p_panels = ncp / kNr;
+        if (num_ic_blocks >= pool_.num_threads() || num_ic_blocks >= num_p_panels) {
+          // Tall m: partition row blocks across threads, each packing its own
+          // A panels.
+          pool_.ParallelFor(0, num_ic_blocks, 1, [&](int64_t blk0, int64_t blk1) {
+            std::vector<double> apack;
+            for (int64_t blk = blk0; blk < blk1; ++blk) {
+              const int ic = static_cast<int>(blk) * kMc;
+              const int mc = std::min(kMc, m - ic);
+              const int mcp = PackA(a, ic, mc, kc, kb, &apack);
+              for (int p = 0; p < num_p_panels; ++p) {
+                const double* bp = bpack.data() + static_cast<size_t>(p) * kb * kNr;
+                const int nr = std::min(kNr, nc - p * kNr);
+                for (int q = 0; q < mcp / kMr; ++q) {
+                  const double* ap = apack.data() + static_cast<size_t>(q) * kb * kMr;
+                  MicroKernel(ap, bp, kb, out, ic + q * kMr,
+                              std::min(kMr, mc - q * kMr), jc + p * kNr, nr);
+                }
+              }
+            }
+          });
+        } else {
+          // Skinny m (fewer row blocks than threads, e.g. weight-gradient
+          // GEMMs where m is a hidden width): pack A once and partition the
+          // B column panels across threads instead — each thread owns a
+          // disjoint column range of out.
+          std::vector<double> apack;
+          for (int64_t blk = 0; blk < num_ic_blocks; ++blk) {
+            const int ic = static_cast<int>(blk) * kMc;
+            const int mc = std::min(kMc, m - ic);
+            const int mcp = PackA(a, ic, mc, kc, kb, &apack);
+            pool_.ParallelFor(0, num_p_panels, 1, [&](int64_t p0, int64_t p1) {
+              for (int64_t p = p0; p < p1; ++p) {
+                const double* bp = bpack.data() + static_cast<size_t>(p) * kb * kNr;
+                const int nr = std::min(kNr, nc - static_cast<int>(p) * kNr);
+                for (int q = 0; q < mcp / kMr; ++q) {
+                  const double* ap = apack.data() + static_cast<size_t>(q) * kb * kMr;
+                  MicroKernel(ap, bp, kb, out, ic + q * kMr,
+                              std::min(kMr, mc - q * kMr),
+                              jc + static_cast<int>(p) * kNr, nr);
+                }
+              }
+            });
+          }
+        }
+      }
+    }
+  }
+
+  // Packs the (ic, kc) panel of A into MR-wide k-major slivers, zero-padded
+  // to full tiles. Returns the padded row count mcp.
+  static int PackA(const Matrix& a, int ic, int mc, int kc, int kb,
+                   std::vector<double>* apack) {
+    const int mcp = static_cast<int>(RoundUp(mc, kMr));
+    apack->assign(static_cast<size_t>(kb) * mcp, 0.0);
+    for (int q = 0; q < mcp / kMr; ++q) {
+      double* dst = apack->data() + static_cast<size_t>(q) * kb * kMr;
+      const int valid = std::min(kMr, mc - q * kMr);
+      for (int ir = 0; ir < valid; ++ir) {
+        const double* a_row = a.row(ic + q * kMr + ir) + kc;
+        for (int kk = 0; kk < kb; ++kk) dst[kk * kMr + ir] = a_row[kk];
+      }
+    }
+    return mcp;
+  }
+
+  // out[i0:i0+mr, j0:j0+nr] += Apack(kb x kMr) · Bpack(kb x kNr). The kMr*kNr
+  // accumulators live in registers; the jr loop is the SIMD dimension.
+  static void MicroKernel(const double* ap, const double* bp, int kb, Matrix* out,
+                          int i0, int mr, int j0, int nr) {
+    double acc[kMr * kNr] = {0.0};
+    for (int kk = 0; kk < kb; ++kk) {
+      const double* av = ap + static_cast<size_t>(kk) * kMr;
+      const double* bv = bp + static_cast<size_t>(kk) * kNr;
+      for (int ir = 0; ir < kMr; ++ir) {
+        const double aik = av[ir];
+        for (int jr = 0; jr < kNr; ++jr) acc[ir * kNr + jr] += aik * bv[jr];
+      }
+    }
+    for (int ir = 0; ir < mr; ++ir) {
+      double* out_row = out->row(i0 + ir) + j0;
+      for (int jr = 0; jr < nr; ++jr) out_row[jr] += acc[ir * kNr + jr];
+    }
+  }
+
+  mutable ThreadPool pool_;
+};
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Backend>& BackendSlot() {
+  static std::unique_ptr<Backend> slot;
+  return slot;
+}
+
+BackendKind g_active_kind = BackendKind::kParallel;
+int g_active_threads = 0;  // requested value; 0 = hardware concurrency
+
+// First-use initialisation from the environment. call_once makes a cold
+// concurrent ActiveBackend() safe; swapping backends afterwards
+// (SetActiveBackend) is an orchestration-thread-only operation, like the
+// kernels themselves (see ThreadPool::ParallelFor).
+std::once_flag g_env_init_once;
+
+void InitFromEnvIfNeeded() {
+  std::call_once(g_env_init_once, [] {
+    if (BackendSlot() != nullptr) return;  // SetActiveBackend already ran
+    BackendKind kind = BackendKind::kParallel;
+    int threads = 0;
+    if (const char* env = std::getenv("PPFR_LA_BACKEND")) {
+      const std::string value(env);
+      if (value == "reference") {
+        kind = BackendKind::kReference;
+      } else {
+        PPFR_CHECK(value == "parallel" || value.empty())
+            << "PPFR_LA_BACKEND must be 'reference' or 'parallel', got '" << value
+            << "'";
+      }
+    }
+    if (const char* env = std::getenv("PPFR_LA_THREADS")) threads = std::atoi(env);
+    SetActiveBackend(kind, threads);
+  });
+}
+
+}  // namespace
+
+std::string BackendKindName(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kReference:
+      return "reference";
+    case BackendKind::kParallel:
+      return "parallel";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Backend> MakeBackend(BackendKind kind, int num_threads) {
+  switch (kind) {
+    case BackendKind::kReference:
+      return std::make_unique<ReferenceBackend>();
+    case BackendKind::kParallel:
+      return std::make_unique<ParallelBackend>(num_threads);
+  }
+  PPFR_CHECK(false) << "unknown backend kind";
+  return nullptr;
+}
+
+Backend& ActiveBackend() {
+  InitFromEnvIfNeeded();
+  return *BackendSlot();
+}
+
+BackendKind ActiveBackendKind() {
+  InitFromEnvIfNeeded();
+  return g_active_kind;
+}
+
+void SetActiveBackend(BackendKind kind, int num_threads) {
+  BackendSlot() = MakeBackend(kind, num_threads);
+  g_active_kind = kind;
+  g_active_threads = num_threads;
+}
+
+void ConfigureBackendFromFlags(const Flags& flags) {
+  InitFromEnvIfNeeded();
+  BackendKind kind = g_active_kind;
+  int threads = g_active_threads;
+  if (flags.Has("la_backend")) {
+    const std::string value = flags.GetString("la_backend", "");
+    if (value == "reference") {
+      kind = BackendKind::kReference;
+    } else if (value == "parallel") {
+      kind = BackendKind::kParallel;
+    } else {
+      PPFR_CHECK(false) << "--la_backend must be 'reference' or 'parallel', got '"
+                        << value << "'";
+    }
+  }
+  if (flags.Has("la_threads")) threads = flags.GetInt("la_threads", threads);
+  // Avoid tearing down and respawning an identical thread pool when the
+  // flags only restate the current configuration.
+  if (kind != g_active_kind || threads != g_active_threads) {
+    SetActiveBackend(kind, threads);
+  }
+}
+
+ScopedBackend::ScopedBackend(BackendKind kind, int num_threads) {
+  InitFromEnvIfNeeded();
+  previous_kind_ = g_active_kind;
+  previous_threads_ = g_active_threads;
+  SetActiveBackend(kind, num_threads);
+}
+
+ScopedBackend::~ScopedBackend() { SetActiveBackend(previous_kind_, previous_threads_); }
+
+}  // namespace ppfr::la

@@ -1,0 +1,102 @@
+#ifndef PPFR_LA_BACKEND_H_
+#define PPFR_LA_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "la/csr_matrix.h"
+#include "la/matrix.h"
+
+namespace ppfr {
+class Flags;
+}  // namespace ppfr
+
+namespace ppfr::la {
+
+// Compute backend behind every dense/sparse linear-algebra hot path in the
+// library. The free functions in matrix.h, CsrMatrix::Multiply*, and the
+// flat-vector helpers in influence/param_vector.h all dispatch through the
+// active backend, so autograd, nn, influence and privacy never touch a raw
+// kernel directly — swapping the backend re-routes the whole stack.
+//
+// Implementations:
+//   * ReferenceBackend — the original single-threaded loops, kept as the
+//     correctness oracle for tests and as the small-problem fallback.
+//   * ParallelBackend  — cache-blocked GEMM with packed operands,
+//     multi-threaded via common/thread_pool.h, and row-partitioned CSR SpMM.
+//
+// Threading contract: kernels fan work out across the pool internally, but
+// must be *invoked* from a single orchestration thread at a time (the
+// ParallelBackend pool is not reentrant and concurrent entry trips its
+// ParallelFor check). Parallelism across independent problems belongs above
+// this layer, e.g. the tape-pool design sketched in ROADMAP.md.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual std::string name() const = 0;
+  virtual int num_threads() const { return 1; }
+
+  // Dense GEMM family. `out` must be preallocated to the result shape; the
+  // kernels overwrite it.
+  virtual void Gemm(const Matrix& a, const Matrix& b, Matrix* out) const = 0;        // a·b
+  virtual void GemmTransA(const Matrix& a, const Matrix& b, Matrix* out) const = 0;  // aᵀ·b
+  virtual void GemmTransB(const Matrix& a, const Matrix& b, Matrix* out) const = 0;  // a·bᵀ
+  virtual void Transpose(const Matrix& a, Matrix* out) const = 0;
+
+  // Elementwise / reduction kernels on matrices.
+  virtual void Hadamard(const Matrix& a, const Matrix& b, Matrix* out) const = 0;
+  double Dot(const Matrix& a, const Matrix& b) const {
+    return VDot(a.data(), b.data(), a.size());
+  }
+
+  // Sparse: out += alpha * a * x, row-major dense x/out.
+  virtual void SpmmAccum(const CsrMatrix& a, const Matrix& x, double alpha,
+                         Matrix* out) const = 0;
+
+  // Flat-vector kernels (parameter vectors in the influence machinery, and
+  // Matrix::Axpy/Scale over the contiguous buffer).
+  virtual double VDot(const double* a, const double* b, int64_t n) const = 0;
+  virtual void VAxpy(double alpha, const double* x, double* y, int64_t n) const = 0;
+  virtual void VScale(double alpha, double* x, int64_t n) const = 0;
+};
+
+enum class BackendKind { kReference, kParallel };
+
+std::string BackendKindName(BackendKind kind);
+
+// Creates a standalone backend instance (used by tests and the bench
+// comparison harness; normal code uses the process-wide active backend).
+std::unique_ptr<Backend> MakeBackend(BackendKind kind, int num_threads);
+
+// Process-wide active backend. On first use it is initialised from the
+// PPFR_LA_BACKEND ("reference"|"parallel") and PPFR_LA_THREADS environment
+// variables, defaulting to the parallel backend with one thread per core.
+Backend& ActiveBackend();
+BackendKind ActiveBackendKind();
+
+// Replaces the active backend. num_threads <= 0 selects hardware_concurrency.
+void SetActiveBackend(BackendKind kind, int num_threads = 0);
+
+// Applies --la_backend=reference|parallel and --la_threads=N command-line
+// flags (bench/example binaries call this right after parsing Flags).
+void ConfigureBackendFromFlags(const Flags& flags);
+
+// RAII backend swap for tests: restores the previous backend on destruction.
+class ScopedBackend {
+ public:
+  ScopedBackend(BackendKind kind, int num_threads = 0);
+  ~ScopedBackend();
+
+  ScopedBackend(const ScopedBackend&) = delete;
+  ScopedBackend& operator=(const ScopedBackend&) = delete;
+
+ private:
+  BackendKind previous_kind_;
+  int previous_threads_;
+};
+
+}  // namespace ppfr::la
+
+#endif  // PPFR_LA_BACKEND_H_

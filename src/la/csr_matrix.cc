@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "la/backend.h"
+
 namespace ppfr::la {
 
 CsrMatrix CsrMatrix::FromTriplets(int rows, int cols, std::vector<Triplet> triplets) {
@@ -28,16 +30,8 @@ CsrMatrix CsrMatrix::FromTriplets(int rows, int cols, std::vector<Triplet> tripl
     m.row_ptr_[t.row + 1]++;
     i = j;
   }
-  // Deduplicated counts -> prefix sums.
-  std::vector<int64_t> counts(rows, 0);
-  {
-    int64_t k = 0;
-    for (int r = 0; r < rows; ++r) {
-      counts[r] = m.row_ptr_[r + 1];
-      (void)k;
-    }
-  }
-  for (int r = 0; r < rows; ++r) m.row_ptr_[r + 1] = m.row_ptr_[r] + counts[r];
+  // Deduplicated per-row counts -> prefix sums, in place.
+  for (int r = 0; r < rows; ++r) m.row_ptr_[r + 1] += m.row_ptr_[r];
   return m;
 }
 
@@ -52,15 +46,7 @@ void CsrMatrix::MultiplyAccum(const Matrix& x, double alpha, Matrix* out) const 
   PPFR_CHECK_EQ(cols_, x.rows());
   PPFR_CHECK_EQ(out->rows(), rows_);
   PPFR_CHECK_EQ(out->cols(), x.cols());
-  const int n = x.cols();
-  for (int r = 0; r < rows_; ++r) {
-    double* out_row = out->row(r);
-    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      const double w = alpha * values_[k];
-      const double* x_row = x.row(col_idx_[k]);
-      for (int j = 0; j < n; ++j) out_row[j] += w * x_row[j];
-    }
-  }
+  ActiveBackend().SpmmAccum(*this, x, alpha, out);
 }
 
 CsrMatrix CsrMatrix::Transposed() const {

@@ -4,13 +4,20 @@
 #include <cmath>
 #include <sstream>
 
+#include "la/backend.h"
+
 namespace ppfr::la {
 
 Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
   if (rows.empty()) return Matrix();
-  Matrix m(static_cast<int>(rows.size()), static_cast<int>(rows[0].size()));
+  const size_t cols = rows[0].size();
+  for (size_t r = 0; r < rows.size(); ++r) {
+    PPFR_CHECK_EQ(rows[r].size(), cols)
+        << "Matrix::FromRows: ragged input — row " << r << " has " << rows[r].size()
+        << " entries but row 0 has " << cols;
+  }
+  Matrix m(static_cast<int>(rows.size()), static_cast<int>(cols));
   for (int r = 0; r < m.rows(); ++r) {
-    PPFR_CHECK_EQ(rows[r].size(), static_cast<size_t>(m.cols()));
     std::copy(rows[r].begin(), rows[r].end(), m.row(r));
   }
   return m;
@@ -20,12 +27,11 @@ void Matrix::Fill(double value) { std::fill(data_.begin(), data_.end(), value); 
 
 void Matrix::Axpy(double alpha, const Matrix& other) {
   PPFR_CHECK(SameShape(other));
-  const double* src = other.data();
-  for (int64_t i = 0; i < size(); ++i) data_[i] += alpha * src[i];
+  ActiveBackend().VAxpy(alpha, other.data(), data_.data(), size());
 }
 
 void Matrix::Scale(double alpha) {
-  for (auto& v : data_) v *= alpha;
+  ActiveBackend().VScale(alpha, data_.data(), size());
 }
 
 double Matrix::SumAll() const {
@@ -61,60 +67,33 @@ std::string Matrix::DebugString(int max_rows, int max_cols) const {
   return os.str();
 }
 
+// The dense kernels below dispatch through the active compute backend
+// (la/backend.h); this file only owns shape validation and allocation.
+
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   PPFR_CHECK_EQ(a.cols(), b.rows());
   Matrix out(a.rows(), b.cols());
-  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
-  for (int i = 0; i < a.rows(); ++i) {
-    double* out_row = out.row(i);
-    const double* a_row = a.row(i);
-    for (int k = 0; k < a.cols(); ++k) {
-      const double aik = a_row[k];
-      if (aik == 0.0) continue;
-      const double* b_row = b.row(k);
-      for (int j = 0; j < b.cols(); ++j) out_row[j] += aik * b_row[j];
-    }
-  }
+  ActiveBackend().Gemm(a, b, &out);
   return out;
 }
 
 Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   PPFR_CHECK_EQ(a.rows(), b.rows());
   Matrix out(a.cols(), b.cols());
-  for (int k = 0; k < a.rows(); ++k) {
-    const double* a_row = a.row(k);
-    const double* b_row = b.row(k);
-    for (int i = 0; i < a.cols(); ++i) {
-      const double aki = a_row[i];
-      if (aki == 0.0) continue;
-      double* out_row = out.row(i);
-      for (int j = 0; j < b.cols(); ++j) out_row[j] += aki * b_row[j];
-    }
-  }
+  ActiveBackend().GemmTransA(a, b, &out);
   return out;
 }
 
 Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
   PPFR_CHECK_EQ(a.cols(), b.cols());
   Matrix out(a.rows(), b.rows());
-  for (int i = 0; i < a.rows(); ++i) {
-    const double* a_row = a.row(i);
-    double* out_row = out.row(i);
-    for (int j = 0; j < b.rows(); ++j) {
-      const double* b_row = b.row(j);
-      double s = 0.0;
-      for (int k = 0; k < a.cols(); ++k) s += a_row[k] * b_row[k];
-      out_row[j] = s;
-    }
-  }
+  ActiveBackend().GemmTransB(a, b, &out);
   return out;
 }
 
 Matrix Transpose(const Matrix& a) {
   Matrix out(a.cols(), a.rows());
-  for (int r = 0; r < a.rows(); ++r) {
-    for (int c = 0; c < a.cols(); ++c) out(c, r) = a(r, c);
-  }
+  ActiveBackend().Transpose(a, &out);
   return out;
 }
 
@@ -135,20 +114,13 @@ Matrix Sub(const Matrix& a, const Matrix& b) {
 Matrix Hadamard(const Matrix& a, const Matrix& b) {
   PPFR_CHECK(a.SameShape(b));
   Matrix out(a.rows(), a.cols());
-  const double* pa = a.data();
-  const double* pb = b.data();
-  double* po = out.data();
-  for (int64_t i = 0; i < a.size(); ++i) po[i] = pa[i] * pb[i];
+  ActiveBackend().Hadamard(a, b, &out);
   return out;
 }
 
 double Dot(const Matrix& a, const Matrix& b) {
   PPFR_CHECK(a.SameShape(b));
-  const double* pa = a.data();
-  const double* pb = b.data();
-  double s = 0.0;
-  for (int64_t i = 0; i < a.size(); ++i) s += pa[i] * pb[i];
-  return s;
+  return ActiveBackend().Dot(a, b);
 }
 
 Matrix SoftmaxRows(const Matrix& logits) {

@@ -28,16 +28,24 @@ class Matrix {
   int64_t size() const { return static_cast<int64_t>(rows_) * cols_; }
 
   double& operator()(int r, int c) {
+    CheckIndex(r, c);
     return data_[static_cast<size_t>(r) * cols_ + c];
   }
   double operator()(int r, int c) const {
+    CheckIndex(r, c);
     return data_[static_cast<size_t>(r) * cols_ + c];
   }
 
   double* data() { return data_.data(); }
   const double* data() const { return data_.data(); }
-  double* row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
-  const double* row(int r) const { return data_.data() + static_cast<size_t>(r) * cols_; }
+  double* row(int r) {
+    CheckRow(r);
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+  const double* row(int r) const {
+    CheckRow(r);
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
 
   bool SameShape(const Matrix& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_;
@@ -58,6 +66,19 @@ class Matrix {
   std::string DebugString(int max_rows = 6, int max_cols = 8) const;
 
  private:
+  // Debug-build bounds checks (free in release). Out-of-range access used to
+  // silently read/corrupt neighbouring rows.
+  void CheckIndex(int r, int c) const {
+    PPFR_DCHECK_GE(r, 0) << "row index out of range for " << rows_ << "x" << cols_;
+    PPFR_DCHECK_LT(r, rows_) << "row index out of range for " << rows_ << "x" << cols_;
+    PPFR_DCHECK_GE(c, 0) << "col index out of range for " << rows_ << "x" << cols_;
+    PPFR_DCHECK_LT(c, cols_) << "col index out of range for " << rows_ << "x" << cols_;
+  }
+  void CheckRow(int r) const {
+    PPFR_DCHECK_GE(r, 0) << "row index out of range for " << rows_ << "x" << cols_;
+    PPFR_DCHECK_LT(r, rows_) << "row index out of range for " << rows_ << "x" << cols_;
+  }
+
   int rows_;
   int cols_;
   std::vector<double> data_;

@@ -148,7 +148,9 @@ TEST(FrTest, WeightsAreFeasibleAndNontrivial) {
     max_abs = std::max(max_abs, std::fabs(w));
   }
   EXPECT_LE(norm_sq, cfg.fr.alpha * static_cast<double>(fr.w.size()) + 1e-4);
-  if (cfg.fr.zero_sum) EXPECT_NEAR(sum, 0.0, 1e-3);
+  if (cfg.fr.zero_sum) {
+    EXPECT_NEAR(sum, 0.0, 1e-3);
+  }
   EXPECT_GT(max_abs, 0.05) << "reweighting should actually move some weights";
   // sample_weights = 1 + w.
   for (size_t i = 0; i < fr.w.size(); ++i) {

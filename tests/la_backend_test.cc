@@ -1,0 +1,277 @@
+#include "la/backend.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "autograd/grad_check.h"
+#include "autograd/ops.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "la/csr_matrix.h"
+#include "la/matrix.h"
+#include "test_util.h"
+
+namespace ppfr::la {
+namespace {
+
+using ::ppfr::testing::RandomMatrix;
+
+constexpr double kTol = 1e-12;
+
+Matrix WithBackend(BackendKind kind, int threads,
+                   const std::function<Matrix()>& compute) {
+  ScopedBackend scoped(kind, threads);
+  return compute();
+}
+
+// Checks that the parallel backend reproduces the reference backend for one
+// dense computation, across several thread counts (1 exercises the inline
+// path, 3 an uneven partition, 4 the acceptance configuration).
+void ExpectBackendParity(const std::function<Matrix()>& compute) {
+  const Matrix want = WithBackend(BackendKind::kReference, 1, compute);
+  for (int threads : {1, 3, 4}) {
+    const Matrix got = WithBackend(BackendKind::kParallel, threads, compute);
+    ASSERT_TRUE(got.SameShape(want));
+    EXPECT_LT(Sub(got, want).MaxAbs(), kTol);
+  }
+}
+
+TEST(BackendRegistryTest, KindNamesAndScopedSwap) {
+  EXPECT_EQ(BackendKindName(BackendKind::kReference), "reference");
+  EXPECT_EQ(BackendKindName(BackendKind::kParallel), "parallel");
+  const BackendKind before = ActiveBackendKind();
+  {
+    ScopedBackend scoped(BackendKind::kReference, 1);
+    EXPECT_EQ(ActiveBackendKind(), BackendKind::kReference);
+    EXPECT_EQ(ActiveBackend().name(), "reference");
+  }
+  EXPECT_EQ(ActiveBackendKind(), before);
+}
+
+TEST(BackendRegistryTest, MakeBackendStandaloneInstances) {
+  const auto ref = MakeBackend(BackendKind::kReference, 1);
+  const auto par = MakeBackend(BackendKind::kParallel, 2);
+  EXPECT_EQ(ref->name(), "reference");
+  EXPECT_EQ(par->name(), "parallel");
+  EXPECT_EQ(par->num_threads(), 2);
+}
+
+// Exhaustive shape sweep over all GEMM variants, including empty dimensions.
+// Sizes cross the register-tile (4x8), cache-block (64/256) and serial-cutoff
+// boundaries of the parallel backend.
+TEST(BackendParityTest, GemmShapeSweep) {
+  const std::vector<int> sizes = {0, 1, 2, 3, 5, 8, 17, 33, 65};
+  Rng rng(7);
+  for (int m : sizes) {
+    for (int k : sizes) {
+      for (int n : sizes) {
+        const Matrix a = RandomMatrix(m, k, &rng);
+        const Matrix b = RandomMatrix(k, n, &rng);
+        ExpectBackendParity([&] { return MatMul(a, b); });
+        const Matrix at = RandomMatrix(k, m, &rng);
+        ExpectBackendParity([&] { return MatMulTransA(at, b); });
+        const Matrix bt = RandomMatrix(n, k, &rng);
+        ExpectBackendParity([&] { return MatMulTransB(a, bt); });
+      }
+    }
+  }
+}
+
+TEST(BackendParityTest, SkinnyMGemmPartitionsColumnPanels) {
+  Rng rng(12);
+  // m=16 -> a single 64-row block, so the parallel backend partitions the B
+  // column panels across threads instead (weight-gradient-shaped GEMM).
+  const Matrix a = RandomMatrix(16, 300, &rng);
+  const Matrix b = RandomMatrix(300, 2000, &rng);
+  ExpectBackendParity([&] { return MatMul(a, b); });
+  const Matrix at = RandomMatrix(300, 16, &rng);
+  ExpectBackendParity([&] { return MatMulTransA(at, b); });
+}
+
+TEST(BackendParityTest, LargeGemmCrossesAllBlockBoundaries) {
+  Rng rng(8);
+  // 193 rows -> 4 row-blocks of 64 with a ragged tail; 300 k -> 2 KC panels;
+  // 263 cols -> ragged NR tail.
+  const Matrix a = RandomMatrix(193, 300, &rng);
+  const Matrix b = RandomMatrix(300, 263, &rng);
+  ExpectBackendParity([&] { return MatMul(a, b); });
+  const Matrix at = RandomMatrix(300, 193, &rng);
+  ExpectBackendParity([&] { return MatMulTransA(at, b); });
+  const Matrix bt = RandomMatrix(263, 300, &rng);
+  ExpectBackendParity([&] { return MatMulTransB(a, bt); });
+}
+
+TEST(BackendParityTest, TransposeAndElementwise) {
+  Rng rng(9);
+  const Matrix a = RandomMatrix(211, 307, &rng);  // > elementwise cutoff
+  const Matrix b = RandomMatrix(211, 307, &rng);
+  ExpectBackendParity([&] { return Transpose(a); });
+  ExpectBackendParity([&] { return Hadamard(a, b); });
+  ExpectBackendParity([&] {
+    Matrix c = a;
+    c.Axpy(-1.75, b);
+    c.Scale(0.5);
+    return c;
+  });
+
+  const double want = [&] {
+    ScopedBackend scoped(BackendKind::kReference, 1);
+    return Dot(a, b);
+  }();
+  for (int threads : {1, 3, 4}) {
+    ScopedBackend scoped(BackendKind::kParallel, threads);
+    EXPECT_NEAR(Dot(a, b), want, kTol * std::fabs(want));
+  }
+}
+
+TEST(BackendParityTest, SpmmRandomAndEmpty) {
+  Rng rng(10);
+  std::vector<Triplet> triplets;
+  for (int i = 0; i < 30000; ++i) {
+    triplets.push_back({static_cast<int>(rng.UniformInt(1200)),
+                        static_cast<int>(rng.UniformInt(900)), rng.Normal()});
+  }
+  const CsrMatrix sparse = CsrMatrix::FromTriplets(1200, 900, triplets);
+  const Matrix x = RandomMatrix(900, 24, &rng);
+  ExpectBackendParity([&] { return sparse.Multiply(x); });
+  ExpectBackendParity([&] {
+    Matrix out(1200, 24, 1.0);
+    sparse.MultiplyAccum(x, -0.5, &out);
+    return out;
+  });
+
+  // Degenerate shapes: no rows, no columns in x, and an all-empty operator.
+  const CsrMatrix no_rows = CsrMatrix::FromTriplets(0, 5, {});
+  const Matrix x5 = RandomMatrix(5, 3, &rng);
+  ExpectBackendParity([&] { return no_rows.Multiply(x5); });
+  const Matrix x0 = RandomMatrix(900, 0, &rng);
+  ExpectBackendParity([&] { return sparse.Multiply(x0); });
+  const CsrMatrix empty = CsrMatrix::FromTriplets(4, 4, {});
+  const Matrix x4 = RandomMatrix(4, 2, &rng);
+  ExpectBackendParity([&] { return empty.Multiply(x4); });
+}
+
+TEST(BackendParityTest, VectorOpsMatchAcrossThreadCounts) {
+  Rng rng(11);
+  const int64_t n = 100001;  // > reduce-block and elementwise cutoffs, ragged
+  std::vector<double> a(n), b(n);
+  for (auto& v : a) v = rng.Normal();
+  for (auto& v : b) v = rng.Normal();
+
+  const auto ref = MakeBackend(BackendKind::kReference, 1);
+  const double want_dot = ref->VDot(a.data(), b.data(), n);
+  std::vector<double> want_axpy = b;
+  ref->VAxpy(0.25, a.data(), want_axpy.data(), n);
+
+  for (int threads : {1, 3, 4}) {
+    const auto par = MakeBackend(BackendKind::kParallel, threads);
+    EXPECT_NEAR(par->VDot(a.data(), b.data(), n), want_dot,
+                kTol * std::fabs(want_dot));
+    std::vector<double> got_axpy = b;
+    par->VAxpy(0.25, a.data(), got_axpy.data(), n);
+    double max_diff = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      max_diff = std::max(max_diff, std::fabs(got_axpy[i] - want_axpy[i]));
+    }
+    EXPECT_LT(max_diff, kTol);
+  }
+}
+
+// The autograd layer must stay numerically correct under either backend:
+// grad-check ag::MatMul and ag::SpMM with each one active.
+class AutogradUnderBackend : public ::testing::TestWithParam<BackendKind> {};
+
+TEST_P(AutogradUnderBackend, MatMulGradCheck) {
+  ScopedBackend scoped(GetParam(), 3);
+  Rng rng(21);
+  ag::Parameter a("a", RandomMatrix(6, 9, &rng));
+  ag::Parameter b("b", RandomMatrix(9, 4, &rng));
+  auto build = [&](ag::Tape& t) {
+    return ag::MeanAll(ag::Square(ag::MatMul(t.Leaf(&a), t.Leaf(&b))));
+  };
+  const ag::GradCheckResult r = ag::GradCheck(build, {&a, &b}, &rng);
+  EXPECT_LT(r.max_rel_error, 1e-5);
+}
+
+TEST_P(AutogradUnderBackend, SpMMGradCheck) {
+  ScopedBackend scoped(GetParam(), 3);
+  Rng rng(22);
+  ag::Parameter x("x", RandomMatrix(8, 5, &rng));
+  std::vector<Triplet> triplets;
+  for (int i = 0; i < 24; ++i) {
+    triplets.push_back({static_cast<int>(rng.UniformInt(8)),
+                        static_cast<int>(rng.UniformInt(8)), rng.Normal()});
+  }
+  auto sp = ag::MakeSparseOperand(CsrMatrix::FromTriplets(8, 8, triplets),
+                                  /*symmetric=*/false);
+  auto build = [&](ag::Tape& t) {
+    return ag::MeanAll(ag::Square(ag::SpMM(sp, t.Leaf(&x))));
+  };
+  const ag::GradCheckResult r = ag::GradCheck(build, {&x}, &rng);
+  EXPECT_LT(r.max_rel_error, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, AutogradUnderBackend,
+                         ::testing::Values(BackendKind::kReference,
+                                           BackendKind::kParallel),
+                         [](const ::testing::TestParamInfo<BackendKind>& info) {
+                           return BackendKindName(info.param);
+                         });
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, 1000, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) hits[static_cast<size_t>(i)]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, EmptyRangeAndLargeGrain) {
+  ThreadPool pool(3);
+  int calls = 0;
+  pool.ParallelFor(5, 5, 1, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // Grain larger than the range -> single inline chunk on the caller.
+  pool.ParallelFor(0, 10, 100, [&](int64_t lo, int64_t hi) {
+    EXPECT_EQ(lo, 0);
+    EXPECT_EQ(hi, 10);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyInvocations) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(0, 257, 8, [&](int64_t lo, int64_t hi) {
+      int64_t local = 0;
+      for (int64_t i = lo; i < hi; ++i) local += i;
+      sum += local;
+    });
+    EXPECT_EQ(sum.load(), 257 * 256 / 2);
+  }
+}
+
+TEST(MatrixCheckTest, FromRowsRejectsRaggedInput) {
+  EXPECT_DEATH(Matrix::FromRows({{1.0, 2.0}, {3.0}}), "ragged");
+}
+
+#ifndef NDEBUG
+TEST(MatrixCheckTest, DebugBoundsCheckOnAccess) {
+  Matrix m(2, 3);
+  EXPECT_DEATH((void)m(2, 0), "out of range");
+  EXPECT_DEATH((void)m(0, 3), "out of range");
+  EXPECT_DEATH((void)m(-1, 0), "out of range");
+  EXPECT_DEATH((void)m.row(5), "out of range");
+}
+#endif
+
+}  // namespace
+}  // namespace ppfr::la
