@@ -1,0 +1,204 @@
+// Influence-engine before/after benchmark.
+//
+// Measures the two hot paths of the influence machinery on an SBM graph:
+//   * per-node loss gradients — the pre-overhaul serial algorithm (one
+//     growing tape, full ZeroAllGrads sweep per node) versus the TapePool
+//     path (reachability-pruned, row-support-zeroed, fanned across lanes);
+//   * the damped-CG solve behind InfluenceOnBias — fresh tape per gradient
+//     evaluation versus the replayed ReusableLossGraph arena.
+// The pooled per-node gradients are verified BITWISE against the serial
+// reference before any timing is reported, and dense-buffer allocations are
+// counted via la::MatrixAllocCount.
+//
+// Emits BENCH_influence.json for the cross-PR perf trajectory.
+//
+//   ./bench_influence_engine --nodes=800 --degree=8 --train=96 --lanes=4 \
+//       --la_backend=parallel --la_threads=4
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "data/sbm.h"
+#include "data/split.h"
+#include "fairness/bias_metric.h"
+#include "influence/influence.h"
+#include "la/backend.h"
+#include "la/matrix.h"
+#include "nn/graph_context.h"
+#include "nn/models.h"
+#include "nn/trainer.h"
+
+namespace ppfr {
+namespace {
+
+struct PathResult {
+  double seconds = 0.0;
+  int64_t allocs = 0;
+  std::vector<std::vector<double>> grads;
+};
+
+PathResult TimePerNodeGrads(nn::GnnModel* model, const nn::GraphContext& ctx,
+                            const std::vector<int>& train_nodes,
+                            const std::vector<int>& labels,
+                            const influence::InfluenceConfig& config, int reps) {
+  PathResult result;
+  for (int rep = 0; rep < reps; ++rep) {
+    influence::InfluenceCalculator calc(model, ctx, train_nodes, labels, config);
+    const int64_t alloc0 = la::MatrixAllocCount();
+    Stopwatch watch;
+    const auto& grads = calc.PerNodeLossGrads();
+    result.seconds += watch.ElapsedSeconds();
+    result.allocs += la::MatrixAllocCount() - alloc0;
+    if (rep == 0) result.grads = grads;
+  }
+  result.seconds /= reps;
+  result.allocs /= reps;
+  return result;
+}
+
+double TimeBiasSolve(nn::GnnModel* model, const nn::GraphContext& ctx,
+                     const std::vector<int>& train_nodes, const std::vector<int>& labels,
+                     const fairness::SimilarityContext& sim,
+                     influence::InfluenceConfig config, int reps) {
+  double seconds = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    influence::InfluenceCalculator calc(model, ctx, train_nodes, labels, config);
+    // Warm the per-node cache so the timing isolates gradient evaluation +
+    // CG, which is what the tape arena accelerates.
+    calc.PerNodeLossGrads();
+    Stopwatch watch;
+    calc.InfluenceOnBias(sim.laplacian);
+    seconds += watch.ElapsedSeconds();
+  }
+  return seconds / reps;
+}
+
+bool BitwiseEqual(const std::vector<std::vector<double>>& a,
+                  const std::vector<std::vector<double>>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t k = 0; k < a.size(); ++k) {
+    if (a[k] != b[k]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  la::ConfigureBackendFromFlags(flags);
+  // Default to the acceptance configuration — parallel backend, 4 threads,
+  // 4 tape-pool lanes — unless the caller pinned a thread count.
+  if (!flags.Has("la_threads") && std::getenv("PPFR_LA_THREADS") == nullptr) {
+    la::SetActiveBackend(la::ActiveBackendKind(), 4);
+  }
+
+  const int nodes = flags.GetInt("nodes", 3000);
+  const double degree = flags.GetDouble("degree", 8.0);
+  const int train_count = flags.GetInt("train", 200);
+  const int lanes = flags.GetInt("lanes", 4);
+  const int epochs = flags.GetInt("epochs", 30);
+  const int reps = flags.GetInt("reps", 3);
+
+  data::SbmConfig sbm;
+  sbm.name = "bench-influence";
+  sbm.num_nodes = nodes;
+  sbm.num_classes = 4;
+  sbm.feature_dim = 48;
+  sbm.signature_size = 8;
+  sbm.average_degree = degree;
+  const data::NodeClassificationData data = data::GenerateSbm(sbm, /*seed=*/17);
+  auto ctx = nn::GraphContext::Build(data.graph, data.features);
+  const data::Split split = data::MakeSplit(nodes, train_count, 0, /*seed=*/5);
+  const fairness::SimilarityContext sim =
+      fairness::SimilarityContext::FromGraph(data.graph);
+
+  auto model =
+      nn::MakeModel(nn::ModelKind::kGcn, ctx.feature_dim(), data.num_classes, 7);
+  nn::TrainConfig train_cfg;
+  train_cfg.epochs = epochs;
+  nn::Train(model.get(), ctx, split.train, data.labels, train_cfg);
+
+  std::printf("influence engine bench: n=%d avg_deg=%.1f train=%d backend=%s threads=%d lanes=%d\n",
+              nodes, degree, train_count, la::ActiveBackend().name().c_str(),
+              la::ActiveBackend().num_threads(), lanes);
+
+  influence::InfluenceConfig before;
+  before.serial_reference_per_node = true;
+  before.reuse_grad_tape = false;
+
+  influence::InfluenceConfig after;
+  after.tape_pool_lanes = lanes;
+
+  const PathResult serial = TimePerNodeGrads(model.get(), ctx, split.train,
+                                             data.labels, before, reps);
+  const PathResult pooled = TimePerNodeGrads(model.get(), ctx, split.train,
+                                             data.labels, after, reps);
+
+  const bool bitwise = BitwiseEqual(serial.grads, pooled.grads);
+  std::printf("per-node grads pooled-vs-serial bitwise: %s\n", bitwise ? "OK" : "FAIL");
+
+  const double cg_before = TimeBiasSolve(model.get(), ctx, split.train, data.labels,
+                                         sim, before, reps);
+  const double cg_after = TimeBiasSolve(model.get(), ctx, split.train, data.labels,
+                                        sim, after, reps);
+
+  const double tput_serial = train_count / serial.seconds;
+  const double tput_pooled = train_count / pooled.seconds;
+
+  TablePrinter table({"Path", "PerNodeGrads ms", "nodes/s", "allocs", "CG ms"});
+  table.AddRow({"serial reference (before)", TablePrinter::Num(serial.seconds * 1e3),
+                TablePrinter::Num(tput_serial, 0), std::to_string(serial.allocs),
+                TablePrinter::Num(cg_before * 1e3)});
+  table.AddRow({"tape pool (after)", TablePrinter::Num(pooled.seconds * 1e3),
+                TablePrinter::Num(tput_pooled, 0), std::to_string(pooled.allocs),
+                TablePrinter::Num(cg_after * 1e3)});
+  table.AddSeparator();
+  table.AddRow({"speedup", TablePrinter::Num(serial.seconds / pooled.seconds) + "x",
+                TablePrinter::Num(tput_pooled / tput_serial) + "x", "",
+                TablePrinter::Num(cg_before / cg_after) + "x"});
+  table.Print();
+
+  const std::string json_path = flags.GetString("json", "BENCH_influence.json");
+  if (FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f,
+                 "{\n"
+                 "  \"nodes\": %d,\n"
+                 "  \"train\": %d,\n"
+                 "  \"backend\": \"%s\",\n"
+                 "  \"threads\": %d,\n"
+                 "  \"lanes\": %d,\n"
+                 "  \"per_node_grads_ms_serial\": %.3f,\n"
+                 "  \"per_node_grads_ms_pooled\": %.3f,\n"
+                 "  \"per_node_throughput_serial\": %.1f,\n"
+                 "  \"per_node_throughput_pooled\": %.1f,\n"
+                 "  \"per_node_speedup\": %.3f,\n"
+                 "  \"per_node_allocs_serial\": %" PRId64 ",\n"
+                 "  \"per_node_allocs_pooled\": %" PRId64 ",\n"
+                 "  \"cg_solve_ms_before\": %.3f,\n"
+                 "  \"cg_solve_ms_after\": %.3f,\n"
+                 "  \"cg_speedup\": %.3f,\n"
+                 "  \"bitwise_identical\": %s\n"
+                 "}\n",
+                 nodes, train_count, la::ActiveBackend().name().c_str(),
+                 la::ActiveBackend().num_threads(), lanes, serial.seconds * 1e3,
+                 pooled.seconds * 1e3, tput_serial, tput_pooled,
+                 serial.seconds / pooled.seconds, serial.allocs, pooled.allocs,
+                 cg_before * 1e3, cg_after * 1e3, cg_before / cg_after,
+                 bitwise ? "true" : "false");
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  return bitwise ? 0 : 1;
+}
+
+}  // namespace ppfr
+
+int main(int argc, char** argv) { return ppfr::Main(argc, argv); }

@@ -3,18 +3,34 @@
 #include <algorithm>
 #include <cmath>
 
+#include "la/backend.h"
+
 namespace ppfr::ag {
 namespace {
 
+// Grain for backend-routed elementwise loops: below this many flat elements
+// (or the row-count equivalent) threading doesn't pay, matching the cutoffs
+// inside the parallel backend's own kernels.
+constexpr int64_t kApplyGrain = 32 * 1024;
+
+int64_t RowGrain(int cols) { return std::max<int64_t>(1, kApplyGrain / std::max(cols, 1)); }
+
 // Creates the output node; `backward(tape, out_grad)` routes gradients to
-// parents. Reduces the per-op boilerplate of discovering the output id.
+// parents. Reduces the per-op boilerplate of discovering the output id. The
+// output gradient is read through GradView so the node's own dirty/row
+// bookkeeping is untouched; ops that need the row support query it with
+// tape.GradRowSupport on their own Var.
 template <typename BackwardFn>
-Var MakeOp(Tape* tape, la::Matrix value, bool needs_grad, BackwardFn backward) {
+Var MakeOp(Tape* tape, la::Matrix value, bool needs_grad, const std::vector<Var>& parents,
+           BackwardFn backward) {
   const int out_id = tape->num_nodes();
-  return tape->MakeNode(std::move(value), needs_grad, [out_id, backward](Tape& tp) {
-    const la::Matrix& g = tp.GradRef(Var{&tp, out_id});
-    backward(tp, g);
-  });
+  return tape->MakeNode(
+      std::move(value), needs_grad,
+      [out_id, backward](Tape& tp) {
+        const la::Matrix& g = tp.GradView(Var{&tp, out_id});
+        backward(tp, g);
+      },
+      parents);
 }
 
 bool AnyNeedsGrad(std::initializer_list<Var> vars) {
@@ -34,22 +50,66 @@ Tape* CommonTape(std::initializer_list<Var> vars) {
   return tape;
 }
 
-// Elementwise unary op helper: out = f(a), da += g * f'(a).
+// dst.row(r) += scale * g.row(r) for r in rows.
+void AxpyRows(la::Matrix* dst, const la::Matrix& g, const std::vector<int>& rows,
+              double scale) {
+  for (int r : rows) {
+    double* d = dst->row(r);
+    const double* s = g.row(r);
+    for (int c = 0; c < g.cols(); ++c) d[c] += scale * s[c];
+  }
+}
+
+// Elementwise unary op helper: out = f(a), da += g * f'(a). The forward loop
+// is fanned out through the backend; the backward stays on the gradient's
+// nonzero-row support when one is known (seeded influence passes), otherwise
+// it sweeps the flat buffer, skipping exact-zero gradient entries — both
+// paths add the same values, because a skipped entry only ever contributes
+// an exact ±0 product.
 template <typename F, typename DF>
 Var UnaryElementwise(Var a, F f, DF df) {
   Tape* tape = CommonTape({a});
   const la::Matrix& av = a.value();
-  la::Matrix out(av.rows(), av.cols());
-  for (int64_t i = 0; i < av.size(); ++i) out.data()[i] = f(av.data()[i]);
+  la::Matrix out = tape->NewValue(av.rows(), av.cols(), /*zero_init=*/false);
+  {
+    const double* in = av.data();
+    double* o = out.data();
+    la::ActiveBackend().Apply(av.size(), kApplyGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) o[i] = f(in[i]);
+    });
+  }
   const bool needs = tape->NeedsGrad(a);
-  return MakeOp(tape, std::move(out), needs, [a, df](Tape& tp, const la::Matrix& g) {
-    if (!tp.NeedsGrad(a)) return;
-    la::Matrix& da = tp.GradRef(a);
-    const la::Matrix& av = tp.Value(a);
-    for (int64_t i = 0; i < av.size(); ++i) {
-      da.data()[i] += g.data()[i] * df(av.data()[i]);
-    }
-  });
+  const int out_id = tape->num_nodes();
+  return MakeOp(tape, std::move(out), needs, {a},
+                [a, df, out_id](Tape& tp, const la::Matrix& g) {
+                  if (!tp.NeedsGrad(a)) return;
+                  const la::Matrix& av = tp.Value(a);
+                  const std::vector<int>* supp = tp.GradRowSupport(Var{&tp, out_id});
+                  if (supp != nullptr) {
+                    la::Matrix& da = tp.GradRefPartial(a, *supp);
+                    for (int r : *supp) {
+                      const double* gr = g.row(r);
+                      const double* ar = av.row(r);
+                      double* dr = da.row(r);
+                      for (int c = 0; c < g.cols(); ++c) {
+                        if (gr[c] == 0.0) continue;
+                        dr[c] += gr[c] * df(ar[c]);
+                      }
+                    }
+                    return;
+                  }
+                  la::Matrix& da = tp.GradRef(a);
+                  const double* gd = g.data();
+                  const double* ad = av.data();
+                  double* dd = da.data();
+                  la::ActiveBackend().Apply(
+                      av.size(), kApplyGrain, [&](int64_t lo, int64_t hi) {
+                        for (int64_t i = lo; i < hi; ++i) {
+                          if (gd[i] == 0.0) continue;
+                          dd[i] += gd[i] * df(ad[i]);
+                        }
+                      });
+                });
 }
 
 }  // namespace
@@ -64,53 +124,161 @@ std::shared_ptr<const SparseOperand> MakeSparseOperand(la::CsrMatrix m, bool sym
 
 Var MatMul(Var a, Var b) {
   Tape* tape = CommonTape({a, b});
-  la::Matrix out = la::MatMul(a.value(), b.value());
+  const la::Matrix& av = a.value();
+  const la::Matrix& bv = b.value();
+  PPFR_CHECK_EQ(av.cols(), bv.rows());
+  la::Matrix out = tape->NewValue(av.rows(), bv.cols(), /*zero_init=*/false);
+  la::ActiveBackend().Gemm(av, bv, &out);
   const bool needs = AnyNeedsGrad({a, b});
-  return MakeOp(tape, std::move(out), needs, [a, b](Tape& tp, const la::Matrix& g) {
-    if (tp.NeedsGrad(a)) tp.GradRef(a).Axpy(1.0, la::MatMulTransB(g, tp.Value(b)));
-    if (tp.NeedsGrad(b)) tp.GradRef(b).Axpy(1.0, la::MatMulTransA(tp.Value(a), g));
-  });
+  const int out_id = tape->num_nodes();
+  return MakeOp(
+      tape, std::move(out), needs, {a, b},
+      [a, b, out_id](Tape& tp, const la::Matrix& g) {
+        const std::vector<int>* supp = tp.GradRowSupport(Var{&tp, out_id});
+        if (tp.NeedsGrad(a)) {
+          if (supp != nullptr) {
+            // Rows of da mirror the gradient's row support exactly.
+            la::GemmTransBAccumRows(g, tp.Value(b), &tp.GradRefPartial(a, *supp),
+                                    *supp);
+          } else {
+            tp.GradRef(a).Axpy(1.0, la::MatMulTransB(g, tp.Value(b)));
+          }
+        }
+        if (tp.NeedsGrad(b)) {
+          if (supp != nullptr) {
+            // db = aᵀ g is dense but only support rows contribute.
+            la::GemmTransAAccumRows(tp.Value(a), g, &tp.GradRef(b), *supp);
+          } else {
+            tp.GradRef(b).Axpy(1.0, la::MatMulTransA(tp.Value(a), g));
+          }
+        }
+      });
 }
 
 Var SpMM(const std::shared_ptr<const SparseOperand>& sp, Var x) {
   Tape* tape = CommonTape({x});
-  la::Matrix out = sp->mat.Multiply(x.value());
+  const la::Matrix& xv = x.value();
+  la::Matrix out = tape->NewValue(sp->mat.rows(), xv.cols(), /*zero_init=*/true);
+  sp->mat.MultiplyAccum(xv, 1.0, &out);
   const bool needs = tape->NeedsGrad(x);
-  return MakeOp(tape, std::move(out), needs, [sp, x](Tape& tp, const la::Matrix& g) {
-    if (!tp.NeedsGrad(x)) return;
-    const la::CsrMatrix& at = sp->symmetric ? sp->mat : sp->mat_t;
-    at.MultiplyAccum(g, 1.0, &tp.GradRef(x));
-  });
+  const int out_id = tape->num_nodes();
+  return MakeOp(
+      tape, std::move(out), needs, {x},
+      [sp, x, out_id](Tape& tp, const la::Matrix& g) {
+        if (!tp.NeedsGrad(x)) return;
+        const la::CsrMatrix& at = sp->symmetric ? sp->mat : sp->mat_t;
+        const std::vector<int>* supp = tp.GradRowSupport(Var{&tp, out_id});
+        if (supp != nullptr) {
+          // dx row r is touched iff at(r, c) != 0 for some supported c; in
+          // both the symmetric and the explicit-transpose case that is
+          // exactly "r appears in row c of sp->mat", so the affected rows
+          // are the union of the support rows' neighbour lists.
+          // (thread_local scratch: this runs once per seed per SpMM inside
+          // the pooled per-node loop, which must stay allocation-free.)
+          thread_local std::vector<int> targets;
+          targets.clear();
+          const std::vector<int64_t>& row_ptr = sp->mat.row_ptr();
+          const std::vector<int>& col_idx = sp->mat.col_idx();
+          for (int c : *supp) {
+            for (int64_t k = row_ptr[c]; k < row_ptr[c + 1]; ++k) {
+              targets.push_back(col_idx[k]);
+            }
+          }
+          std::sort(targets.begin(), targets.end());
+          targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+          // Mark the supported g rows so the kernel never streams the
+          // known-zero rows between them through the cache (thread-local
+          // scratch: workers under different arenas get their own).
+          thread_local std::vector<uint8_t> g_row_mask;
+          if (static_cast<int>(g_row_mask.size()) < g.rows()) {
+            g_row_mask.assign(static_cast<size_t>(g.rows()), 0);
+          }
+          for (int c : *supp) g_row_mask[static_cast<size_t>(c)] = 1;
+          at.MultiplyAccumRows(g, 1.0, &tp.GradRefPartial(x, targets), targets,
+                               g_row_mask);
+          for (int c : *supp) g_row_mask[static_cast<size_t>(c)] = 0;
+        } else {
+          at.MultiplyAccum(g, 1.0, &tp.GradRef(x));
+        }
+      });
 }
 
-Var Add(Var a, Var b) {
+namespace {
+
+// Shared body for Add/Sub: out = a + sign*b, with support-aware backward.
+Var AddLike(Var a, Var b, double sign) {
   Tape* tape = CommonTape({a, b});
-  la::Matrix out = la::Add(a.value(), b.value());
+  const la::Matrix& av = a.value();
+  const la::Matrix& bv = b.value();
+  PPFR_CHECK(av.SameShape(bv));
+  la::Matrix out = tape->NewValue(av.rows(), av.cols(), /*zero_init=*/false);
+  {
+    const double* pa = av.data();
+    const double* pb = bv.data();
+    double* po = out.data();
+    la::ActiveBackend().Apply(av.size(), kApplyGrain, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) po[i] = pa[i] + sign * pb[i];
+    });
+  }
   const bool needs = AnyNeedsGrad({a, b});
-  return MakeOp(tape, std::move(out), needs, [a, b](Tape& tp, const la::Matrix& g) {
-    if (tp.NeedsGrad(a)) tp.GradRef(a).Axpy(1.0, g);
-    if (tp.NeedsGrad(b)) tp.GradRef(b).Axpy(1.0, g);
-  });
+  const int out_id = tape->num_nodes();
+  return MakeOp(tape, std::move(out), needs, {a, b},
+                [a, b, sign, out_id](Tape& tp, const la::Matrix& g) {
+                  const std::vector<int>* supp = tp.GradRowSupport(Var{&tp, out_id});
+                  if (tp.NeedsGrad(a)) {
+                    if (supp != nullptr) {
+                      AxpyRows(&tp.GradRefPartial(a, *supp), g, *supp, 1.0);
+                    } else {
+                      tp.GradRef(a).Axpy(1.0, g);
+                    }
+                  }
+                  if (tp.NeedsGrad(b)) {
+                    if (supp != nullptr) {
+                      AxpyRows(&tp.GradRefPartial(b, *supp), g, *supp, sign);
+                    } else {
+                      tp.GradRef(b).Axpy(sign, g);
+                    }
+                  }
+                });
 }
 
-Var Sub(Var a, Var b) {
-  Tape* tape = CommonTape({a, b});
-  la::Matrix out = la::Sub(a.value(), b.value());
-  const bool needs = AnyNeedsGrad({a, b});
-  return MakeOp(tape, std::move(out), needs, [a, b](Tape& tp, const la::Matrix& g) {
-    if (tp.NeedsGrad(a)) tp.GradRef(a).Axpy(1.0, g);
-    if (tp.NeedsGrad(b)) tp.GradRef(b).Axpy(-1.0, g);
-  });
-}
+}  // namespace
+
+Var Add(Var a, Var b) { return AddLike(a, b, 1.0); }
+
+Var Sub(Var a, Var b) { return AddLike(a, b, -1.0); }
 
 Var Mul(Var a, Var b) {
   Tape* tape = CommonTape({a, b});
-  la::Matrix out = la::Hadamard(a.value(), b.value());
+  const la::Matrix& av = a.value();
+  const la::Matrix& bv = b.value();
+  PPFR_CHECK(av.SameShape(bv));
+  la::Matrix out = tape->NewValue(av.rows(), av.cols(), /*zero_init=*/false);
+  la::ActiveBackend().Hadamard(av, bv, &out);
   const bool needs = AnyNeedsGrad({a, b});
-  return MakeOp(tape, std::move(out), needs, [a, b](Tape& tp, const la::Matrix& g) {
-    if (tp.NeedsGrad(a)) tp.GradRef(a).Axpy(1.0, la::Hadamard(g, tp.Value(b)));
-    if (tp.NeedsGrad(b)) tp.GradRef(b).Axpy(1.0, la::Hadamard(g, tp.Value(a)));
-  });
+  const int out_id = tape->num_nodes();
+  return MakeOp(
+      tape, std::move(out), needs, {a, b},
+      [a, b, out_id](Tape& tp, const la::Matrix& g) {
+        const la::Matrix& av = tp.Value(a);
+        const la::Matrix& bv = tp.Value(b);
+        const std::vector<int>* supp = tp.GradRowSupport(Var{&tp, out_id});
+        auto accum = [&](Var target, const la::Matrix& other) {
+          if (supp != nullptr) {
+            la::Matrix& dt = tp.GradRefPartial(target, *supp);
+            for (int r : *supp) {
+              double* dr = dt.row(r);
+              const double* gr = g.row(r);
+              const double* orow = other.row(r);
+              for (int c = 0; c < g.cols(); ++c) dr[c] += gr[c] * orow[c];
+            }
+          } else {
+            tp.GradRef(target).Axpy(1.0, la::Hadamard(g, other));
+          }
+        };
+        if (tp.NeedsGrad(a)) accum(a, bv);
+        if (tp.NeedsGrad(b)) accum(b, av);
+      });
 }
 
 Var Div(Var a, Var b) {
@@ -118,23 +286,27 @@ Var Div(Var a, Var b) {
   const la::Matrix& av = a.value();
   const la::Matrix& bv = b.value();
   PPFR_CHECK(av.SameShape(bv));
-  la::Matrix out(av.rows(), av.cols());
+  la::Matrix out = tape->NewValue(av.rows(), av.cols(), /*zero_init=*/false);
   for (int64_t i = 0; i < av.size(); ++i) out.data()[i] = av.data()[i] / bv.data()[i];
   const bool needs = AnyNeedsGrad({a, b});
-  return MakeOp(tape, std::move(out), needs, [a, b](Tape& tp, const la::Matrix& g) {
-    const la::Matrix& av = tp.Value(a);
-    const la::Matrix& bv = tp.Value(b);
-    if (tp.NeedsGrad(a)) {
-      la::Matrix& da = tp.GradRef(a);
-      for (int64_t i = 0; i < av.size(); ++i) da.data()[i] += g.data()[i] / bv.data()[i];
-    }
-    if (tp.NeedsGrad(b)) {
-      la::Matrix& db = tp.GradRef(b);
-      for (int64_t i = 0; i < av.size(); ++i) {
-        db.data()[i] -= g.data()[i] * av.data()[i] / (bv.data()[i] * bv.data()[i]);
-      }
-    }
-  });
+  return MakeOp(tape, std::move(out), needs, {a, b},
+                [a, b](Tape& tp, const la::Matrix& g) {
+                  const la::Matrix& av = tp.Value(a);
+                  const la::Matrix& bv = tp.Value(b);
+                  if (tp.NeedsGrad(a)) {
+                    la::Matrix& da = tp.GradRef(a);
+                    for (int64_t i = 0; i < av.size(); ++i) {
+                      da.data()[i] += g.data()[i] / bv.data()[i];
+                    }
+                  }
+                  if (tp.NeedsGrad(b)) {
+                    la::Matrix& db = tp.GradRef(b);
+                    for (int64_t i = 0; i < av.size(); ++i) {
+                      db.data()[i] -=
+                          g.data()[i] * av.data()[i] / (bv.data()[i] * bv.data()[i]);
+                    }
+                  }
+                });
 }
 
 Var Neg(Var a) { return Scale(a, -1.0); }
@@ -155,33 +327,55 @@ Var AddRowVec(Var a, Var row) {
   const la::Matrix& rv = row.value();
   PPFR_CHECK_EQ(rv.rows(), 1);
   PPFR_CHECK_EQ(rv.cols(), av.cols());
-  la::Matrix out = av;
-  for (int r = 0; r < av.rows(); ++r) {
-    double* o = out.row(r);
-    for (int c = 0; c < av.cols(); ++c) o[c] += rv(0, c);
+  la::Matrix out = tape->NewValue(av.rows(), av.cols(), /*zero_init=*/false);
+  {
+    const int cols = av.cols();
+    la::ActiveBackend().Apply(av.rows(), RowGrain(cols), [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const double* ar = av.row(static_cast<int>(r));
+        double* o = out.row(static_cast<int>(r));
+        for (int c = 0; c < cols; ++c) o[c] = ar[c] + rv(0, c);
+      }
+    });
   }
   const bool needs = AnyNeedsGrad({a, row});
-  return MakeOp(tape, std::move(out), needs, [a, row](Tape& tp, const la::Matrix& g) {
-    if (tp.NeedsGrad(a)) tp.GradRef(a).Axpy(1.0, g);
-    if (tp.NeedsGrad(row)) {
-      la::Matrix& dr = tp.GradRef(row);
-      for (int r = 0; r < g.rows(); ++r) {
-        const double* gr = g.row(r);
-        for (int c = 0; c < g.cols(); ++c) dr(0, c) += gr[c];
-      }
-    }
-  });
+  const int out_id = tape->num_nodes();
+  return MakeOp(tape, std::move(out), needs, {a, row},
+                [a, row, out_id](Tape& tp, const la::Matrix& g) {
+                  const std::vector<int>* supp = tp.GradRowSupport(Var{&tp, out_id});
+                  if (tp.NeedsGrad(a)) {
+                    if (supp != nullptr) {
+                      AxpyRows(&tp.GradRefPartial(a, *supp), g, *supp, 1.0);
+                    } else {
+                      tp.GradRef(a).Axpy(1.0, g);
+                    }
+                  }
+                  if (tp.NeedsGrad(row)) {
+                    la::Matrix& dr = tp.GradRef(row);
+                    auto add_row = [&](int r) {
+                      const double* gr = g.row(r);
+                      for (int c = 0; c < g.cols(); ++c) dr(0, c) += gr[c];
+                    };
+                    if (supp != nullptr) {
+                      for (int r : *supp) add_row(r);
+                    } else {
+                      for (int r = 0; r < g.rows(); ++r) add_row(r);
+                    }
+                  }
+                });
 }
 
 Var ExpandScalar(Var s, int rows, int cols) {
   Tape* tape = CommonTape({s});
   PPFR_CHECK_EQ(s.rows(), 1);
   PPFR_CHECK_EQ(s.cols(), 1);
-  la::Matrix out(rows, cols, s.value()(0, 0));
+  la::Matrix out = tape->NewValue(rows, cols, /*zero_init=*/false);
+  out.Fill(s.value()(0, 0));
   const bool needs = tape->NeedsGrad(s);
-  return MakeOp(tape, std::move(out), needs, [s](Tape& tp, const la::Matrix& g) {
-    if (tp.NeedsGrad(s)) tp.GradRef(s)(0, 0) += g.SumAll();
-  });
+  return MakeOp(tape, std::move(out), needs, {s},
+                [s](Tape& tp, const la::Matrix& g) {
+                  if (tp.NeedsGrad(s)) tp.GradRef(s)(0, 0) += g.SumAll();
+                });
 }
 
 Var Relu(Var a) {
@@ -237,60 +431,90 @@ Var Abs(Var a) {
       [](double x) { return x > 0.0 ? 1.0 : (x < 0.0 ? -1.0 : 0.0); });
 }
 
-Var LogSoftmaxRows(Var logits) {
+namespace {
+
+// One row of the log-softmax / softmax backward pair. `log_space` selects
+// dx = g - softmax·rowsum(g) (log-softmax, y = log-probs) versus
+// dx = y ∘ (g - <g, y>) (softmax, y = probs).
+inline void SoftmaxRowBackward(bool log_space, const double* gr, const double* yr,
+                               double* dr, int cols) {
+  if (log_space) {
+    double gsum = 0.0;
+    for (int c = 0; c < cols; ++c) gsum += gr[c];
+    for (int c = 0; c < cols; ++c) dr[c] += gr[c] - std::exp(yr[c]) * gsum;
+  } else {
+    double dot = 0.0;
+    for (int c = 0; c < cols; ++c) dot += gr[c] * yr[c];
+    for (int c = 0; c < cols; ++c) dr[c] += yr[c] * (gr[c] - dot);
+  }
+}
+
+bool RowAllZero(const double* gr, int cols) {
+  for (int c = 0; c < cols; ++c) {
+    if (gr[c] != 0.0) return false;
+  }
+  return true;
+}
+
+Var SoftmaxLike(Var logits, bool log_space) {
   Tape* tape = CommonTape({logits});
   const la::Matrix& x = logits.value();
-  la::Matrix out(x.rows(), x.cols());
-  for (int r = 0; r < x.rows(); ++r) {
-    const double* in = x.row(r);
-    double* o = out.row(r);
-    double mx = in[0];
-    for (int c = 1; c < x.cols(); ++c) mx = std::max(mx, in[c]);
-    double sum = 0.0;
-    for (int c = 0; c < x.cols(); ++c) sum += std::exp(in[c] - mx);
-    const double lse = mx + std::log(sum);
-    for (int c = 0; c < x.cols(); ++c) o[c] = in[c] - lse;
+  la::Matrix out = tape->NewValue(x.rows(), x.cols(), /*zero_init=*/false);
+  {
+    const int cols = x.cols();
+    la::ActiveBackend().Apply(x.rows(), RowGrain(cols), [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const double* in = x.row(static_cast<int>(r));
+        double* o = out.row(static_cast<int>(r));
+        double mx = in[0];
+        for (int c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
+        double sum = 0.0;
+        for (int c = 0; c < cols; ++c) sum += std::exp(in[c] - mx);
+        if (log_space) {
+          const double lse = mx + std::log(sum);
+          for (int c = 0; c < cols; ++c) o[c] = in[c] - lse;
+        } else {
+          for (int c = 0; c < cols; ++c) o[c] = std::exp(in[c] - mx) / sum;
+        }
+      }
+    });
   }
   const bool needs = tape->NeedsGrad(logits);
   const int out_id = tape->num_nodes();
-  return tape->MakeNode(std::move(out), needs, [logits, out_id](Tape& tp) {
-    if (!tp.NeedsGrad(logits)) return;
-    const la::Matrix& g = tp.GradRef(Var{&tp, out_id});
-    const la::Matrix& y = tp.Value(Var{&tp, out_id});  // log-probs
-    la::Matrix& dx = tp.GradRef(logits);
-    // dx = g - softmax(x) * rowsum(g)
-    for (int r = 0; r < g.rows(); ++r) {
-      const double* gr = g.row(r);
-      const double* yr = y.row(r);
-      double* dr = dx.row(r);
-      double gsum = 0.0;
-      for (int c = 0; c < g.cols(); ++c) gsum += gr[c];
-      for (int c = 0; c < g.cols(); ++c) dr[c] += gr[c] - std::exp(yr[c]) * gsum;
-    }
-  });
+  return MakeOp(
+      tape, std::move(out), needs, {logits},
+      [logits, out_id, log_space](Tape& tp, const la::Matrix& g) {
+        if (!tp.NeedsGrad(logits)) return;
+        const Var out_var{&tp, out_id};
+        const la::Matrix& y = tp.Value(out_var);
+        const std::vector<int>* supp = tp.GradRowSupport(out_var);
+        const int cols = g.cols();
+        if (supp != nullptr) {
+          la::Matrix& dx = tp.GradRefPartial(logits, *supp);
+          for (int r : *supp) {
+            SoftmaxRowBackward(log_space, g.row(r), y.row(r), dx.row(r), cols);
+          }
+          return;
+        }
+        la::Matrix& dx = tp.GradRef(logits);
+        la::ActiveBackend().Apply(g.rows(), RowGrain(cols), [&](int64_t r0, int64_t r1) {
+          for (int64_t r = r0; r < r1; ++r) {
+            const double* gr = g.row(static_cast<int>(r));
+            // An all-zero gradient row contributes exact zeros; skipping it
+            // saves the exp/dot work without changing any bit.
+            if (RowAllZero(gr, cols)) continue;
+            SoftmaxRowBackward(log_space, gr, y.row(static_cast<int>(r)),
+                               dx.row(static_cast<int>(r)), cols);
+          }
+        });
+      });
 }
 
-Var SoftmaxRows(Var logits) {
-  Tape* tape = CommonTape({logits});
-  la::Matrix out = la::SoftmaxRows(logits.value());
-  const bool needs = tape->NeedsGrad(logits);
-  const int out_id = tape->num_nodes();
-  return tape->MakeNode(std::move(out), needs, [logits, out_id](Tape& tp) {
-    if (!tp.NeedsGrad(logits)) return;
-    const la::Matrix& g = tp.GradRef(Var{&tp, out_id});
-    const la::Matrix& s = tp.Value(Var{&tp, out_id});
-    la::Matrix& dx = tp.GradRef(logits);
-    // dx = s ∘ (g - <g, s>_row)
-    for (int r = 0; r < g.rows(); ++r) {
-      const double* gr = g.row(r);
-      const double* sr = s.row(r);
-      double* dr = dx.row(r);
-      double dot = 0.0;
-      for (int c = 0; c < g.cols(); ++c) dot += gr[c] * sr[c];
-      for (int c = 0; c < g.cols(); ++c) dr[c] += sr[c] * (gr[c] - dot);
-    }
-  });
-}
+}  // namespace
+
+Var LogSoftmaxRows(Var logits) { return SoftmaxLike(logits, /*log_space=*/true); }
+
+Var SoftmaxRows(Var logits) { return SoftmaxLike(logits, /*log_space=*/false); }
 
 Var WeightedNll(Var logp, const std::vector<int>& rows, const std::vector<int>& labels,
                 const std::vector<double>& weights, double denom) {
@@ -305,13 +529,16 @@ Var WeightedNll(Var logp, const std::vector<int>& rows, const std::vector<int>& 
     PPFR_CHECK_LT(labels[k], lp.cols());
     loss -= weights[k] * lp(rows[k], labels[k]);
   }
-  la::Matrix out(1, 1);
+  la::Matrix out = tape->NewValue(1, 1, /*zero_init=*/false);
   out(0, 0) = loss / denom;
   const bool needs = tape->NeedsGrad(logp);
-  return MakeOp(tape, std::move(out), needs,
+  return MakeOp(tape, std::move(out), needs, {logp},
                 [logp, rows, labels, weights, denom](Tape& tp, const la::Matrix& g) {
                   if (!tp.NeedsGrad(logp)) return;
-                  la::Matrix& dl = tp.GradRef(logp);
+                  // The only rows written are the loss rows — declaring them
+                  // seeds the row-support propagation that keeps per-node
+                  // influence backward passes on the seed's receptive field.
+                  la::Matrix& dl = tp.GradRefPartial(logp, rows);
                   const double scale = g(0, 0) / denom;
                   for (size_t k = 0; k < rows.size(); ++k) {
                     dl(rows[k], labels[k]) -= scale * weights[k];
@@ -322,23 +549,34 @@ Var WeightedNll(Var logp, const std::vector<int>& rows, const std::vector<int>& 
 Var GatherRows(Var a, const std::vector<int>& indices) {
   Tape* tape = CommonTape({a});
   const la::Matrix& av = a.value();
-  la::Matrix out(static_cast<int>(indices.size()), av.cols());
-  for (size_t k = 0; k < indices.size(); ++k) {
-    PPFR_CHECK_GE(indices[k], 0);
-    PPFR_CHECK_LT(indices[k], av.rows());
-    std::copy(av.row(indices[k]), av.row(indices[k]) + av.cols(),
-              out.row(static_cast<int>(k)));
+  for (int idx : indices) {
+    PPFR_CHECK_GE(idx, 0);
+    PPFR_CHECK_LT(idx, av.rows());
+  }
+  la::Matrix out =
+      tape->NewValue(static_cast<int>(indices.size()), av.cols(), /*zero_init=*/false);
+  {
+    const int cols = av.cols();
+    la::ActiveBackend().Apply(
+        static_cast<int64_t>(indices.size()), RowGrain(cols), [&](int64_t k0, int64_t k1) {
+          for (int64_t k = k0; k < k1; ++k) {
+            const double* src = av.row(indices[static_cast<size_t>(k)]);
+            std::copy(src, src + cols, out.row(static_cast<int>(k)));
+          }
+        });
   }
   const bool needs = tape->NeedsGrad(a);
-  return MakeOp(tape, std::move(out), needs, [a, indices](Tape& tp, const la::Matrix& g) {
-    if (!tp.NeedsGrad(a)) return;
-    la::Matrix& da = tp.GradRef(a);
-    for (size_t k = 0; k < indices.size(); ++k) {
-      const double* gr = g.row(static_cast<int>(k));
-      double* dr = da.row(indices[k]);
-      for (int c = 0; c < g.cols(); ++c) dr[c] += gr[c];
-    }
-  });
+  return MakeOp(tape, std::move(out), needs, {a},
+                [a, indices](Tape& tp, const la::Matrix& g) {
+                  if (!tp.NeedsGrad(a)) return;
+                  // Serial scatter: indices may repeat, so rows can collide.
+                  la::Matrix& da = tp.GradRefPartial(a, indices);
+                  for (size_t k = 0; k < indices.size(); ++k) {
+                    const double* gr = g.row(static_cast<int>(k));
+                    double* dr = da.row(indices[k]);
+                    for (int c = 0; c < g.cols(); ++c) dr[c] += gr[c];
+                  }
+                });
 }
 
 Var ConcatCols(const std::vector<Var>& parts) {
@@ -353,7 +591,7 @@ Var ConcatCols(const std::vector<Var>& parts) {
     total_cols += p.cols();
     needs = needs || tape->NeedsGrad(p);
   }
-  la::Matrix out(rows, total_cols);
+  la::Matrix out = tape->NewValue(rows, total_cols, /*zero_init=*/false);
   int offset = 0;
   for (Var p : parts) {
     const la::Matrix& pv = p.value();
@@ -362,34 +600,44 @@ Var ConcatCols(const std::vector<Var>& parts) {
     }
     offset += pv.cols();
   }
-  return MakeOp(tape, std::move(out), needs, [parts](Tape& tp, const la::Matrix& g) {
-    int offset = 0;
-    for (Var p : parts) {
-      const int pc = tp.Value(p).cols();
-      if (tp.NeedsGrad(p)) {
-        la::Matrix& dp = tp.GradRef(p);
-        for (int r = 0; r < g.rows(); ++r) {
-          const double* gr = g.row(r) + offset;
-          double* dr = dp.row(r);
-          for (int c = 0; c < pc; ++c) dr[c] += gr[c];
-        }
-      }
-      offset += pc;
-    }
-  });
+  const int out_id = tape->num_nodes();
+  return MakeOp(tape, std::move(out), needs, parts,
+                [parts, out_id](Tape& tp, const la::Matrix& g) {
+                  const std::vector<int>* supp = tp.GradRowSupport(Var{&tp, out_id});
+                  int offset = 0;
+                  for (Var p : parts) {
+                    const int pc = tp.Value(p).cols();
+                    if (tp.NeedsGrad(p)) {
+                      la::Matrix& dp = supp != nullptr ? tp.GradRefPartial(p, *supp)
+                                                       : tp.GradRef(p);
+                      auto add_row = [&](int r) {
+                        const double* gr = g.row(r) + offset;
+                        double* dr = dp.row(r);
+                        for (int c = 0; c < pc; ++c) dr[c] += gr[c];
+                      };
+                      if (supp != nullptr) {
+                        for (int r : *supp) add_row(r);
+                      } else {
+                        for (int r = 0; r < g.rows(); ++r) add_row(r);
+                      }
+                    }
+                    offset += pc;
+                  }
+                });
 }
 
 Var SumAll(Var a) {
   Tape* tape = CommonTape({a});
-  la::Matrix out(1, 1);
+  la::Matrix out = tape->NewValue(1, 1, /*zero_init=*/false);
   out(0, 0) = a.value().SumAll();
   const bool needs = tape->NeedsGrad(a);
-  return MakeOp(tape, std::move(out), needs, [a](Tape& tp, const la::Matrix& g) {
-    if (!tp.NeedsGrad(a)) return;
-    la::Matrix& da = tp.GradRef(a);
-    const double gg = g(0, 0);
-    for (int64_t i = 0; i < da.size(); ++i) da.data()[i] += gg;
-  });
+  return MakeOp(tape, std::move(out), needs, {a},
+                [a](Tape& tp, const la::Matrix& g) {
+                  if (!tp.NeedsGrad(a)) return;
+                  la::Matrix& da = tp.GradRef(a);
+                  const double gg = g(0, 0);
+                  for (int64_t i = 0; i < da.size(); ++i) da.data()[i] += gg;
+                });
 }
 
 Var MeanAll(Var a) {
@@ -401,23 +649,37 @@ Var MeanAll(Var a) {
 Var RowSums(Var a) {
   Tape* tape = CommonTape({a});
   const la::Matrix& av = a.value();
-  la::Matrix out(av.rows(), 1);
-  for (int r = 0; r < av.rows(); ++r) {
-    double s = 0.0;
-    const double* row = av.row(r);
-    for (int c = 0; c < av.cols(); ++c) s += row[c];
-    out(r, 0) = s;
+  la::Matrix out = tape->NewValue(av.rows(), 1, /*zero_init=*/false);
+  {
+    const int cols = av.cols();
+    la::ActiveBackend().Apply(av.rows(), RowGrain(cols), [&](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        double s = 0.0;
+        const double* row = av.row(static_cast<int>(r));
+        for (int c = 0; c < cols; ++c) s += row[c];
+        out(static_cast<int>(r), 0) = s;
+      }
+    });
   }
   const bool needs = tape->NeedsGrad(a);
-  return MakeOp(tape, std::move(out), needs, [a](Tape& tp, const la::Matrix& g) {
-    if (!tp.NeedsGrad(a)) return;
-    la::Matrix& da = tp.GradRef(a);
-    for (int r = 0; r < da.rows(); ++r) {
-      const double gr = g(r, 0);
-      double* dr = da.row(r);
-      for (int c = 0; c < da.cols(); ++c) dr[c] += gr;
-    }
-  });
+  const int out_id = tape->num_nodes();
+  return MakeOp(tape, std::move(out), needs, {a},
+                [a, out_id](Tape& tp, const la::Matrix& g) {
+                  if (!tp.NeedsGrad(a)) return;
+                  const std::vector<int>* supp = tp.GradRowSupport(Var{&tp, out_id});
+                  la::Matrix& da = supp != nullptr ? tp.GradRefPartial(a, *supp)
+                                                   : tp.GradRef(a);
+                  auto add_row = [&](int r) {
+                    const double gr = g(r, 0);
+                    double* dr = da.row(r);
+                    for (int c = 0; c < da.cols(); ++c) dr[c] += gr;
+                  };
+                  if (supp != nullptr) {
+                    for (int r : *supp) add_row(r);
+                  } else {
+                    for (int r = 0; r < da.rows(); ++r) add_row(r);
+                  }
+                });
 }
 
 Var LaplacianQuadratic(const std::shared_ptr<const la::CsrMatrix>& laplacian, Var y) {
@@ -426,13 +688,14 @@ Var LaplacianQuadratic(const std::shared_ptr<const la::CsrMatrix>& laplacian, Va
   PPFR_CHECK_EQ(laplacian->rows(), y.rows());
   // Cache L*Y for the backward pass (dL/dY = 2 L Y, L symmetric).
   auto ly = std::make_shared<la::Matrix>(laplacian->Multiply(y.value()));
-  la::Matrix out(1, 1);
+  la::Matrix out = tape->NewValue(1, 1, /*zero_init=*/false);
   out(0, 0) = la::Dot(y.value(), *ly);
   const bool needs = tape->NeedsGrad(y);
-  return MakeOp(tape, std::move(out), needs, [y, ly](Tape& tp, const la::Matrix& g) {
-    if (!tp.NeedsGrad(y)) return;
-    tp.GradRef(y).Axpy(2.0 * g(0, 0), *ly);
-  });
+  return MakeOp(tape, std::move(out), needs, {y},
+                [y, ly](Tape& tp, const la::Matrix& g) {
+                  if (!tp.NeedsGrad(y)) return;
+                  tp.GradRef(y).Axpy(2.0 * g(0, 0), *ly);
+                });
 }
 
 Var EdgeSoftmaxAggregate(Var h, Var attn_left, Var attn_right,
@@ -456,48 +719,67 @@ Var EdgeSoftmaxAggregate(Var h, Var attn_left, Var attn_right,
   auto alpha = std::make_shared<std::vector<double>>(static_cast<size_t>(m) * heads);
   auto z_pos = std::make_shared<std::vector<char>>(static_cast<size_t>(m) * heads);
 
-  la::Matrix out(n, hv.cols());
-  for (int head = 0; head < heads; ++head) {
-    const int col0 = head * dim;
-    for (int i = 0; i < n; ++i) {
-      const int64_t begin = edges->row_ptr[i];
-      const int64_t end = edges->row_ptr[i + 1];
-      if (begin == end) continue;
-      // Stable softmax over e_ij.
-      double mx = -1e300;
-      for (int64_t k = begin; k < end; ++k) {
-        const int j = edges->col_idx[k];
-        const double z = sl(i, head) + sr(j, head);
-        const double e = z > 0.0 ? z : leaky_slope * z;
-        (*z_pos)[static_cast<size_t>(k) * heads + head] = z > 0.0 ? 1 : 0;
-        (*alpha)[static_cast<size_t>(k) * heads + head] = e;  // store e temporarily
-        mx = std::max(mx, e);
-      }
-      double denom = 0.0;
-      for (int64_t k = begin; k < end; ++k) {
-        double& slot = (*alpha)[static_cast<size_t>(k) * heads + head];
-        slot = std::exp(slot - mx);
-        denom += slot;
-      }
-      double* out_row = out.row(i) + col0;
-      for (int64_t k = begin; k < end; ++k) {
-        double& slot = (*alpha)[static_cast<size_t>(k) * heads + head];
-        slot /= denom;  // now alpha_ij
-        const double* hj = hv.row(edges->col_idx[k]) + col0;
-        for (int c = 0; c < dim; ++c) out_row[c] += slot * hj[c];
+  la::Matrix out = tape->NewValue(n, hv.cols(), /*zero_init=*/true);
+  // Destination rows are independent — each (i, head) writes only out.row(i)
+  // and its own alpha slots — so the forward fans out over destination
+  // chunks. Chunk boundaries are placed on CUMULATIVE degree (row_ptr is the
+  // prefix sum), not row count: per-row cost is O(degree), so hub nodes in a
+  // power-law graph would otherwise serialise one chunk. The partition never
+  // affects results, only which thread computes them.
+  const int64_t edge_grain = std::max<int64_t>(1, kApplyGrain / std::max(heads * dim, 1));
+  const int64_t num_chunks =
+      n == 0 ? 0 : std::max<int64_t>(1, std::min<int64_t>(n, m / edge_grain));
+  const std::vector<int64_t> bounds =
+      num_chunks > 0 ? la::NnzBalancedRowBounds(edges->row_ptr, n, num_chunks)
+                     : std::vector<int64_t>{0};
+  la::ActiveBackend().Apply(num_chunks, 1, [&](int64_t c0, int64_t c1) {
+    const int64_t i0 = bounds[static_cast<size_t>(c0)];
+    const int64_t i1 = bounds[static_cast<size_t>(c1)];
+    for (int head = 0; head < heads; ++head) {
+      const int col0 = head * dim;
+      for (int64_t i = i0; i < i1; ++i) {
+        const int64_t begin = edges->row_ptr[i];
+        const int64_t end = edges->row_ptr[i + 1];
+        if (begin == end) continue;
+        // Stable softmax over e_ij.
+        double mx = -1e300;
+        for (int64_t k = begin; k < end; ++k) {
+          const int j = edges->col_idx[k];
+          const double z = sl(static_cast<int>(i), head) + sr(j, head);
+          const double e = z > 0.0 ? z : leaky_slope * z;
+          (*z_pos)[static_cast<size_t>(k) * heads + head] = z > 0.0 ? 1 : 0;
+          (*alpha)[static_cast<size_t>(k) * heads + head] = e;  // store e temporarily
+          mx = std::max(mx, e);
+        }
+        double denom = 0.0;
+        for (int64_t k = begin; k < end; ++k) {
+          double& slot = (*alpha)[static_cast<size_t>(k) * heads + head];
+          slot = std::exp(slot - mx);
+          denom += slot;
+        }
+        double* out_row = out.row(static_cast<int>(i)) + col0;
+        for (int64_t k = begin; k < end; ++k) {
+          double& slot = (*alpha)[static_cast<size_t>(k) * heads + head];
+          slot /= denom;  // now alpha_ij
+          const double* hj = hv.row(edges->col_idx[k]) + col0;
+          for (int c = 0; c < dim; ++c) out_row[c] += slot * hj[c];
+        }
       }
     }
-  }
+  });
 
   const bool needs = AnyNeedsGrad({h, attn_left, attn_right});
   return MakeOp(
-      tape, std::move(out), needs,
+      tape, std::move(out), needs, {h, attn_left, attn_right},
       [h, attn_left, attn_right, edges, heads, dim, leaky_slope, alpha, z_pos](
           Tape& tp, const la::Matrix& g) {
         const la::Matrix& hv = tp.Value(h);
         const int n = edges->num_nodes;
         const bool need_h = tp.NeedsGrad(h);
         const bool need_attn = tp.NeedsGrad(attn_left) || tp.NeedsGrad(attn_right);
+        // Source-node scatter rows collide across destinations, so the
+        // backward stays serial (and dense: GAT per-seed sparsity is an open
+        // item in ROADMAP.md).
         la::Matrix* dh = need_h ? &tp.GradRef(h) : nullptr;
         la::Matrix* dsl = tp.NeedsGrad(attn_left) ? &tp.GradRef(attn_left) : nullptr;
         la::Matrix* dsr = tp.NeedsGrad(attn_right) ? &tp.GradRef(attn_right) : nullptr;

@@ -1,7 +1,10 @@
 #include "influence/influence.h"
 
+#include <algorithm>
+
 #include "fairness/bias_metric.h"
 #include "influence/param_vector.h"
+#include "la/backend.h"
 #include "privacy/risk_metric.h"
 
 namespace ppfr::influence {
@@ -23,6 +26,20 @@ InfluenceCalculator::InfluenceCalculator(nn::GnnModel* model,
 }
 
 std::vector<double> InfluenceCalculator::TrainingLossGrad() {
+  if (config_.reuse_grad_tape) {
+    if (train_grad_graph_ == nullptr) {
+      train_grad_graph_ = std::make_unique<ReusableLossGraph>(
+          [this](ag::Tape& tape) {
+            ag::Var logits = model_->Forward(tape, ctx_, nn::ForwardOptions{});
+            ag::Var logp = ag::LogSoftmaxRows(logits);
+            const std::vector<double> ones(train_nodes_.size(), 1.0);
+            return ag::WeightedNll(logp, train_nodes_, train_labels_, ones,
+                                   static_cast<double>(train_nodes_.size()));
+          },
+          params_);
+    }
+    return train_grad_graph_->Grad();
+  }
   for (ag::Parameter* p : params_) p->ZeroGrad();
   ag::Tape tape;
   ag::Var logits = model_->Forward(tape, ctx_, nn::ForwardOptions{});
@@ -45,22 +62,55 @@ std::vector<double> InfluenceCalculator::FunctionGrad(const FunctionBuilder& bui
 
 const std::vector<std::vector<double>>& InfluenceCalculator::PerNodeLossGrads() {
   if (!per_node_grads_.empty()) return per_node_grads_;
-  // One forward pass; per node, reseed the backward from the loss node.
+  per_node_grads_ = config_.serial_reference_per_node ? PerNodeLossGradsSerialReference()
+                                                      : PerNodeLossGradsPooled();
+  return per_node_grads_;
+}
+
+std::vector<std::vector<double>> InfluenceCalculator::PerNodeLossGradsPooled() {
+  int lanes = config_.tape_pool_lanes;
+  if (lanes <= 0) lanes = std::min(la::ActiveBackend().num_threads(), 8);
+  lanes = std::max(1, std::min<int>(lanes, static_cast<int>(train_nodes_.size())));
+  TapePool pool(
+      [this](ag::Tape& tape) {
+        ag::Var logits = model_->Forward(tape, ctx_, nn::ForwardOptions{});
+        return ag::LogSoftmaxRows(logits);
+      },
+      params_, lanes);
+  // Seed dL_v/dlogp = -1 at (v, label_v) — exactly the gradient the serial
+  // reference's single-node WeightedNll writes, so the paths stay bitwise
+  // identical without materialising a loss node per seed.
+  return pool.PerSeedGrads(
+      static_cast<int>(train_nodes_.size()),
+      [this](int k, std::vector<int>* rows, std::vector<int>* cols,
+             std::vector<double>* values) {
+        rows->push_back(train_nodes_[static_cast<size_t>(k)]);
+        cols->push_back(train_labels_[static_cast<size_t>(k)]);
+        values->push_back(-1.0);
+      });
+}
+
+// The seed implementation, preserved verbatim as the parity oracle and the
+// "before" side of bench_influence_engine: one growing tape, a full
+// ZeroAllGrads sweep and a Parameter::grad round-trip per node.
+std::vector<std::vector<double>>
+InfluenceCalculator::PerNodeLossGradsSerialReference() {
   ag::Tape tape;
   ag::Var logits = model_->Forward(tape, ctx_, nn::ForwardOptions{});
   ag::Var logp = ag::LogSoftmaxRows(logits);
   la::Matrix seed(1, 1);
   seed(0, 0) = 1.0;
-  per_node_grads_.reserve(train_nodes_.size());
+  std::vector<std::vector<double>> grads;
+  grads.reserve(train_nodes_.size());
   for (size_t k = 0; k < train_nodes_.size(); ++k) {
     for (ag::Parameter* p : params_) p->ZeroGrad();
     tape.ZeroAllGrads();
     ag::Var loss_v = ag::WeightedNll(logp, {train_nodes_[k]}, {train_labels_[k]},
                                      {1.0}, 1.0);
     tape.BackwardWithSeed(loss_v, seed);
-    per_node_grads_.push_back(FlattenGrads(params_));
+    grads.push_back(FlattenGrads(params_));
   }
-  return per_node_grads_;
+  return grads;
 }
 
 std::vector<double> InfluenceCalculator::InfluenceOnFunction(

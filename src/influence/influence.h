@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "influence/hvp.h"
+#include "influence/tape_pool.h"
 #include "la/csr_matrix.h"
 #include "nn/models.h"
 #include "nn/trainer.h"
@@ -19,6 +20,21 @@ using FunctionBuilder = std::function<ag::Var(ag::Tape&, ag::Var)>;
 
 struct InfluenceConfig {
   CgOptions cg;
+
+  // Lanes for the pooled per-node backward (TapePool); <= 0 resolves to the
+  // active backend's thread count, capped at 8 — so PPFR_LA_THREADS /
+  // --la_threads size both the kernel pool and the tape pool.
+  int tape_pool_lanes = 0;
+
+  // Runs per-node gradients through the pre-overhaul serial algorithm (one
+  // growing tape, a full ZeroAllGrads sweep per node). Kept as the parity
+  // oracle and the "before" side of bench_influence_engine; results are
+  // bitwise identical to the pooled path.
+  bool serial_reference_per_node = false;
+
+  // Records the training-loss gradient graph once and replays it for every
+  // CG/HVP gradient evaluation instead of rebuilding a tape each time.
+  bool reuse_grad_tape = true;
 };
 
 // Per-training-node influence on scalar evaluation functions f of the
@@ -54,13 +70,20 @@ class InfluenceCalculator {
 
   int num_train_nodes() const { return static_cast<int>(train_nodes_.size()); }
 
+  // Flat ∇θ L_v for every v, computed from shared forward passes — fanned
+  // across a TapePool, or serially on one tape in reference mode (see
+  // InfluenceConfig). Cached after the first call. Public so the engine
+  // bench and the bitwise-parity tests can drive the two modes directly.
+  const std::vector<std::vector<double>>& PerNodeLossGrads();
+
  private:
-  // Flat ∇θ of the mean training loss at the current parameters.
+  // Flat ∇θ of the mean training loss at the current parameters (replayed
+  // from a recorded tape unless config_.reuse_grad_tape is off).
   std::vector<double> TrainingLossGrad();
   // Flat ∇θ f for an arbitrary builder.
   std::vector<double> FunctionGrad(const FunctionBuilder& build_f);
-  // Flat ∇θ L_v for every v, computed from one shared forward pass.
-  const std::vector<std::vector<double>>& PerNodeLossGrads();
+  std::vector<std::vector<double>> PerNodeLossGradsPooled();
+  std::vector<std::vector<double>> PerNodeLossGradsSerialReference();
 
   nn::GnnModel* model_;
   const nn::GraphContext& ctx_;
@@ -68,7 +91,8 @@ class InfluenceCalculator {
   std::vector<int> train_labels_;
   InfluenceConfig config_;
   std::vector<ag::Parameter*> params_;
-  std::vector<std::vector<double>> per_node_grads_;  // lazily filled cache
+  std::vector<std::vector<double>> per_node_grads_;       // lazily filled cache
+  std::unique_ptr<ReusableLossGraph> train_grad_graph_;  // lazily recorded
 };
 
 }  // namespace ppfr::influence

@@ -1,0 +1,85 @@
+#include "influence/tape_pool.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace ppfr::influence {
+
+TapePool::TapePool(const Builder& builder, std::vector<ag::Parameter*> params,
+                   int num_lanes)
+    : params_(std::move(params)), num_lanes_(num_lanes) {
+  PPFR_CHECK_GE(num_lanes, 1);
+  // One forward pass, built with the ACTIVE backend: its values are exactly
+  // what a plain single-tape forward would produce, and after construction
+  // the tape is only ever read.
+  tape_.set_accumulate_param_grads(false);
+  output_ = builder(tape_);
+  PPFR_CHECK(output_.tape == &tape_);
+  if (num_lanes > 1) pool_ = std::make_unique<ThreadPool>(num_lanes);
+}
+
+void TapePool::RunLane(int seed_begin, int seed_end, const SeedFn& seed_fn,
+                       std::vector<std::vector<double>>* grads) {
+  // Worker-private state: a gradient arena for the shared tape, and a
+  // single-threaded backend of the active kind so the shared ParallelBackend
+  // pool is never entered concurrently.
+  const std::unique_ptr<la::Backend> backend =
+      la::MakeBackend(la::ActiveBackendKind(), /*num_threads=*/1);
+  la::ThreadLocalBackendGuard backend_guard(backend.get());
+  ag::GradArena arena(&tape_);
+  ag::ArenaScope arena_scope(&arena);
+  std::vector<int> rows;
+  std::vector<int> cols;
+  std::vector<double> values;
+  for (int k = seed_begin; k < seed_end; ++k) {
+    rows.clear();
+    cols.clear();
+    values.clear();
+    seed_fn(k, &rows, &cols, &values);
+    tape_.BackwardWithSparseSeed(output_, rows, cols, values);
+    tape_.FlattenLeafGrads(params_, &(*grads)[static_cast<size_t>(k)]);
+    tape_.ZeroDirtyNodeGrads();
+  }
+}
+
+std::vector<std::vector<double>> TapePool::PerSeedGrads(int num_seeds,
+                                                        const SeedFn& seed_fn) {
+  PPFR_CHECK_GE(num_seeds, 0);
+  std::vector<std::vector<double>> grads(static_cast<size_t>(num_seeds));
+  if (num_seeds == 0) return grads;
+  const int lanes = std::min<int>(num_lanes_, num_seeds);
+  if (lanes == 1 || pool_ == nullptr) {
+    RunLane(0, num_seeds, seed_fn, &grads);
+    return grads;
+  }
+  // Contiguous, near-even seed ranges; each range is driven by exactly one
+  // worker with its own arena, so no backward state is ever shared.
+  pool_->ParallelFor(0, lanes, 1, [&](int64_t l0, int64_t l1) {
+    for (int64_t l = l0; l < l1; ++l) {
+      const int begin = static_cast<int>(l * num_seeds / lanes);
+      const int end = static_cast<int>((l + 1) * num_seeds / lanes);
+      RunLane(begin, end, seed_fn, &grads);
+    }
+  });
+  return grads;
+}
+
+ReusableLossGraph::ReusableLossGraph(Builder builder,
+                                     std::vector<ag::Parameter*> params)
+    : builder_(std::move(builder)), params_(std::move(params)) {
+  tape_.set_accumulate_param_grads(false);
+}
+
+std::vector<double> ReusableLossGraph::Grad() {
+  if (recorded_) tape_.BeginReplay();
+  ag::Var loss = builder_(tape_);
+  PPFR_CHECK(loss.tape == &tape_);
+  tape_.Backward(loss);
+  recorded_ = true;
+  std::vector<double> out;
+  tape_.FlattenLeafGrads(params_, &out);
+  return out;
+}
+
+}  // namespace ppfr::influence

@@ -1,0 +1,85 @@
+#ifndef PPFR_INFLUENCE_TAPE_POOL_H_
+#define PPFR_INFLUENCE_TAPE_POOL_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "autograd/tape.h"
+#include "common/thread_pool.h"
+#include "la/backend.h"
+
+namespace ppfr::influence {
+
+// Parallel per-seed backward over ONE shared forward tape.
+//
+// Per-training-node loss gradients are embarrassingly parallel across seeds,
+// but the autograd tape's backward state is inherently single-consumer, and
+// the process-wide ParallelBackend pool must not be entered concurrently.
+// TapePool resolves both without duplicating the forward pass: it builds a
+// single forward tape (which stays structurally immutable — seeds are
+// injected as sparse gradients on the shared output node, never as tail
+// nodes), then hands each worker thread a private ag::GradArena for its
+// backward bookkeeping plus a private single-threaded backend of the active
+// kind. Each seed runs a reachability-pruned sparse-seeded backward, the
+// lane-local leaf gradients are flattened, and only the touched gradient
+// rows are re-zeroed.
+//
+// Determinism: which lane computes a seed never affects the result — every
+// lane back-propagates through the same forward values, and every kernel is
+// deterministic across thread counts — so the output equals the serial
+// single-lane path bit for bit for any lane count and either backend.
+class TapePool {
+ public:
+  // Builds the shared forward pass on `tape` and returns the node the
+  // per-seed gradients are injected into (e.g. the log-softmax output).
+  using Builder = std::function<ag::Var(ag::Tape&)>;
+  // Fills seed k's sparse gradient on the shared output node: parallel
+  // arrays of (row, col, value) entries. Called with cleared vectors.
+  using SeedFn = std::function<void(int seed, std::vector<int>* rows,
+                                    std::vector<int>* cols, std::vector<double>* values)>;
+
+  TapePool(const Builder& builder, std::vector<ag::Parameter*> params, int num_lanes);
+
+  // Flat ∇θ(loss_k) for every seed k in [0, num_seeds).
+  std::vector<std::vector<double>> PerSeedGrads(int num_seeds, const SeedFn& seed_fn);
+
+  int num_lanes() const { return num_lanes_; }
+
+ private:
+  void RunLane(int seed_begin, int seed_end, const SeedFn& seed_fn,
+               std::vector<std::vector<double>>* grads);
+
+  std::vector<ag::Parameter*> params_;
+  ag::Tape tape_;
+  ag::Var output_;
+  int num_lanes_ = 1;
+  std::unique_ptr<ThreadPool> pool_;  // only when num_lanes > 1
+};
+
+// A loss graph recorded once and replayed for every subsequent gradient
+// evaluation — the tape arena behind TrainingLossGrad / HessianVectorProduct
+// / the CG solve, which previously rebuilt a fresh tape (~2 per CG iteration)
+// for every evaluation. Gradients are read from the tape-local leaf buffers,
+// so Parameter::grad is never clobbered by an influence solve.
+class ReusableLossGraph {
+ public:
+  // `builder` must produce the same expression structure on every call (the
+  // tape CHECKs this); parameter VALUES may change between calls.
+  using Builder = std::function<ag::Var(ag::Tape&)>;
+
+  ReusableLossGraph(Builder builder, std::vector<ag::Parameter*> params);
+
+  // Flat ∇θ(loss) at the current parameter values.
+  std::vector<double> Grad();
+
+ private:
+  Builder builder_;
+  std::vector<ag::Parameter*> params_;
+  ag::Tape tape_;
+  bool recorded_ = false;
+};
+
+}  // namespace ppfr::influence
+
+#endif  // PPFR_INFLUENCE_TAPE_POOL_H_

@@ -113,6 +113,11 @@ class ReferenceBackend final : public Backend {
                  Matrix* out) const override {
     NaiveSpmmAccumRows(a, x, alpha, out, 0, a.rows());
   }
+  void Apply(int64_t n, int64_t grain,
+             const std::function<void(int64_t, int64_t)>& fn) const override {
+    (void)grain;
+    if (n > 0) fn(0, n);
+  }
   double VDot(const double* a, const double* b, int64_t n) const override {
     double s = 0.0;
     for (int64_t i = 0; i < n; ++i) s += a[i] * b[i];
@@ -234,13 +239,31 @@ class ParallelBackend final : public Backend {
       NaiveSpmmAccumRows(a, x, alpha, out, 0, a.rows());
       return;
     }
-    // Row-range partition: each thread owns a disjoint slice of output rows,
-    // sized so a chunk carries at least ~kSpmmWorkCutoff flops.
-    const int64_t avg_row_work = std::max<int64_t>(1, work / a.rows());
-    const int64_t grain = std::max<int64_t>(1, kSpmmWorkCutoff / avg_row_work);
-    pool_.ParallelFor(0, a.rows(), grain, [&](int64_t lo, int64_t hi) {
-      NaiveSpmmAccumRows(a, x, alpha, out, lo, hi);
+    // nnz-balanced row partition: chunk boundaries are chosen on cumulative
+    // nnz (row_ptr is already the prefix sum), so a handful of high-degree
+    // rows in a power-law graph can't serialise one chunk while the rest sit
+    // idle. Each chunk still owns a disjoint, contiguous output-row range
+    // and walks it in row order, so results are independent of both the
+    // chunk count and the thread assignment.
+    const int64_t num_chunks = std::min<int64_t>(
+        pool_.num_threads(), std::max<int64_t>(1, work / kSpmmWorkCutoff));
+    if (num_chunks <= 1) {
+      NaiveSpmmAccumRows(a, x, alpha, out, 0, a.rows());
+      return;
+    }
+    const std::vector<int64_t> bounds =
+        NnzBalancedRowBounds(a.row_ptr(), a.rows(), num_chunks);
+    pool_.ParallelFor(0, num_chunks, 1, [&](int64_t c0, int64_t c1) {
+      for (int64_t c = c0; c < c1; ++c) {
+        NaiveSpmmAccumRows(a, x, alpha, out, bounds[static_cast<size_t>(c)],
+                           bounds[static_cast<size_t>(c + 1)]);
+      }
     });
+  }
+
+  void Apply(int64_t n, int64_t grain,
+             const std::function<void(int64_t, int64_t)>& fn) const override {
+    pool_.ParallelFor(0, n, std::max<int64_t>(grain, 1), fn);
   }
 
   double VDot(const double* a, const double* b, int64_t n) const override {
@@ -403,6 +426,9 @@ std::unique_ptr<Backend>& BackendSlot() {
   return slot;
 }
 
+// Worker-thread override installed by ThreadLocalBackendGuard.
+thread_local Backend* t_backend_override = nullptr;
+
 BackendKind g_active_kind = BackendKind::kParallel;
 int g_active_threads = 0;  // requested value; 0 = hardware concurrency
 
@@ -456,9 +482,17 @@ std::unique_ptr<Backend> MakeBackend(BackendKind kind, int num_threads) {
 }
 
 Backend& ActiveBackend() {
+  if (t_backend_override != nullptr) return *t_backend_override;
   InitFromEnvIfNeeded();
   return *BackendSlot();
 }
+
+ThreadLocalBackendGuard::ThreadLocalBackendGuard(Backend* backend)
+    : previous_(t_backend_override) {
+  t_backend_override = backend;
+}
+
+ThreadLocalBackendGuard::~ThreadLocalBackendGuard() { t_backend_override = previous_; }
 
 BackendKind ActiveBackendKind() {
   InitFromEnvIfNeeded();

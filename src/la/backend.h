@@ -2,6 +2,7 @@
 #define PPFR_LA_BACKEND_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 
@@ -51,6 +52,15 @@ class Backend {
     return VDot(a.data(), b.data(), a.size());
   }
 
+  // Generic range runner for elementwise/row-partitioned loops that have no
+  // dedicated kernel (activations, row softmax, gathers). Splits [0, n) into
+  // disjoint chunks of at least `grain` indices and invokes fn(begin, end)
+  // over them — possibly across threads, so fn must only write per-index
+  // state. Because chunks are disjoint and per-index work is independent, the
+  // result is bitwise identical for any thread count.
+  virtual void Apply(int64_t n, int64_t grain,
+                     const std::function<void(int64_t, int64_t)>& fn) const = 0;
+
   // Sparse: out += alpha * a * x, row-major dense x/out.
   virtual void SpmmAccum(const CsrMatrix& a, const Matrix& x, double alpha,
                          Matrix* out) const = 0;
@@ -82,6 +92,25 @@ void SetActiveBackend(BackendKind kind, int num_threads = 0);
 // Applies --la_backend=reference|parallel and --la_threads=N command-line
 // flags (bench/example binaries call this right after parsing Flags).
 void ConfigureBackendFromFlags(const Flags& flags);
+
+// Thread-local backend override, consulted by ActiveBackend() before the
+// process-wide instance. This is how parallelism ABOVE the kernel layer is
+// made safe: an orchestrator (e.g. influence::TapePool) gives each of its
+// worker threads a private single-threaded backend of the active kind, so
+// concurrent workers never enter the shared ParallelBackend pool (which is
+// not reentrant). Kernels are deterministic across thread counts, so routing
+// a worker through a 1-thread clone is bitwise equivalent to the main path.
+class ThreadLocalBackendGuard {
+ public:
+  explicit ThreadLocalBackendGuard(Backend* backend);
+  ~ThreadLocalBackendGuard();
+
+  ThreadLocalBackendGuard(const ThreadLocalBackendGuard&) = delete;
+  ThreadLocalBackendGuard& operator=(const ThreadLocalBackendGuard&) = delete;
+
+ private:
+  Backend* previous_;
+};
 
 // RAII backend swap for tests: restores the previous backend on destruction.
 class ScopedBackend {

@@ -6,6 +6,23 @@
 
 namespace ppfr::la {
 
+std::vector<int64_t> NnzBalancedRowBounds(const std::vector<int64_t>& row_ptr,
+                                          int64_t num_rows, int64_t num_chunks) {
+  PPFR_CHECK_GE(num_chunks, 1);
+  PPFR_CHECK_GE(static_cast<int64_t>(row_ptr.size()), num_rows + 1);
+  const int64_t nnz = row_ptr[static_cast<size_t>(num_rows)];
+  std::vector<int64_t> bounds(static_cast<size_t>(num_chunks) + 1, 0);
+  bounds[static_cast<size_t>(num_chunks)] = num_rows;
+  for (int64_t c = 1; c < num_chunks; ++c) {
+    const int64_t target = c * nnz / num_chunks;
+    const auto it = std::lower_bound(row_ptr.begin(),
+                                     row_ptr.begin() + num_rows + 1, target);
+    const int64_t row = std::min<int64_t>(it - row_ptr.begin(), num_rows);
+    bounds[static_cast<size_t>(c)] = std::max(bounds[static_cast<size_t>(c - 1)], row);
+  }
+  return bounds;
+}
+
 CsrMatrix CsrMatrix::FromTriplets(int rows, int cols, std::vector<Triplet> triplets) {
   CsrMatrix m(rows, cols);
   std::sort(triplets.begin(), triplets.end(), [](const Triplet& a, const Triplet& b) {
@@ -47,6 +64,29 @@ void CsrMatrix::MultiplyAccum(const Matrix& x, double alpha, Matrix* out) const 
   PPFR_CHECK_EQ(out->rows(), rows_);
   PPFR_CHECK_EQ(out->cols(), x.cols());
   ActiveBackend().SpmmAccum(*this, x, alpha, out);
+}
+
+void CsrMatrix::MultiplyAccumRows(const Matrix& x, double alpha, Matrix* out,
+                                  const std::vector<int>& rows,
+                                  const std::vector<uint8_t>& x_row_nonzero) const {
+  PPFR_CHECK_EQ(cols_, x.rows());
+  PPFR_CHECK_EQ(out->rows(), rows_);
+  PPFR_CHECK_EQ(out->cols(), x.cols());
+  const bool masked = !x_row_nonzero.empty();
+  if (masked) PPFR_CHECK_GE(static_cast<int>(x_row_nonzero.size()), x.rows());
+  const int n = x.cols();
+  for (int r : rows) {
+    PPFR_DCHECK_GE(r, 0);
+    PPFR_DCHECK_LT(r, rows_);
+    double* out_row = out->row(r);
+    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const int c = col_idx_[k];
+      if (masked && !x_row_nonzero[c]) continue;
+      const double w = alpha * values_[k];
+      const double* x_row = x.row(c);
+      for (int j = 0; j < n; ++j) out_row[j] += w * x_row[j];
+    }
+  }
 }
 
 CsrMatrix CsrMatrix::Transposed() const {

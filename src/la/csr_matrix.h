@@ -15,6 +15,15 @@ struct Triplet {
   double value;
 };
 
+// Chunk boundaries over [0, num_rows) balanced on cumulative nnz: returns
+// num_chunks+1 non-decreasing row indices with bounds.front()==0 and
+// bounds.back()==num_rows, each interior boundary placed (via lower_bound on
+// the prefix-sum row_ptr) so every chunk carries ~nnz/num_chunks entries.
+// Shared by the parallel SpMM kernel and the fused edge-softmax forward so a
+// few hub rows in a power-law graph can't serialise one chunk.
+std::vector<int64_t> NnzBalancedRowBounds(const std::vector<int64_t>& row_ptr,
+                                          int64_t num_rows, int64_t num_chunks);
+
 // Compressed-sparse-row matrix of doubles. Used for normalised adjacency
 // operators (Â), similarity matrices S and their Laplacians — all of which
 // are multiplied against dense embedding matrices during training.
@@ -40,6 +49,21 @@ class CsrMatrix {
 
   // out += alpha * (this * x), into a preallocated (r,n) matrix.
   void MultiplyAccum(const Matrix& x, double alpha, Matrix* out) const;
+
+  // Row-subset variant: accumulates only the output rows listed in `rows`
+  // (each computed exactly as MultiplyAccum would). Serial by design — the
+  // autograd row-support machinery calls this with the small nonzero-row
+  // support of a seeded backward pass, where threading would cost more than
+  // the arithmetic.
+  //
+  // `x_row_nonzero` (sized >= x.rows(), or empty for "unknown") marks the
+  // rows of x that may be nonzero; entries pointing at an unmarked row are
+  // skipped. A skipped entry only ever contributes an exact ±0 product, so
+  // the result is bitwise identical to the unmasked computation — the mask
+  // just avoids streaming known-zero rows through the cache.
+  void MultiplyAccumRows(const Matrix& x, double alpha, Matrix* out,
+                         const std::vector<int>& rows,
+                         const std::vector<uint8_t>& x_row_nonzero = {}) const;
 
   CsrMatrix Transposed() const;
 

@@ -1,12 +1,24 @@
 #include "la/matrix.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <sstream>
 
 #include "la/backend.h"
 
 namespace ppfr::la {
+namespace {
+std::atomic<int64_t> g_matrix_alloc_count{0};
+}  // namespace
+
+int64_t MatrixAllocCount() { return g_matrix_alloc_count.load(std::memory_order_relaxed); }
+
+namespace internal {
+void BumpMatrixAllocCount() {
+  g_matrix_alloc_count.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace internal
 
 Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
   if (rows.empty()) return Matrix();
@@ -24,6 +36,11 @@ Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
 }
 
 void Matrix::Fill(double value) { std::fill(data_.begin(), data_.end(), value); }
+
+void Matrix::CopyDataFrom(const Matrix& other) {
+  PPFR_CHECK(SameShape(other));
+  std::copy(other.data_.begin(), other.data_.end(), data_.begin());
+}
 
 void Matrix::Axpy(double alpha, const Matrix& other) {
   PPFR_CHECK(SameShape(other));
@@ -121,6 +138,40 @@ Matrix Hadamard(const Matrix& a, const Matrix& b) {
 double Dot(const Matrix& a, const Matrix& b) {
   PPFR_CHECK(a.SameShape(b));
   return ActiveBackend().Dot(a, b);
+}
+
+void GemmTransBAccumRows(const Matrix& g, const Matrix& b, Matrix* out,
+                         const std::vector<int>& rows) {
+  PPFR_CHECK_EQ(g.cols(), b.cols());
+  PPFR_CHECK_EQ(out->rows(), g.rows());
+  PPFR_CHECK_EQ(out->cols(), b.rows());
+  for (int r : rows) {
+    const double* g_row = g.row(r);
+    double* out_row = out->row(r);
+    for (int j = 0; j < b.rows(); ++j) {
+      const double* b_row = b.row(j);
+      double s = 0.0;
+      for (int c = 0; c < g.cols(); ++c) s += g_row[c] * b_row[c];
+      out_row[j] += s;
+    }
+  }
+}
+
+void GemmTransAAccumRows(const Matrix& a, const Matrix& g, Matrix* out,
+                         const std::vector<int>& rows) {
+  PPFR_CHECK_EQ(a.rows(), g.rows());
+  PPFR_CHECK_EQ(out->rows(), a.cols());
+  PPFR_CHECK_EQ(out->cols(), g.cols());
+  for (int r : rows) {
+    const double* a_row = a.row(r);
+    const double* g_row = g.row(r);
+    for (int i = 0; i < a.cols(); ++i) {
+      const double ari = a_row[i];
+      if (ari == 0.0) continue;
+      double* out_row = out->row(i);
+      for (int j = 0; j < g.cols(); ++j) out_row[j] += ari * g_row[j];
+    }
+  }
 }
 
 Matrix SoftmaxRows(const Matrix& logits) {

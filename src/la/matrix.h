@@ -12,6 +12,17 @@ namespace ppfr::la {
 // Row-major dense matrix of doubles. The GNN stack works in double precision
 // because the influence-function machinery (HVP + conjugate gradient) needs
 // the numerical headroom.
+// Bumped once per dense buffer allocation: shape construction and copy
+// construction with a nonzero size. (Copy ASSIGNMENT is uncounted — the
+// destination vector may reuse its capacity, so it is not reliably an
+// allocation.) The influence-engine bench uses the delta to demonstrate that
+// tape replay/pooling keeps the hot loop allocation-free; relaxed ordering
+// because only totals matter.
+int64_t MatrixAllocCount();
+namespace internal {
+void BumpMatrixAllocCount();
+}  // namespace internal
+
 class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}
@@ -19,7 +30,18 @@ class Matrix {
       : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols, fill) {
     PPFR_CHECK_GE(rows, 0);
     PPFR_CHECK_GE(cols, 0);
+    if (!data_.empty()) internal::BumpMatrixAllocCount();
   }
+
+  Matrix(const Matrix& other)
+      : rows_(other.rows_), cols_(other.cols_), data_(other.data_) {
+    if (!data_.empty()) internal::BumpMatrixAllocCount();
+  }
+  Matrix& operator=(const Matrix& other) = default;
+  // Declaring the counting copy constructor suppresses the implicit move
+  // members; restore them (moves transfer a buffer, they don't allocate).
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
 
   static Matrix FromRows(const std::vector<std::vector<double>>& rows);
 
@@ -53,6 +75,9 @@ class Matrix {
 
   void Fill(double value);
   void Zero() { Fill(0.0); }
+  // Copies `other`'s contents into this matrix without reallocating (shapes
+  // must already match) — the tape replay arena's refill primitive.
+  void CopyDataFrom(const Matrix& other);
 
   // this += alpha * other (shapes must match).
   void Axpy(double alpha, const Matrix& other);
@@ -102,6 +127,18 @@ Matrix Hadamard(const Matrix& a, const Matrix& b);
 
 // Frobenius inner product <a, b>.
 double Dot(const Matrix& a, const Matrix& b);
+
+// Row-subset GEMM accumulators used by the sparsity-propagating seeded
+// backward (autograd row-support machinery). Both are deliberately serial:
+// `rows` is the small nonzero-row support of a gradient, so the subset work
+// is far below any threading cutoff.
+//
+// out(r, :) += g(r, :) · bᵀ for r in rows.   g: (m,n), b: (k,n), out: (m,k).
+void GemmTransBAccumRows(const Matrix& g, const Matrix& b, Matrix* out,
+                         const std::vector<int>& rows);
+// out += Σ_{r in rows} a(r, :)ᵀ ⊗ g(r, :).   a: (m,k), g: (m,n), out: (k,n).
+void GemmTransAAccumRows(const Matrix& a, const Matrix& g, Matrix* out,
+                         const std::vector<int>& rows);
 
 // Row-wise softmax (numerically stable).
 Matrix SoftmaxRows(const Matrix& logits);

@@ -38,7 +38,7 @@ Gcn::Gcn(int in_dim, int hidden_dim, int num_classes, uint64_t seed)
 ag::Var Gcn::Forward(ag::Tape& tape, const GraphContext& ctx,
                      const ForwardOptions& options) {
   (void)options;
-  ag::Var x = tape.Constant(ctx.features);
+  ag::Var x = tape.StaticConstant(ctx.features);
   ag::Var h = ag::Relu(conv1_.Forward(tape, ctx, x));
   return conv2_.Forward(tape, ctx, h);
 }
@@ -60,7 +60,7 @@ Gat::Gat(int in_dim, int hidden_dim, int num_classes, int heads, uint64_t seed)
 ag::Var Gat::Forward(ag::Tape& tape, const GraphContext& ctx,
                      const ForwardOptions& options) {
   (void)options;
-  ag::Var x = tape.Constant(ctx.features);
+  ag::Var x = tape.StaticConstant(ctx.features);
   ag::Var h = ag::Elu(conv1_.Forward(tape, ctx, x));
   return conv2_.Forward(tape, ctx, h);
 }
@@ -80,7 +80,7 @@ GraphSage::GraphSage(int in_dim, int hidden_dim, int num_classes, uint64_t seed)
 
 ag::Var GraphSage::Forward(ag::Tape& tape, const GraphContext& ctx,
                            const ForwardOptions& options) {
-  ag::Var x = tape.Constant(ctx.features);
+  ag::Var x = tape.StaticConstant(ctx.features);
   ag::Var h = ag::Relu(conv1_.Forward(tape, ctx, x, options.sage_aggregator));
   return conv2_.Forward(tape, ctx, h, options.sage_aggregator);
 }

@@ -28,6 +28,12 @@ TrainStats Train(GnnModel* model, const GraphContext& ctx,
 
   TrainStats stats;
   stats.epoch_losses.reserve(config.epochs);
+  // One tape serves every epoch: the first pass records the graph structure,
+  // later passes replay it in place (per-epoch state — parameter values, the
+  // sampled SAGE aggregator, saved activations — is refreshed each pass
+  // because replay re-runs the builders and replaces backward closures).
+  ag::Tape reused_tape;
+  bool recorded = false;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     ForwardOptions options;
     if (model->UsesNeighborSampling()) {
@@ -35,7 +41,9 @@ TrainStats Train(GnnModel* model, const GraphContext& ctx,
     }
 
     for (ag::Parameter* p : params) p->ZeroGrad();
-    ag::Tape tape;
+    ag::Tape fresh_tape;
+    ag::Tape& tape = config.reuse_tape ? reused_tape : fresh_tape;
+    if (config.reuse_tape && recorded) tape.BeginReplay();
     ag::Var logits = model->Forward(tape, ctx, options);
     ag::Var logp = ag::LogSoftmaxRows(logits);
     ag::Var loss = ag::WeightedNll(logp, train_nodes, train_labels, weights,
@@ -46,6 +54,7 @@ TrainStats Train(GnnModel* model, const GraphContext& ctx,
       loss = ag::Add(loss, ag::Scale(bias, config.fairness_reg));
     }
     tape.Backward(loss);
+    recorded = true;
     optimizer.Step();
 
     stats.epoch_losses.push_back(loss.scalar());

@@ -29,6 +29,13 @@ struct TrainConfig {
 
   uint64_t seed = 1;  // drives neighbour sampling only
   bool verbose = false;
+
+  // Reuse one autograd tape across epochs (record the first forward, replay
+  // thereafter — value/grad buffers are recycled instead of reallocated).
+  // The loss structure is static across epochs for every model, so this is
+  // purely an execution-mode switch; results are bitwise identical to the
+  // fresh-tape-per-epoch path.
+  bool reuse_tape = true;
 };
 
 struct TrainStats {

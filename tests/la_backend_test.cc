@@ -155,6 +155,77 @@ TEST(BackendParityTest, SpmmRandomAndEmpty) {
   ExpectBackendParity([&] { return empty.Multiply(x4); });
 }
 
+TEST(BackendParityTest, SpmmPowerLawDegreeGraph) {
+  // Heavily skewed degrees: a few hub rows own most of the nnz, so the
+  // nnz-balanced partition places chunk boundaries inside the hub region
+  // while a row-count partition would serialise on one chunk. Results must
+  // match the reference for every thread count.
+  Rng rng(13);
+  const int n = 2000;
+  std::vector<Triplet> triplets;
+  for (int hub = 0; hub < 4; ++hub) {
+    for (int j = 0; j < n; j += 1 + hub) {
+      triplets.push_back({hub, j, rng.Normal()});
+    }
+  }
+  for (int i = 4; i < n; ++i) {
+    for (int d = 0; d < 2; ++d) {
+      triplets.push_back({i, static_cast<int>(rng.UniformInt(n)), rng.Normal()});
+    }
+  }
+  const CsrMatrix sparse = CsrMatrix::FromTriplets(n, n, triplets);
+  const Matrix x = RandomMatrix(n, 16, &rng);
+  ExpectBackendParity([&] { return sparse.Multiply(x); });
+  ExpectBackendParity([&] {
+    Matrix out(n, 16, 0.25);
+    sparse.MultiplyAccum(x, 2.0, &out);
+    return out;
+  });
+}
+
+TEST(CsrMatrixTest, MultiplyAccumRowsMatchesFullProductOnSubset) {
+  Rng rng(14);
+  std::vector<Triplet> triplets;
+  for (int i = 0; i < 400; ++i) {
+    triplets.push_back({static_cast<int>(rng.UniformInt(60)),
+                        static_cast<int>(rng.UniformInt(60)), rng.Normal()});
+  }
+  const CsrMatrix sparse = CsrMatrix::FromTriplets(60, 60, triplets);
+  // x is zero outside rows {3, 17, 40}; the masked row-subset accumulate
+  // must reproduce the full product bit for bit on the requested rows.
+  Matrix x(60, 5);
+  const std::vector<int> nonzero_rows{3, 17, 40};
+  std::vector<uint8_t> mask(60, 0);
+  for (int r : nonzero_rows) {
+    mask[static_cast<size_t>(r)] = 1;
+    for (int c = 0; c < 5; ++c) x(r, c) = rng.Normal();
+  }
+  const Matrix full = sparse.Multiply(x);
+
+  const std::vector<int> subset{0, 5, 17, 33, 59};
+  Matrix masked(60, 5);
+  sparse.MultiplyAccumRows(x, 1.0, &masked, subset, mask);
+  Matrix unmasked(60, 5);
+  sparse.MultiplyAccumRows(x, 1.0, &unmasked, subset);
+  for (int r : subset) {
+    for (int c = 0; c < 5; ++c) {
+      EXPECT_EQ(masked(r, c), full(r, c)) << "masked (" << r << "," << c << ")";
+      EXPECT_EQ(unmasked(r, c), full(r, c)) << "unmasked (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST(BackendApplyTest, CoversRangeOnceUnderBothBackends) {
+  for (const BackendKind kind : {BackendKind::kReference, BackendKind::kParallel}) {
+    const auto backend = MakeBackend(kind, 3);
+    std::vector<std::atomic<int>> hits(50000);
+    backend->Apply(50000, 1024, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) hits[static_cast<size_t>(i)]++;
+    });
+    for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+  }
+}
+
 TEST(BackendParityTest, VectorOpsMatchAcrossThreadCounts) {
   Rng rng(11);
   const int64_t n = 100001;  // > reduce-block and elementwise cutoffs, ragged
