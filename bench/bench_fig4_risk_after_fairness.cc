@@ -3,7 +3,11 @@
 // Expected shape (RQ1): AUC rises for most distances once fairness is
 // enforced — edge privacy degrades as node fairness improves.
 //
+// Thin front-end over the "fig4" registry sweep; the per-distance AUC
+// breakdown is added to the artifact as extra cell metrics.
+//
 //   ./bench_fig4_risk_after_fairness [--datasets=...] [--epochs=150]
+//       [--runner_threads=N] [--json_dir=.]
 
 #include <cstdio>
 
@@ -13,42 +17,59 @@
 int main(int argc, char** argv) {
   using namespace ppfr;
   Flags flags(argc, argv);
+  bench::RequireKnownFlags(flags, {});
   la::ConfigureBackendFromFlags(flags);
-  const auto datasets = bench::ParseDatasets(flags, data::StrongHomophilyDatasets());
+  const runner::Sweep sweep = bench::BenchSweep(flags, "fig4");
 
   std::printf("Fig. 4 — attack AUC per distance, GCN vanilla vs Reg\n");
   std::printf("(smaller AUC = better privacy; the paper observes AUC increases\n");
   std::printf(" when fairness is promoted)\n\n");
 
-  for (data::DatasetId dataset : datasets) {
-    core::ExperimentEnv env = core::MakeEnv(dataset, core::kDefaultEnvSeed);
-    core::MethodConfig cfg = core::DefaultMethodConfig(dataset, nn::ModelKind::kGcn);
-    bench::ApplyCommonFlags(flags, &cfg);
+  runner::RunCache cache;
+  runner::SweepResult result =
+      runner::RunSweep(sweep, &cache, bench::RunnerOptionsFromFlags(flags));
 
-    const core::MethodRun vanilla =
-        core::RunMethod(core::MethodKind::kVanilla, nn::ModelKind::kGcn, env, cfg);
-    const core::MethodRun reg =
-        core::RunMethod(core::MethodKind::kReg, nn::ModelKind::kGcn, env, cfg);
+  const auto& kinds = privacy::AllDistanceKinds();
+  // Per-distance AUCs ride along in the artifact.
+  for (runner::CellResult& cell : result.cells) {
+    for (size_t i = 0; i < kinds.size(); ++i) {
+      cell.extra["auc_" + privacy::DistanceName(kinds[i])] =
+          cell.run->eval.attack.auc_per_distance[i];
+    }
+  }
+
+  for (data::DatasetId dataset : bench::DatasetsIn(result)) {
+    const core::EvalResult& vanilla =
+        bench::CellOrDie(result, dataset, nn::ModelKind::kGcn,
+                         core::MethodKind::kVanilla)
+            .run->eval;
+    const core::EvalResult& reg =
+        bench::CellOrDie(result, dataset, nn::ModelKind::kGcn,
+                         core::MethodKind::kReg)
+            .run->eval;
 
     std::printf("%s:\n", data::DatasetName(dataset).c_str());
     TablePrinter table({"Distance", "AUC vanilla", "AUC Reg", "change"});
-    const auto& kinds = privacy::AllDistanceKinds();
     int increased = 0;
     for (size_t i = 0; i < kinds.size(); ++i) {
-      const double before = vanilla.eval.attack.auc_per_distance[i];
-      const double after = reg.eval.attack.auc_per_distance[i];
+      const double before = vanilla.attack.auc_per_distance[i];
+      const double after = reg.attack.auc_per_distance[i];
       increased += after > before;
       table.AddRow({privacy::DistanceName(kinds[i]), TablePrinter::Num(before, 4),
                     TablePrinter::Num(after, 4),
                     after > before ? "riskier" : "safer"});
     }
     table.AddSeparator();
-    table.AddRow({"MEAN", TablePrinter::Num(vanilla.eval.risk_auc, 4),
-                  TablePrinter::Num(reg.eval.risk_auc, 4),
-                  reg.eval.risk_auc > vanilla.eval.risk_auc ? "riskier" : "safer"});
+    table.AddRow({"MEAN", TablePrinter::Num(vanilla.risk_auc, 4),
+                  TablePrinter::Num(reg.risk_auc, 4),
+                  reg.risk_auc > vanilla.risk_auc ? "riskier" : "safer"});
     table.Print();
     std::printf("  distances with increased AUC: %d / %zu\n\n", increased,
                 kinds.size());
   }
+
+  const std::string path =
+      runner::WriteArtifact(result, flags.GetString("json_dir", "."));
+  std::printf("wrote %s\n", path.c_str());
   return 0;
 }

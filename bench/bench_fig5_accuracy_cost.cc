@@ -3,8 +3,11 @@
 // DPReg pays by far the largest accuracy cost (the paper reports drops beyond
 // -40% in some cells); PPFR stays close to Reg.
 //
+// Thin front-end over the "fig5" registry sweep (shares every stage with
+// table4 when run in the same process, e.g. via bench_runner --scenarios=).
+//
 //   ./bench_fig5_accuracy_cost [--datasets=...] [--models=GCN,GAT]
-//       [--epochs=150]
+//       [--epochs=150] [--runner_threads=N] [--json_dir=.]
 
 #include <cstdio>
 
@@ -13,30 +16,31 @@
 int main(int argc, char** argv) {
   using namespace ppfr;
   Flags flags(argc, argv);
+  bench::RequireKnownFlags(flags, {});
   la::ConfigureBackendFromFlags(flags);
-  const auto datasets = bench::ParseDatasets(flags, data::StrongHomophilyDatasets());
-  const auto models =
-      bench::ParseModels(flags, {nn::ModelKind::kGcn, nn::ModelKind::kGat});
+  const runner::Sweep sweep = bench::BenchSweep(flags, "fig5");
 
   std::printf("Fig. 5 — accuracy cost dAcc (%%) per method (higher = better)\n\n");
 
-  for (nn::ModelKind kind : models) {
+  runner::RunCache cache;
+  const runner::SweepResult result = bench::RunAndEmit(flags, sweep, &cache);
+
+  for (nn::ModelKind kind : bench::ModelsIn(result)) {
     std::printf("%s panel:\n", nn::ModelKindName(kind).c_str());
     std::vector<std::string> header{"Dataset", "Vanilla Acc%"};
     for (core::MethodKind method : core::ComparisonMethods()) {
       header.push_back(core::MethodName(method) + " dAcc%");
     }
     TablePrinter table(header);
-    for (data::DatasetId dataset : datasets) {
-      core::ExperimentEnv env = core::MakeEnv(dataset, core::kDefaultEnvSeed);
-      core::MethodConfig cfg = core::DefaultMethodConfig(dataset, kind);
-      bench::ApplyCommonFlags(flags, &cfg);
-      const bench::MethodSuite suite = bench::RunMethodSuite(env, kind, cfg);
+    for (data::DatasetId dataset : bench::DatasetsIn(result)) {
+      const runner::CellResult& vanilla =
+          bench::CellOrDie(result, dataset, kind, core::MethodKind::kVanilla);
       std::vector<std::string> row{
           data::DatasetName(dataset),
-          TablePrinter::Num(100.0 * suite.vanilla.eval.accuracy)};
+          TablePrinter::Num(100.0 * vanilla.run->eval.accuracy)};
       for (core::MethodKind method : core::ComparisonMethods()) {
-        row.push_back(TablePrinter::Pct(suite.deltas.at(method).d_acc));
+        row.push_back(
+            TablePrinter::Pct(bench::CellOrDie(result, dataset, kind, method).delta.d_acc));
       }
       table.AddRow(std::move(row));
     }

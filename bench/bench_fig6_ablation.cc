@@ -7,7 +7,13 @@
 //                  risk near the vanilla level while FR debiases.
 // Plus a library-specific ablation of the QCLP zero-sum constraint.
 //
-//   ./bench_fig6_ablation [--dataset=CoraLike] [--model=GAT] [--epochs=150]
+// Thin front-end over the "fig6" (alias "ablation") registry sweep — every
+// panel point is a PPFR scenario with config overrides (γ = 0 disables the
+// perturbation, so "FR only" is PPFR with pp_gamma = 0), and the shared
+// vanilla model / FR weights / PP context come out of the stage cache
+// instead of bespoke clone-and-finetune plumbing.
+//
+//   ./bench_fig6_ablation [--epochs=150] [--runner_threads=N] [--json_dir=.]
 
 #include <cstdio>
 
@@ -17,23 +23,33 @@ namespace {
 
 using namespace ppfr;
 
-struct Point {
-  double x = 0.0;
-  core::EvalResult eval;
-};
-
-void PrintSeries(const std::string& title, const std::string& x_name,
-                 const std::vector<Point>& points, const core::EvalResult& vanilla) {
+// Panel membership and x values are derived from the registry sweep's own
+// cell labels (one source of truth in runner::RegistrySweep("fig6")): cells
+// labelled `<prefix><x>` belong to the panel, x parsed from the suffix.
+void PrintSeries(const runner::SweepResult& result, const std::string& title,
+                 const std::string& x_name, const std::string& label_prefix,
+                 const core::EvalResult& vanilla) {
   std::printf("%s\n", title.c_str());
   TablePrinter table({x_name, "Acc%", "Bias", "Risk AUC"});
   table.AddRow({"(vanilla)", TablePrinter::Num(100.0 * vanilla.accuracy),
                 TablePrinter::Num(vanilla.bias, 4),
                 TablePrinter::Num(vanilla.risk_auc, 4)});
   table.AddSeparator();
-  for (const Point& p : points) {
-    table.AddRow({TablePrinter::Num(p.x, 2), TablePrinter::Num(100.0 * p.eval.accuracy),
-                  TablePrinter::Num(p.eval.bias, 4),
-                  TablePrinter::Num(p.eval.risk_auc, 4)});
+  int points = 0;
+  for (const runner::CellResult& cell : result.cells) {
+    const std::string& label = cell.scenario.label;
+    if (label.rfind(label_prefix, 0) != 0) continue;
+    const double x = std::atof(label.c_str() + label_prefix.size());
+    table.AddRow({TablePrinter::Num(x, 2),
+                  TablePrinter::Num(100.0 * cell.run->eval.accuracy),
+                  TablePrinter::Num(cell.run->eval.bias, 4),
+                  TablePrinter::Num(cell.run->eval.risk_auc, 4)});
+    ++points;
+  }
+  if (points == 0) {
+    std::fprintf(stderr, "fig6 sweep has no '%s*' cells — registry drift?\n",
+                 label_prefix.c_str());
+    std::exit(2);
   }
   table.Print();
   std::printf("\n");
@@ -43,81 +59,41 @@ void PrintSeries(const std::string& title, const std::string& x_name,
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  bench::RequireKnownFlags(flags, {});
   la::ConfigureBackendFromFlags(flags);
-  const auto datasets =
-      bench::ParseDatasets(flags, {data::DatasetId::kCoraLike});
-  const auto models = bench::ParseModels(flags, {nn::ModelKind::kGat});
-  const data::DatasetId dataset = datasets.front();
-  const nn::ModelKind model_kind = models.front();
+  const runner::Sweep sweep = bench::BenchSweep(flags, "fig6");
 
-  core::ExperimentEnv env = core::MakeEnv(dataset, core::kDefaultEnvSeed);
-  core::MethodConfig cfg = core::DefaultMethodConfig(dataset, model_kind);
-  bench::ApplyCommonFlags(flags, &cfg);
+  std::printf("Fig. 6 — PPFR ablation on (CoraLike, GAT)\n\n");
 
-  std::printf("Fig. 6 — PPFR ablation on (%s, %s)\n\n",
-              data::DatasetName(dataset).c_str(),
-              nn::ModelKindName(model_kind).c_str());
+  runner::RunCache cache;
+  const runner::SweepResult result = bench::RunAndEmit(flags, sweep, &cache);
 
-  // Shared vanilla phase + FR weights (identical across panels).
-  auto vanilla = core::TrainFresh(model_kind, env, env.ctx, cfg, /*lambda=*/0.0);
-  const core::EvalResult vanilla_eval = core::EvaluateModel(vanilla.get(), env.Eval());
-  const core::FrOutput fr = core::ComputeFr(vanilla.get(), env, cfg);
+  const core::EvalResult& vanilla_eval =
+      bench::CellOrDie(result, data::DatasetId::kCoraLike, nn::ModelKind::kGat,
+                       core::MethodKind::kVanilla)
+          .run->eval;
 
-  const std::vector<int> epoch_sweep{8, 15, 30, 45, 60};
-  const std::vector<double> gamma_sweep{0.0, 0.25, 0.5, 0.75, 1.0};
-  const int fixed_epochs = 30;
-  const double fixed_gamma = cfg.pp_gamma;
+  PrintSeries(result, "(left) FR only — fine-tune epoch sweep, zero edge perturbations",
+              "#epochs", "fr_only_ep", vanilla_eval);
+  PrintSeries(result, "(middle) PP ratio sweep, fixed FR epochs", "gamma",
+              "pp_gamma_", vanilla_eval);
+  PrintSeries(result, "(right) fixed PP + FR — fine-tune epoch sweep", "#epochs",
+              "ppfr_ep", vanilla_eval);
 
-  // Left: FR only (original graph).
-  std::vector<Point> left;
-  for (int epochs : epoch_sweep) {
-    auto clone = vanilla->Clone();
-    core::Finetune(clone.get(), env, env.ctx, fr.sample_weights, epochs, cfg);
-    left.push_back({static_cast<double>(epochs),
-                    core::EvaluateModel(clone.get(), env.Eval())});
-  }
-  PrintSeries("(left) FR only — fine-tune epoch sweep, zero edge perturbations",
-              "#epochs", left, vanilla_eval);
-
-  // Middle: PP ratio sweep with fixed FR epochs.
-  std::vector<Point> middle;
-  for (double gamma : gamma_sweep) {
-    auto clone = vanilla->Clone();
-    const nn::GraphContext pp_ctx =
-        core::MakePpContext(env, vanilla.get(), gamma, cfg.seed ^ 0x99ULL);
-    core::Finetune(clone.get(), env, pp_ctx, fr.sample_weights, fixed_epochs, cfg);
-    middle.push_back({gamma, core::EvaluateModel(clone.get(), env.Eval())});
-  }
-  PrintSeries("(middle) PP ratio sweep, fixed FR epochs", "gamma", middle,
-              vanilla_eval);
-
-  // Right: fixed PP + FR epoch sweep.
-  const nn::GraphContext pp_ctx =
-      core::MakePpContext(env, vanilla.get(), fixed_gamma, cfg.seed ^ 0x99ULL);
-  std::vector<Point> right;
-  for (int epochs : epoch_sweep) {
-    auto clone = vanilla->Clone();
-    core::Finetune(clone.get(), env, pp_ctx, fr.sample_weights, epochs, cfg);
-    right.push_back({static_cast<double>(epochs),
-                     core::EvaluateModel(clone.get(), env.Eval())});
-  }
-  PrintSeries("(right) fixed PP + FR — fine-tune epoch sweep", "#epochs", right,
-              vanilla_eval);
-
-  // Library ablation: QCLP zero-sum constraint on vs off (DESIGN.md §5).
   std::printf("(extra) QCLP zero-sum constraint ablation (30 fine-tune epochs)\n");
   TablePrinter zs_table({"zero_sum", "Acc%", "Bias", "Risk AUC"});
   for (bool zero_sum : {true, false}) {
-    core::MethodConfig variant = cfg;
-    variant.fr.zero_sum = zero_sum;
-    const core::FrOutput weights = core::ComputeFr(vanilla.get(), env, variant);
-    auto clone = vanilla->Clone();
-    core::Finetune(clone.get(), env, env.ctx, weights.sample_weights, fixed_epochs,
-                   variant);
-    const core::EvalResult eval = core::EvaluateModel(clone.get(), env.Eval());
-    zs_table.AddRow({zero_sum ? "on" : "off", TablePrinter::Num(100.0 * eval.accuracy),
-                     TablePrinter::Num(eval.bias, 4),
-                     TablePrinter::Num(eval.risk_auc, 4)});
+    const std::string label = zero_sum ? "zero_sum_on" : "zero_sum_off";
+    const runner::CellResult* cell = runner::FindCellByLabel(result, label);
+    if (cell == nullptr) {
+      std::fprintf(stderr, "fig6 sweep has no '%s' cell — registry drift?\n",
+                   label.c_str());
+      return 2;
+    }
+    zs_table.AddRow({zero_sum ? "on" : "off",
+                     TablePrinter::Num(100.0 * cell->run->eval.accuracy),
+                     TablePrinter::Num(cell->run->eval.bias, 4),
+                     TablePrinter::Num(cell->run->eval.risk_auc, 4)});
   }
   zs_table.Print();
   std::printf("\nExpected shape (paper): left panel degrades privacy as fairness\n");

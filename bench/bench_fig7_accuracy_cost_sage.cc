@@ -4,7 +4,10 @@
 // reduction is much weaker here than on GCN/GAT while its accuracy cost
 // remains substantial.
 //
+// Thin front-end over the "fig7" registry sweep.
+//
 //   ./bench_fig7_accuracy_cost_sage [--datasets=...] [--epochs=150]
+//       [--runner_threads=N] [--json_dir=.]
 
 #include <cstdio>
 
@@ -13,10 +16,15 @@
 int main(int argc, char** argv) {
   using namespace ppfr;
   Flags flags(argc, argv);
+  bench::RequireKnownFlags(flags, {});
   la::ConfigureBackendFromFlags(flags);
-  const auto datasets = bench::ParseDatasets(flags, data::StrongHomophilyDatasets());
+  const runner::Sweep sweep = bench::BenchSweep(flags, "fig7");
 
   std::printf("Fig. 7 — accuracy cost dAcc (%%) on GraphSAGE (higher = better)\n\n");
+
+  runner::RunCache cache;
+  const runner::SweepResult result = bench::RunAndEmit(flags, sweep, &cache);
+
   std::vector<std::string> header{"Dataset", "Vanilla Acc%"};
   for (core::MethodKind method : core::ComparisonMethods()) {
     header.push_back(core::MethodName(method) + " dAcc%");
@@ -24,20 +32,21 @@ int main(int argc, char** argv) {
   header.push_back("DPReg dRisk%");
   TablePrinter table(header);
 
-  for (data::DatasetId dataset : datasets) {
-    core::ExperimentEnv env = core::MakeEnv(dataset, core::kDefaultEnvSeed);
-    core::MethodConfig cfg =
-        core::DefaultMethodConfig(dataset, nn::ModelKind::kGraphSage);
-    bench::ApplyCommonFlags(flags, &cfg);
-    const bench::MethodSuite suite =
-        bench::RunMethodSuite(env, nn::ModelKind::kGraphSage, cfg);
+  for (data::DatasetId dataset : bench::DatasetsIn(result)) {
+    const runner::CellResult& vanilla = bench::CellOrDie(
+        result, dataset, nn::ModelKind::kGraphSage, core::MethodKind::kVanilla);
     std::vector<std::string> row{
         data::DatasetName(dataset),
-        TablePrinter::Num(100.0 * suite.vanilla.eval.accuracy)};
+        TablePrinter::Num(100.0 * vanilla.run->eval.accuracy)};
     for (core::MethodKind method : core::ComparisonMethods()) {
-      row.push_back(TablePrinter::Pct(suite.deltas.at(method).d_acc));
+      row.push_back(TablePrinter::Pct(
+          bench::CellOrDie(result, dataset, nn::ModelKind::kGraphSage, method)
+              .delta.d_acc));
     }
-    row.push_back(TablePrinter::Pct(suite.deltas.at(core::MethodKind::kDpReg).d_risk));
+    row.push_back(TablePrinter::Pct(
+        bench::CellOrDie(result, dataset, nn::ModelKind::kGraphSage,
+                         core::MethodKind::kDpReg)
+            .delta.d_risk));
     table.AddRow(std::move(row));
   }
   table.Print();

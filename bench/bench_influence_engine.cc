@@ -12,7 +12,7 @@
 //
 // Emits BENCH_influence.json for the cross-PR perf trajectory.
 //
-//   ./bench_influence_engine --nodes=800 --degree=8 --train=96 --lanes=4 \
+//   ./bench_influence_engine --nodes=800 --degree=8 --train=96 --lanes=4
 //       --la_backend=parallel --la_threads=4
 
 #include <cinttypes>
@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/flags.h"
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
@@ -92,6 +93,8 @@ bool BitwiseEqual(const std::vector<std::vector<double>>& a,
 
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
+  bench::RejectUnknownFlags(flags, {"nodes", "degree", "train", "lanes", "epochs",
+                                    "reps", "json", "la_backend", "la_threads"});
   la::ConfigureBackendFromFlags(flags);
   // Default to the acceptance configuration — parallel backend, 4 threads,
   // 4 tape-pool lanes — unless the caller pinned a thread count.

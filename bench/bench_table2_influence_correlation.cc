@@ -4,10 +4,16 @@
 // "inconformity": the two goals cannot be served by one reweighting, which
 // motivates splitting PPFR into FR (weights) + PP (structure).
 //
+// Thin front-end over the "table2" registry sweep (vanilla cells only); the
+// correlations are computed from the stage-cached vanilla models and ride
+// along in the artifact as extra cell metrics.
+//
 //   ./bench_table2_influence_correlation [--datasets=CoraLike,...]
-//       [--models=GCN,GAT,GraphSage] [--epochs=150]
+//       [--models=GCN,GAT,GraphSage] [--epochs=150] [--runner_threads=N]
+//       [--json_dir=.]
 
 #include <cstdio>
+#include <memory>
 
 #include "bench_util.h"
 #include "influence/influence.h"
@@ -16,42 +22,61 @@
 int main(int argc, char** argv) {
   using namespace ppfr;
   Flags flags(argc, argv);
+  bench::RequireKnownFlags(flags, {});
   la::ConfigureBackendFromFlags(flags);
-  const auto datasets = bench::ParseDatasets(flags, data::StrongHomophilyDatasets());
-  const auto models =
-      bench::ParseModels(flags, {nn::ModelKind::kGcn, nn::ModelKind::kGat,
-                                 nn::ModelKind::kGraphSage});
+  const runner::Sweep sweep = bench::BenchSweep(flags, "table2");
+  const runner::RunnerOptions opts = bench::RunnerOptionsFromFlags(flags);
 
   std::printf("Table II — correlation r between I_fbias and I_frisk\n");
   std::printf("(|r| < 0.3 or r < 0 indicates fairness/privacy inconformity in the\n");
   std::printf(" reweighting space; the paper reports mixed signs across cells)\n\n");
 
+  runner::RunCache cache;
+  runner::SweepResult result = runner::RunSweep(sweep, &cache, opts);
+
+  // Influence correlations on the cached vanilla models — the dominant cost
+  // here is the CG solves, so they fan across the same worker discipline as
+  // the cell scheduler (--runner_threads, private single-threaded backends;
+  // each cell works on a private model clone and writes only its own cell).
+  const auto correlate_cell = [&](size_t i) {
+    runner::CellResult& cell = result.cells[i];
+    const auto env = cache.Env(cell.scenario.dataset, opts.env_seed);
+    const core::MethodConfig cfg = cell.scenario.ResolvedConfig();
+    const std::unique_ptr<nn::GnnModel> model =
+        cache.VanillaModel(cell.scenario.model, *env, cfg);
+
+    influence::InfluenceCalculator calculator(model.get(), env->ctx,
+                                              env->train_nodes(), env->labels(),
+                                              cfg.fr.influence);
+    const std::vector<double> bias_influence =
+        calculator.InfluenceOnBias(env->similarity.laplacian);
+    const std::vector<double> risk_influence =
+        calculator.InfluenceOnRisk(env->attack_pairs);
+    cell.extra["pearson_r"] = la::PearsonCorrelation(bias_influence, risk_influence);
+    std::fprintf(stderr, "  [%s/%s] r = %.3f\n",
+                 data::DatasetName(cell.scenario.dataset).c_str(),
+                 nn::ModelKindName(cell.scenario.model).c_str(),
+                 cell.extra["pearson_r"]);
+  };
+  runner::ParallelCells(result.cells.size(), opts.threads, correlate_cell);
+
+  const auto models = bench::ModelsIn(result);
   std::vector<std::string> header{"Dataset"};
   for (nn::ModelKind kind : models) header.push_back(nn::ModelKindName(kind));
   TablePrinter table(header);
-
-  for (data::DatasetId dataset : datasets) {
-    core::ExperimentEnv env = core::MakeEnv(dataset, core::kDefaultEnvSeed);
+  for (data::DatasetId dataset : bench::DatasetsIn(result)) {
     std::vector<std::string> row{data::DatasetName(dataset)};
     for (nn::ModelKind kind : models) {
-      core::MethodConfig cfg = core::DefaultMethodConfig(dataset, kind);
-      bench::ApplyCommonFlags(flags, &cfg);
-      auto model = core::TrainFresh(kind, env, env.ctx, cfg, /*lambda=*/0.0);
-
-      influence::InfluenceCalculator calculator(model.get(), env.ctx,
-                                                env.train_nodes(), env.labels(),
-                                                cfg.fr.influence);
-      const std::vector<double> bias_influence =
-          calculator.InfluenceOnBias(env.similarity.laplacian);
-      const std::vector<double> risk_influence =
-          calculator.InfluenceOnRisk(env.attack_pairs);
-      const double r = la::PearsonCorrelation(bias_influence, risk_influence);
-      row.push_back(TablePrinter::Num(r, 2));
-      std::fprintf(stderr, "  [%s/%s] r = %.3f\n", data::DatasetName(dataset).c_str(),
-                   nn::ModelKindName(kind).c_str(), r);
+      const runner::CellResult& cell =
+          bench::CellOrDie(result, dataset, kind, core::MethodKind::kVanilla);
+      row.push_back(TablePrinter::Num(cell.extra.at("pearson_r"), 2));
     }
     table.AddRow(std::move(row));
   }
   table.Print();
+
+  const std::string path =
+      runner::WriteArtifact(result, flags.GetString("json_dir", "."));
+  std::printf("wrote %s\n", path.c_str());
   return 0;
 }

@@ -3,7 +3,10 @@
 // strong-homophily benchmarks. Expected shape: Reg lowers bias on every
 // dataset, at a (small) accuracy cost.
 //
+// Thin front-end over the "table3" registry sweep.
+//
 //   ./bench_table3_reg_accuracy_bias [--datasets=...] [--epochs=150]
+//       [--runner_threads=N] [--json_dir=.]
 
 #include <cstdio>
 
@@ -12,28 +15,25 @@
 int main(int argc, char** argv) {
   using namespace ppfr;
   Flags flags(argc, argv);
+  bench::RequireKnownFlags(flags, {});
   la::ConfigureBackendFromFlags(flags);
-  const auto datasets = bench::ParseDatasets(flags, data::StrongHomophilyDatasets());
+  const runner::Sweep sweep = bench::BenchSweep(flags, "table3");
 
   std::printf("Table III — accuracy and bias of GCN, Vanilla vs Reg\n\n");
+
+  runner::RunCache cache;
+  const runner::SweepResult result = bench::RunAndEmit(flags, sweep, &cache);
+
   TablePrinter table({"Datasets", "Methods", "Acc (up)", "Bias (down)"});
-
-  for (data::DatasetId dataset : datasets) {
-    core::ExperimentEnv env = core::MakeEnv(dataset, core::kDefaultEnvSeed);
-    core::MethodConfig cfg = core::DefaultMethodConfig(dataset, nn::ModelKind::kGcn);
-    bench::ApplyCommonFlags(flags, &cfg);
-
-    const core::MethodRun vanilla =
-        core::RunMethod(core::MethodKind::kVanilla, nn::ModelKind::kGcn, env, cfg);
-    const core::MethodRun reg =
-        core::RunMethod(core::MethodKind::kReg, nn::ModelKind::kGcn, env, cfg);
-
-    table.AddRow({data::DatasetName(dataset), "Vanilla",
-                  TablePrinter::Num(100.0 * vanilla.eval.accuracy),
-                  TablePrinter::Num(vanilla.eval.bias, 4)});
-    table.AddRow({data::DatasetName(dataset), "Reg",
-                  TablePrinter::Num(100.0 * reg.eval.accuracy),
-                  TablePrinter::Num(reg.eval.bias, 4)});
+  for (data::DatasetId dataset : bench::DatasetsIn(result)) {
+    for (core::MethodKind method :
+         {core::MethodKind::kVanilla, core::MethodKind::kReg}) {
+      const core::EvalResult& eval =
+          bench::CellOrDie(result, dataset, nn::ModelKind::kGcn, method).run->eval;
+      table.AddRow({data::DatasetName(dataset), core::MethodName(method),
+                    TablePrinter::Num(100.0 * eval.accuracy),
+                    TablePrinter::Num(eval.bias, 4)});
+    }
     table.AddSeparator();
   }
   table.Print();

@@ -5,8 +5,13 @@
 // positive Δ — bias and risk down together — at a modest accuracy cost,
 // and PP beats DP when combined with FR.
 //
+// Thin front-end over the "table4" registry sweep: the scenario runner
+// trains vanilla once per (dataset, model, seed) and shares the DP/PP/FR
+// stages across methods; results are numerically identical to running each
+// pipeline from scratch.
+//
 //   ./bench_table4_ppfr_effectiveness [--datasets=...] [--models=...]
-//       [--epochs=150]
+//       [--epochs=150] [--runner_threads=N] [--json_dir=.]
 
 #include <cstdio>
 
@@ -15,18 +20,19 @@
 int main(int argc, char** argv) {
   using namespace ppfr;
   Flags flags(argc, argv);
+  bench::RequireKnownFlags(flags, {});
   la::ConfigureBackendFromFlags(flags);
-  const auto datasets = bench::ParseDatasets(flags, data::StrongHomophilyDatasets());
-  const auto models =
-      bench::ParseModels(flags, {nn::ModelKind::kGcn, nn::ModelKind::kGat,
-                                 nn::ModelKind::kGraphSage});
+  const runner::Sweep sweep = bench::BenchSweep(flags, "table4");
 
   std::printf("Table IV — effectiveness of PPFR (all values vs vanilla, %%)\n");
   std::printf("(smaller Δbias = fairer, smaller Δrisk = more private,\n");
   std::printf(" larger positive Δ = better fairness/privacy balance)\n\n");
 
-  for (data::DatasetId dataset : datasets) {
-    core::ExperimentEnv env = core::MakeEnv(dataset, core::kDefaultEnvSeed);
+  runner::RunCache cache;
+  const runner::SweepResult result = bench::RunAndEmit(flags, sweep, &cache);
+
+  const auto models = bench::ModelsIn(result);
+  for (data::DatasetId dataset : bench::DatasetsIn(result)) {
     std::printf("%s:\n", data::DatasetName(dataset).c_str());
     std::vector<std::string> header{"Methods"};
     for (nn::ModelKind kind : models) {
@@ -37,16 +43,11 @@ int main(int argc, char** argv) {
     }
     TablePrinter table(header);
 
-    std::map<nn::ModelKind, bench::MethodSuite> suites;
-    for (nn::ModelKind kind : models) {
-      core::MethodConfig cfg = core::DefaultMethodConfig(dataset, kind);
-      bench::ApplyCommonFlags(flags, &cfg);
-      suites.emplace(kind, bench::RunMethodSuite(env, kind, cfg));
-    }
     for (core::MethodKind method : core::ComparisonMethods()) {
       std::vector<std::string> row{core::MethodName(method)};
       for (nn::ModelKind kind : models) {
-        const core::DeltaMetrics& d = suites.at(kind).deltas.at(method);
+        const core::DeltaMetrics& d =
+            bench::CellOrDie(result, dataset, kind, method).delta;
         row.push_back(TablePrinter::Pct(d.d_bias));
         row.push_back(TablePrinter::Pct(d.d_risk));
         row.push_back(TablePrinter::Num(d.combined, 3));

@@ -5,7 +5,10 @@
 // becomes competitive with PP because DP's random edges resemble the
 // weak-homophily edge distribution.
 //
-//   ./bench_table5_weak_homophily [--epochs=150]
+// Thin front-end over the "table5" (alias "weak-homophily") registry sweep.
+//
+//   ./bench_table5_weak_homophily [--epochs=150] [--runner_threads=N]
+//       [--json_dir=.]
 
 #include <cstdio>
 
@@ -14,25 +17,25 @@
 int main(int argc, char** argv) {
   using namespace ppfr;
   Flags flags(argc, argv);
+  bench::RequireKnownFlags(flags, {});
   la::ConfigureBackendFromFlags(flags);
-  const auto datasets = bench::ParseDatasets(flags, data::WeakHomophilyDatasets());
+  const runner::Sweep sweep = bench::BenchSweep(flags, "table5");
 
   std::printf("Table V — GCN on weak-homophily datasets (all values %%, Δ raw)\n\n");
+
+  runner::RunCache cache;
+  const runner::SweepResult result = bench::RunAndEmit(flags, sweep, &cache);
+
   TablePrinter table(
       {"Dataset", "Methods", "dAcc%", "dBias% (down)", "dRisk% (down)", "D (up)"});
-
-  for (data::DatasetId dataset : datasets) {
-    core::ExperimentEnv env = core::MakeEnv(dataset, core::kDefaultEnvSeed);
-    core::MethodConfig cfg = core::DefaultMethodConfig(dataset, nn::ModelKind::kGcn);
-    bench::ApplyCommonFlags(flags, &cfg);
-    const bench::MethodSuite suite =
-        bench::RunMethodSuite(env, nn::ModelKind::kGcn, cfg);
+  for (data::DatasetId dataset : bench::DatasetsIn(result)) {
+    const auto env = cache.Env(dataset, bench::RunnerOptionsFromFlags(flags).env_seed);
     std::fprintf(stderr, "  [%s] homophily %.2f\n",
                  data::DatasetName(dataset).c_str(),
-                 env.dataset.data.graph.EdgeHomophily(env.labels()));
-
+                 env->dataset.data.graph.EdgeHomophily(env->labels()));
     for (core::MethodKind method : core::ComparisonMethods()) {
-      const core::DeltaMetrics& d = suite.deltas.at(method);
+      const core::DeltaMetrics& d =
+          bench::CellOrDie(result, dataset, nn::ModelKind::kGcn, method).delta;
       table.AddRow({data::DatasetName(dataset), core::MethodName(method),
                     TablePrinter::Pct(d.d_acc), TablePrinter::Pct(d.d_bias),
                     TablePrinter::Pct(d.d_risk), TablePrinter::Num(d.combined, 3)});

@@ -3,12 +3,14 @@
 
 // Shared scaffolding for the paper-reproduction bench binaries. Each binary
 // regenerates one table or figure of "Unraveling Privacy Risks of Individual
-// Fairness in Graph Neural Networks" (ICDE'24); this header centralises
-// dataset/model parsing and the method-suite runner so every artifact reports
-// the same underlying pipelines.
+// Fairness in Graph Neural Networks" (ICDE'24) as a thin front-end over the
+// scenario runner (src/runner/): it resolves its registered sweep, runs it
+// through the shared stage cache, renders its bespoke table, and emits the
+// uniform BENCH_<name>.json artifact.
 
+#include <algorithm>
 #include <cstdio>
-#include <map>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -18,70 +20,105 @@
 #include "core/experiment.h"
 #include "core/methods.h"
 #include "la/backend.h"
+#include "runner/runner.h"
 
 namespace ppfr::bench {
 
-inline std::vector<data::DatasetId> ParseDatasets(const Flags& flags,
-                                                  std::vector<data::DatasetId> defaults) {
-  const std::string arg = flags.GetString("datasets", "");
-  if (arg.empty()) return defaults;
-  std::vector<data::DatasetId> out;
-  for (data::DatasetId id :
-       {data::DatasetId::kCoraLike, data::DatasetId::kCiteseerLike,
-        data::DatasetId::kPubmedLike, data::DatasetId::kEnzymesLike,
-        data::DatasetId::kCreditLike}) {
-    if (arg.find(data::DatasetName(id)) != std::string::npos) out.push_back(id);
-  }
-  return out.empty() ? defaults : out;
+// Flags every runner-driven bench binary understands.
+inline std::vector<std::string> CommonFlagNames() {
+  return {"datasets", "models",         "epochs",   "seed",    "env_seed",
+          "la_backend", "la_threads",   "runner_threads", "json_dir"};
 }
 
-inline std::vector<nn::ModelKind> ParseModels(const Flags& flags,
-                                              std::vector<nn::ModelKind> defaults) {
-  const std::string arg = flags.GetString("models", "");
-  if (arg.empty()) return defaults;
-  std::vector<nn::ModelKind> out;
-  for (nn::ModelKind kind :
-       {nn::ModelKind::kGcn, nn::ModelKind::kGat, nn::ModelKind::kGraphSage}) {
-    if (arg.find(nn::ModelKindName(kind)) != std::string::npos) out.push_back(kind);
+// Rejects flags outside `known` with a usage listing and exits — a typo
+// like --epoch=10 must fail loudly, never silently run the defaults.
+inline void RejectUnknownFlags(const Flags& flags,
+                               const std::vector<std::string>& known) {
+  const std::vector<std::string> unknown = flags.UnknownFlags(known);
+  if (unknown.empty()) return;
+  for (const std::string& name : unknown) {
+    std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
   }
-  return out.empty() ? defaults : out;
+  std::fprintf(stderr, "known flags:");
+  for (const std::string& name : known) std::fprintf(stderr, " --%s", name.c_str());
+  std::fprintf(stderr, "\n");
+  std::exit(2);
 }
 
-// Applies the common bench flags (--epochs, --seed) onto a config.
-inline void ApplyCommonFlags(const Flags& flags, core::MethodConfig* cfg) {
-  cfg->train.epochs = flags.GetInt("epochs", cfg->train.epochs);
-  cfg->seed = static_cast<uint64_t>(flags.GetInt("seed", static_cast<int>(cfg->seed)));
+// RejectUnknownFlags against the runner-driven bench flag set plus the
+// binary's `extra` names.
+inline void RequireKnownFlags(const Flags& flags,
+                              const std::vector<std::string>& extra) {
+  std::vector<std::string> known = CommonFlagNames();
+  known.insert(known.end(), extra.begin(), extra.end());
+  RejectUnknownFlags(flags, known);
 }
 
-// Runs Vanilla plus the four comparison methods, logging wall time.
-struct MethodSuite {
-  core::MethodRun vanilla;
-  std::map<core::MethodKind, core::MethodRun> methods;
-  std::map<core::MethodKind, core::DeltaMetrics> deltas;
-};
+inline runner::RunnerOptions RunnerOptionsFromFlags(const Flags& flags) {
+  runner::RunnerOptions opts;
+  opts.threads = flags.GetInt("runner_threads", 1);
+  opts.env_seed = flags.GetUint64("env_seed", core::kDefaultEnvSeed);
+  return opts;
+}
 
-inline MethodSuite RunMethodSuite(const core::ExperimentEnv& env, nn::ModelKind model,
-                                  const core::MethodConfig& cfg, bool verbose = true) {
-  MethodSuite suite;
-  Stopwatch watch;
-  suite.vanilla = core::RunMethod(core::MethodKind::kVanilla, model, env, cfg);
-  if (verbose) {
-    std::fprintf(stderr, "  [%s/%s] Vanilla done in %.1fs (acc %.3f)\n",
-                 env.dataset.data.name.c_str(), nn::ModelKindName(model).c_str(),
-                 watch.ElapsedSeconds(), suite.vanilla.eval.accuracy);
+// Resolves the binary's registered sweep, applying --datasets/--models
+// narrowing and the --epochs/--seed cell overrides.
+inline runner::Sweep BenchSweep(const Flags& flags, const std::string& name) {
+  std::optional<runner::Sweep> sweep = runner::RegistrySweep(name);
+  if (!sweep) {
+    std::fprintf(stderr, "bench bug: sweep '%s' is not registered\n", name.c_str());
+    std::exit(2);
   }
-  for (core::MethodKind method : core::ComparisonMethods()) {
-    watch.Reset();
-    core::MethodRun run = core::RunMethod(method, model, env, cfg);
-    suite.deltas[method] = core::ComputeDeltas(run.eval, suite.vanilla.eval);
-    if (verbose) {
-      std::fprintf(stderr, "  [%s/%s] %s done in %.1fs\n",
-                   env.dataset.data.name.c_str(), nn::ModelKindName(model).c_str(),
-                   core::MethodName(method).c_str(), watch.ElapsedSeconds());
-    }
-    suite.methods.emplace(method, std::move(run));
+  runner::ApplyFilters(flags, &*sweep);
+  runner::ApplyCommonOverrides(flags, &*sweep);
+  return *std::move(sweep);
+}
+
+// Runs the sweep and emits its artifact into --json_dir (default ".").
+inline runner::SweepResult RunAndEmit(const Flags& flags, const runner::Sweep& sweep,
+                                      runner::RunCache* cache) {
+  runner::SweepResult result =
+      runner::RunSweep(sweep, cache, RunnerOptionsFromFlags(flags));
+  const std::string path =
+      runner::WriteArtifact(result, flags.GetString("json_dir", "."));
+  std::printf("wrote %s\n", path.c_str());
+  return result;
+}
+
+// Distinct values of a Scenario field in first-appearance cell order.
+template <typename T>
+std::vector<T> DistinctInOrder(const runner::SweepResult& result,
+                               T runner::Scenario::* field) {
+  std::vector<T> out;
+  for (const runner::CellResult& cell : result.cells) {
+    const T value = cell.scenario.*field;
+    if (std::find(out.begin(), out.end(), value) == out.end()) out.push_back(value);
   }
-  return suite;
+  return out;
+}
+
+inline std::vector<data::DatasetId> DatasetsIn(const runner::SweepResult& result) {
+  return DistinctInOrder(result, &runner::Scenario::dataset);
+}
+
+inline std::vector<nn::ModelKind> ModelsIn(const runner::SweepResult& result) {
+  return DistinctInOrder(result, &runner::Scenario::model);
+}
+
+// FindCell that dies instead of returning nullptr (bench tables address
+// cells their own sweep definition guarantees).
+inline const runner::CellResult& CellOrDie(const runner::SweepResult& result,
+                                           data::DatasetId dataset,
+                                           nn::ModelKind model,
+                                           core::MethodKind method) {
+  const runner::CellResult* cell = runner::FindCell(result, dataset, model, method);
+  if (cell == nullptr) {
+    std::fprintf(stderr, "sweep '%s' is missing cell (%s, %s, %s)\n",
+                 result.name.c_str(), data::DatasetName(dataset).c_str(),
+                 nn::ModelKindName(model).c_str(), core::MethodName(method).c_str());
+    std::exit(2);
+  }
+  return *cell;
 }
 
 }  // namespace ppfr::bench

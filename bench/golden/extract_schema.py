@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""Prints the sorted key-path schema of a BENCH_<sweep>.json artifact.
+
+CI diffs this against bench/golden/artifact_schema.txt so a schema change is
+a deliberate golden update, never an accident. Bench-specific `extra` cell
+metrics are excluded — they are allowed to vary per sweep.
+
+Usage: extract_schema.py BENCH_smoke.json
+"""
+
+import json
+import sys
+
+
+def walk(node, prefix, out):
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = prefix + "." + key
+            out.add(path)
+            walk(value, path, out)
+    elif isinstance(node, list):
+        for value in node:
+            walk(value, prefix + "[]", out)
+
+
+def main():
+    keys = set()
+    walk(json.load(open(sys.argv[1])), "", keys)
+    print("\n".join(sorted(k for k in keys if ".extra" not in k)))
+
+
+if __name__ == "__main__":
+    main()

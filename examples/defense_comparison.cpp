@@ -18,15 +18,16 @@
 #include "privacy/defense/edge_rand.h"
 #include "privacy/defense/heterophilic_perturbation.h"
 #include "privacy/defense/lap_graph.h"
+#include "runner/scenario.h"
 
 int main(int argc, char** argv) {
   using namespace ppfr;
   Flags flags(argc, argv);
   la::ConfigureBackendFromFlags(flags);
-  core::ExperimentEnv env =
-      core::MakeEnv(data::DatasetId::kCoraLike, core::kDefaultEnvSeed);
-  core::MethodConfig cfg =
-      core::DefaultMethodConfig(data::DatasetId::kCoraLike, nn::ModelKind::kGcn);
+  const data::DatasetId dataset_id =
+      runner::ParseDatasetOrDie(flags.GetString("dataset", "CoraLike"));
+  core::ExperimentEnv env = core::MakeEnv(dataset_id, core::kDefaultEnvSeed);
+  core::MethodConfig cfg = core::DefaultMethodConfig(dataset_id, nn::ModelKind::kGcn);
   cfg.train.epochs = flags.GetInt("epochs", cfg.train.epochs);
 
   auto vanilla = core::TrainFresh(nn::ModelKind::kGcn, env, env.ctx, cfg, 0.0);

@@ -14,33 +14,15 @@
 #include "core/experiment.h"
 #include "core/methods.h"
 #include "privacy/distance.h"
-
-namespace {
-
-ppfr::data::DatasetId ParseDataset(const std::string& name) {
-  for (ppfr::data::DatasetId id :
-       {ppfr::data::DatasetId::kCoraLike, ppfr::data::DatasetId::kCiteseerLike,
-        ppfr::data::DatasetId::kPubmedLike, ppfr::data::DatasetId::kEnzymesLike,
-        ppfr::data::DatasetId::kCreditLike}) {
-    if (ppfr::data::DatasetName(id) == name) return id;
-  }
-  return ppfr::data::DatasetId::kCoraLike;
-}
-
-ppfr::nn::ModelKind ParseModel(const std::string& name) {
-  if (name == "GAT") return ppfr::nn::ModelKind::kGat;
-  if (name == "GraphSage") return ppfr::nn::ModelKind::kGraphSage;
-  return ppfr::nn::ModelKind::kGcn;
-}
-
-}  // namespace
+#include "runner/scenario.h"
 
 int main(int argc, char** argv) {
   ppfr::Flags flags(argc, argv);
   ppfr::la::ConfigureBackendFromFlags(flags);
   const ppfr::data::DatasetId dataset_id =
-      ParseDataset(flags.GetString("dataset", "CoraLike"));
-  const ppfr::nn::ModelKind model_kind = ParseModel(flags.GetString("model", "GCN"));
+      ppfr::runner::ParseDatasetOrDie(flags.GetString("dataset", "CoraLike"));
+  const ppfr::nn::ModelKind model_kind =
+      ppfr::runner::ParseModelOrDie(flags.GetString("model", "GCN"));
 
   ppfr::core::ExperimentEnv env =
       ppfr::core::MakeEnv(dataset_id, ppfr::core::kDefaultEnvSeed);

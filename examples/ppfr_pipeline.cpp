@@ -12,24 +12,9 @@
 #include "core/experiment.h"
 #include "core/methods.h"
 #include "la/stats.h"
+#include "runner/scenario.h"
 
 namespace {
-
-ppfr::data::DatasetId ParseDataset(const std::string& name) {
-  for (ppfr::data::DatasetId id :
-       {ppfr::data::DatasetId::kCoraLike, ppfr::data::DatasetId::kCiteseerLike,
-        ppfr::data::DatasetId::kPubmedLike, ppfr::data::DatasetId::kEnzymesLike,
-        ppfr::data::DatasetId::kCreditLike}) {
-    if (ppfr::data::DatasetName(id) == name) return id;
-  }
-  return ppfr::data::DatasetId::kCoraLike;
-}
-
-ppfr::nn::ModelKind ParseModel(const std::string& name) {
-  if (name == "GAT") return ppfr::nn::ModelKind::kGat;
-  if (name == "GraphSage") return ppfr::nn::ModelKind::kGraphSage;
-  return ppfr::nn::ModelKind::kGcn;
-}
 
 void PrintEval(const char* tag, const ppfr::core::EvalResult& eval) {
   std::printf("%-22s acc %.2f%%   bias %.4f   attack AUC %.4f\n", tag,
@@ -42,8 +27,10 @@ int main(int argc, char** argv) {
   using namespace ppfr;
   Flags flags(argc, argv);
   la::ConfigureBackendFromFlags(flags);
-  const data::DatasetId dataset = ParseDataset(flags.GetString("dataset", "CoraLike"));
-  const nn::ModelKind model_kind = ParseModel(flags.GetString("model", "GCN"));
+  const data::DatasetId dataset =
+      runner::ParseDatasetOrDie(flags.GetString("dataset", "CoraLike"));
+  const nn::ModelKind model_kind =
+      runner::ParseModelOrDie(flags.GetString("model", "GCN"));
 
   core::ExperimentEnv env = core::MakeEnv(dataset, core::kDefaultEnvSeed);
   core::MethodConfig cfg = core::DefaultMethodConfig(dataset, model_kind);

@@ -2,72 +2,69 @@
 // individual-fairness bias (InFoRM) and its edge-leakage risk under the
 // black-box link-stealing attack — the three axes the PPFR library navigates.
 //
+// Runs through the scenario runner: the Vanilla and PPFR cells share one
+// stage cache, so the vanilla model is trained once and PPFR resumes from it.
+//
 //   ./example_quickstart [--dataset=CoraLike] [--epochs=150]
 
 #include <cstdio>
 
 #include "common/flags.h"
 #include "la/backend.h"
-#include "core/experiment.h"
-#include "core/methods.h"
-#include "nn/trainer.h"
-
-namespace {
-
-ppfr::data::DatasetId ParseDataset(const std::string& name) {
-  for (ppfr::data::DatasetId id :
-       {ppfr::data::DatasetId::kCoraLike, ppfr::data::DatasetId::kCiteseerLike,
-        ppfr::data::DatasetId::kPubmedLike, ppfr::data::DatasetId::kEnzymesLike,
-        ppfr::data::DatasetId::kCreditLike}) {
-    if (ppfr::data::DatasetName(id) == name) return id;
-  }
-  std::fprintf(stderr, "unknown dataset '%s', using CoraLike\n", name.c_str());
-  return ppfr::data::DatasetId::kCoraLike;
-}
-
-}  // namespace
+#include "runner/runner.h"
 
 int main(int argc, char** argv) {
   ppfr::Flags flags(argc, argv);
   ppfr::la::ConfigureBackendFromFlags(flags);
   const ppfr::data::DatasetId dataset_id =
-      ParseDataset(flags.GetString("dataset", "CoraLike"));
+      ppfr::runner::ParseDatasetOrDie(flags.GetString("dataset", "CoraLike"));
 
-  // 1. Generate the benchmark graph and its evaluation scaffolding.
-  ppfr::core::ExperimentEnv env =
-      ppfr::core::MakeEnv(dataset_id, ppfr::core::kDefaultEnvSeed);
+  // 1. Describe the experiment as data: two cells on one dataset/model.
+  ppfr::runner::Sweep sweep;
+  sweep.name = "quickstart";
+  sweep.title = "vanilla vs PPFR on one GCN";
+  for (ppfr::core::MethodKind method :
+       {ppfr::core::MethodKind::kVanilla, ppfr::core::MethodKind::kPpFr}) {
+    ppfr::runner::Scenario cell;
+    cell.dataset = dataset_id;
+    cell.model = ppfr::nn::ModelKind::kGcn;
+    cell.method = method;
+    if (flags.Has("epochs")) cell.overrides.epochs = flags.GetInt("epochs", 150);
+    sweep.cells.push_back(cell);
+  }
+
+  // 2. Run it (one shared stage cache: vanilla trains exactly once).
+  ppfr::runner::RunCache cache;
+  ppfr::runner::RunnerOptions options;
+  options.verbose = false;
+  const ppfr::runner::SweepResult result =
+      ppfr::runner::RunSweep(sweep, &cache, options);
+
+  const auto env = cache.Env(dataset_id, options.env_seed);
   std::printf("dataset %s: %d nodes, %lld edges, homophily %.2f, %d classes\n",
-              env.dataset.data.name.c_str(), env.ctx.num_nodes(),
-              static_cast<long long>(env.dataset.data.graph.num_edges()),
-              env.dataset.data.graph.EdgeHomophily(env.labels()),
-              env.dataset.data.num_classes);
-
-  // 2. Train a vanilla GCN.
-  ppfr::core::MethodConfig config =
-      ppfr::core::DefaultMethodConfig(dataset_id, ppfr::nn::ModelKind::kGcn);
-  config.train.epochs = flags.GetInt("epochs", config.train.epochs);
-  ppfr::core::MethodRun vanilla = ppfr::core::RunMethod(
-      ppfr::core::MethodKind::kVanilla, ppfr::nn::ModelKind::kGcn, env, config);
+              env->dataset.data.name.c_str(), env->ctx.num_nodes(),
+              static_cast<long long>(env->dataset.data.graph.num_edges()),
+              env->dataset.data.graph.EdgeHomophily(env->labels()),
+              env->dataset.data.num_classes);
 
   // 3. Inspect the three trustworthiness axes.
+  const ppfr::core::EvalResult& vanilla = result.cells[0].run->eval;
   std::printf("\nvanilla GCN:\n");
-  std::printf("  test accuracy      : %.2f%%\n", 100.0 * vanilla.eval.accuracy);
-  std::printf("  InFoRM bias        : %.4f   (lower = fairer)\n", vanilla.eval.bias);
+  std::printf("  test accuracy      : %.2f%%\n", 100.0 * vanilla.accuracy);
+  std::printf("  InFoRM bias        : %.4f   (lower = fairer)\n", vanilla.bias);
   std::printf("  attack mean AUC    : %.4f   (0.5 = private, 1.0 = leaky)\n",
-              vanilla.eval.risk_auc);
-  std::printf("  Delta-d (Def. 2)   : %.4f\n", vanilla.eval.delta_d);
+              vanilla.risk_auc);
+  std::printf("  Delta-d (Def. 2)   : %.4f\n", vanilla.delta_d);
 
   // 4. The PPFR pipeline: fairness up, leakage held down.
-  ppfr::core::MethodRun ppfr_run = ppfr::core::RunMethod(
-      ppfr::core::MethodKind::kPpFr, ppfr::nn::ModelKind::kGcn, env, config);
-  const ppfr::core::DeltaMetrics delta =
-      ppfr::core::ComputeDeltas(ppfr_run.eval, vanilla.eval);
+  const ppfr::core::EvalResult& ppfr_eval = result.cells[1].run->eval;
+  const ppfr::core::DeltaMetrics& delta = result.cells[1].delta;
   std::printf("\nPPFR fine-tuned GCN:\n");
   std::printf("  test accuracy      : %.2f%%  (Δacc %+.2f%%)\n",
-              100.0 * ppfr_run.eval.accuracy, 100.0 * delta.d_acc);
-  std::printf("  InFoRM bias        : %.4f   (Δbias %+.2f%%)\n", ppfr_run.eval.bias,
+              100.0 * ppfr_eval.accuracy, 100.0 * delta.d_acc);
+  std::printf("  InFoRM bias        : %.4f   (Δbias %+.2f%%)\n", ppfr_eval.bias,
               100.0 * delta.d_bias);
-  std::printf("  attack mean AUC    : %.4f   (Δrisk %+.2f%%)\n", ppfr_run.eval.risk_auc,
+  std::printf("  attack mean AUC    : %.4f   (Δrisk %+.2f%%)\n", ppfr_eval.risk_auc,
               100.0 * delta.d_risk);
   std::printf("  combined Δ (Eq.22) : %+.3f   (positive = fairness & privacy both up)\n",
               delta.combined);

@@ -769,55 +769,93 @@ Var EdgeSoftmaxAggregate(Var h, Var attn_left, Var attn_right,
   });
 
   const bool needs = AnyNeedsGrad({h, attn_left, attn_right});
+  const int out_id = tape->num_nodes();
   return MakeOp(
       tape, std::move(out), needs, {h, attn_left, attn_right},
-      [h, attn_left, attn_right, edges, heads, dim, leaky_slope, alpha, z_pos](
-          Tape& tp, const la::Matrix& g) {
+      [h, attn_left, attn_right, edges, heads, dim, leaky_slope, alpha, z_pos,
+       out_id](Tape& tp, const la::Matrix& g) {
         const la::Matrix& hv = tp.Value(h);
         const int n = edges->num_nodes;
         const bool need_h = tp.NeedsGrad(h);
         const bool need_attn = tp.NeedsGrad(attn_left) || tp.NeedsGrad(attn_right);
-        // Source-node scatter rows collide across destinations, so the
-        // backward stays serial (and dense: GAT per-seed sparsity is an open
-        // item in ROADMAP.md).
-        la::Matrix* dh = need_h ? &tp.GradRef(h) : nullptr;
-        la::Matrix* dsl = tp.NeedsGrad(attn_left) ? &tp.GradRef(attn_left) : nullptr;
-        la::Matrix* dsr = tp.NeedsGrad(attn_right) ? &tp.GradRef(attn_right) : nullptr;
 
+        // When the output gradient's nonzero-row support is known (the
+        // seeded per-node influence passes), only the supported destinations
+        // carry gradient: a skipped destination's edges would contribute
+        // exact ±0 products. The touched parent rows are then the union of
+        // the supported destinations' neighbour lists (dh / dsr source rows;
+        // self-loops put i itself in its own list) and the support rows
+        // themselves (dsl), declared via GradRefPartial so resetting for the
+        // next seed stays O(receptive field) — GAT per-node influence costs
+        // O(2-hop) like GCN's SpMM path instead of O(n).
+        const std::vector<int>* supp = tp.GradRowSupport(Var{&tp, out_id});
+        // thread_local scratch: runs once per seed per layer inside the
+        // pooled per-node loop, which must stay allocation-free.
+        thread_local std::vector<int> targets;
+        la::Matrix* dh = nullptr;
+        la::Matrix* dsl = nullptr;
+        la::Matrix* dsr = nullptr;
+        if (supp != nullptr) {
+          targets.clear();
+          for (int i : *supp) {
+            for (int64_t k = edges->row_ptr[i]; k < edges->row_ptr[i + 1]; ++k) {
+              targets.push_back(edges->col_idx[k]);
+            }
+          }
+          std::sort(targets.begin(), targets.end());
+          targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+          dh = need_h ? &tp.GradRefPartial(h, targets) : nullptr;
+          dsl = tp.NeedsGrad(attn_left) ? &tp.GradRefPartial(attn_left, *supp)
+                                        : nullptr;
+          dsr = tp.NeedsGrad(attn_right) ? &tp.GradRefPartial(attn_right, targets)
+                                         : nullptr;
+        } else {
+          dh = need_h ? &tp.GradRef(h) : nullptr;
+          dsl = tp.NeedsGrad(attn_left) ? &tp.GradRef(attn_left) : nullptr;
+          dsr = tp.NeedsGrad(attn_right) ? &tp.GradRef(attn_right) : nullptr;
+        }
+
+        // Source-node scatter rows collide across destinations, so the
+        // backward stays serial.
         std::vector<double> dalpha;  // per-edge scratch for the current (i, head)
-        for (int head = 0; head < heads; ++head) {
+        const auto backward_dest = [&](int i, int head) {
           const int col0 = head * dim;
-          for (int i = 0; i < n; ++i) {
-            const int64_t begin = edges->row_ptr[i];
-            const int64_t end = edges->row_ptr[i + 1];
-            if (begin == end) continue;
-            const double* gi = g.row(i) + col0;
-            dalpha.assign(static_cast<size_t>(end - begin), 0.0);
-            double weighted_sum = 0.0;  // sum_j alpha_ij * dalpha_ij
-            for (int64_t k = begin; k < end; ++k) {
-              const int j = edges->col_idx[k];
-              const double a = (*alpha)[static_cast<size_t>(k) * heads + head];
-              const double* hj = hv.row(j) + col0;
-              double dot = 0.0;
-              for (int c = 0; c < dim; ++c) dot += gi[c] * hj[c];
-              dalpha[static_cast<size_t>(k - begin)] = dot;
-              weighted_sum += a * dot;
-              if (need_h) {
-                double* dhj = dh->row(j) + col0;
-                for (int c = 0; c < dim; ++c) dhj[c] += a * gi[c];
-              }
+          const int64_t begin = edges->row_ptr[i];
+          const int64_t end = edges->row_ptr[i + 1];
+          if (begin == end) return;
+          const double* gi = g.row(i) + col0;
+          dalpha.assign(static_cast<size_t>(end - begin), 0.0);
+          double weighted_sum = 0.0;  // sum_j alpha_ij * dalpha_ij
+          for (int64_t k = begin; k < end; ++k) {
+            const int j = edges->col_idx[k];
+            const double a = (*alpha)[static_cast<size_t>(k) * heads + head];
+            const double* hj = hv.row(j) + col0;
+            double dot = 0.0;
+            for (int c = 0; c < dim; ++c) dot += gi[c] * hj[c];
+            dalpha[static_cast<size_t>(k - begin)] = dot;
+            weighted_sum += a * dot;
+            if (need_h) {
+              double* dhj = dh->row(j) + col0;
+              for (int c = 0; c < dim; ++c) dhj[c] += a * gi[c];
             }
-            if (!need_attn) continue;
-            for (int64_t k = begin; k < end; ++k) {
-              const int j = edges->col_idx[k];
-              const double a = (*alpha)[static_cast<size_t>(k) * heads + head];
-              const double de =
-                  a * (dalpha[static_cast<size_t>(k - begin)] - weighted_sum);
-              const double dz =
-                  (*z_pos)[static_cast<size_t>(k) * heads + head] ? de : leaky_slope * de;
-              if (dsl != nullptr) (*dsl)(i, head) += dz;
-              if (dsr != nullptr) (*dsr)(j, head) += dz;
-            }
+          }
+          if (!need_attn) return;
+          for (int64_t k = begin; k < end; ++k) {
+            const int j = edges->col_idx[k];
+            const double a = (*alpha)[static_cast<size_t>(k) * heads + head];
+            const double de =
+                a * (dalpha[static_cast<size_t>(k - begin)] - weighted_sum);
+            const double dz =
+                (*z_pos)[static_cast<size_t>(k) * heads + head] ? de : leaky_slope * de;
+            if (dsl != nullptr) (*dsl)(i, head) += dz;
+            if (dsr != nullptr) (*dsr)(j, head) += dz;
+          }
+        };
+        for (int head = 0; head < heads; ++head) {
+          if (supp != nullptr) {
+            for (int i : *supp) backward_dest(i, head);
+          } else {
+            for (int i = 0; i < n; ++i) backward_dest(i, head);
           }
         }
       });

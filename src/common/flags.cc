@@ -31,6 +31,11 @@ int Flags::GetInt(const std::string& name, int def) const {
   return it == values_.end() ? def : std::atoi(it->second.c_str());
 }
 
+uint64_t Flags::GetUint64(const std::string& name, uint64_t def) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? def : std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
 double Flags::GetDouble(const std::string& name, double def) const {
   auto it = values_.find(name);
   return it == values_.end() ? def : std::atof(it->second.c_str());
@@ -40,6 +45,22 @@ bool Flags::GetBool(const std::string& name, bool def) const {
   auto it = values_.find(name);
   if (it == values_.end()) return def;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::string> Flags::UnknownFlags(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> unknown;
+  for (const auto& [name, value] : values_) {
+    bool found = false;
+    for (const std::string& k : known) {
+      if (name == k) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) unknown.push_back(name);
+  }
+  return unknown;
 }
 
 }  // namespace ppfr

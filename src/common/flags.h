@@ -1,8 +1,10 @@
 #ifndef PPFR_COMMON_FLAGS_H_
 #define PPFR_COMMON_FLAGS_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace ppfr {
 
@@ -15,8 +17,16 @@ class Flags {
   bool Has(const std::string& name) const;
   std::string GetString(const std::string& name, const std::string& def) const;
   int GetInt(const std::string& name, int def) const;
+  // Full-width unsigned parse — seeds are uint64_t and must not round-trip
+  // through int (see runner::ApplyCommonOverrides).
+  uint64_t GetUint64(const std::string& name, uint64_t def) const;
   double GetDouble(const std::string& name, double def) const;
   bool GetBool(const std::string& name, bool def) const;
+
+  // Names present on the command line that are not in `known` (sorted). The
+  // bench binaries turn a non-empty result into a usage listing + exit so a
+  // typo like --epoch=10 fails loudly instead of silently running defaults.
+  std::vector<std::string> UnknownFlags(const std::vector<std::string>& known) const;
 
  private:
   std::map<std::string, std::string> values_;

@@ -1,0 +1,179 @@
+#include "common/json_writer.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace ppfr {
+
+void JsonWriter::BeforeValue() {
+  if (stack_.empty()) {
+    PPFR_CHECK(out_.empty()) << "JSON document already has a root value";
+    return;
+  }
+  if (stack_.back() == Scope::kObject) {
+    PPFR_CHECK(key_pending_) << "object values need a Key() first";
+    key_pending_ = false;
+    return;
+  }
+  if (has_items_.back()) out_ += ',';
+  out_ += '\n';
+  Indent();
+  has_items_.back() = true;
+}
+
+void JsonWriter::Indent() {
+  out_.append(2 * stack_.size(), ' ');
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  stack_.push_back(Scope::kObject);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  PPFR_CHECK(!stack_.empty() && stack_.back() == Scope::kObject);
+  PPFR_CHECK(!key_pending_) << "dangling Key() at EndObject";
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) {
+    out_ += '\n';
+    Indent();
+  }
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  stack_.push_back(Scope::kArray);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  PPFR_CHECK(!stack_.empty() && stack_.back() == Scope::kArray);
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) {
+    out_ += '\n';
+    Indent();
+  }
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& name) {
+  PPFR_CHECK(!stack_.empty() && stack_.back() == Scope::kObject)
+      << "Key() outside an object";
+  PPFR_CHECK(!key_pending_) << "two keys in a row";
+  if (has_items_.back()) out_ += ',';
+  out_ += '\n';
+  Indent();
+  has_items_.back() = true;
+  out_ += '"';
+  out_ += Escape(name);
+  out_ += "\": ";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(const std::string& value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += Escape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(double value) {
+  if (!std::isfinite(value)) return Null();
+  BeforeValue();
+  // Round-trip exact for IEEE doubles: the artifacts feed the cross-PR
+  // bench trajectory, where low-bit differences are signal, not noise.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Uint(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+std::string JsonWriter::ToString() const {
+  PPFR_CHECK(stack_.empty()) << "unclosed JSON container";
+  return out_ + "\n";
+}
+
+std::string JsonWriter::Escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void WriteFileOrDie(const std::string& path, const std::string& contents) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  PPFR_CHECK(f != nullptr) << "cannot open " << path << ": " << std::strerror(errno);
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  PPFR_CHECK_EQ(written, contents.size()) << "short write to " << path;
+  PPFR_CHECK_EQ(std::fclose(f), 0) << "close failed for " << path;
+}
+
+}  // namespace ppfr

@@ -1,0 +1,60 @@
+#ifndef PPFR_COMMON_JSON_WRITER_H_
+#define PPFR_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ppfr {
+
+// Minimal streaming JSON builder for the uniform BENCH_<sweep>.json artifacts
+// (and any other machine-readable output). Handles comma placement, string
+// escaping and two-space indentation; the caller is responsible for pairing
+// Begin*/End* calls and for putting a Key before every value inside an
+// object (both are PPFR_CHECKed).
+//
+//   JsonWriter w;
+//   w.BeginObject();
+//   w.Key("sweep").String("table4");
+//   w.Key("cells").BeginArray();
+//   ...
+//   w.EndArray().EndObject();
+//   WriteFileOrDie(path, w.ToString());
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  JsonWriter& Key(const std::string& name);
+  JsonWriter& String(const std::string& value);
+  JsonWriter& Number(double value);  // non-finite values serialise as null
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Uint(uint64_t value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  // Finished document (PPFR_CHECKs that every container was closed).
+  std::string ToString() const;
+
+  static std::string Escape(const std::string& raw);
+
+ private:
+  enum class Scope { kObject, kArray };
+
+  void BeforeValue();
+  void Indent();
+
+  std::string out_;
+  std::vector<Scope> stack_;
+  std::vector<bool> has_items_;
+  bool key_pending_ = false;
+};
+
+// Writes `contents` to `path`, PPFR_CHECK-failing on I/O errors.
+void WriteFileOrDie(const std::string& path, const std::string& contents);
+
+}  // namespace ppfr
+
+#endif  // PPFR_COMMON_JSON_WRITER_H_

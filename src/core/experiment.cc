@@ -17,6 +17,8 @@ EvalInputs ExperimentEnv::Eval() const {
 
 ExperimentEnv MakeEnv(data::DatasetId id, uint64_t seed) {
   ExperimentEnv env;
+  env.id = id;
+  env.env_seed = seed;
   env.dataset = data::LoadDataset(id, seed);
   env.ctx = nn::GraphContext::Build(env.dataset.data.graph, env.dataset.data.features);
   env.similarity = fairness::SimilarityContext::FromGraph(env.dataset.data.graph);

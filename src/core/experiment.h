@@ -18,6 +18,12 @@ namespace ppfr::core {
 // original-graph context and similarity structures, and the attack pairs
 // (always sampled against the TRUE edges).
 struct ExperimentEnv {
+  // Identity of the environment — MakeEnv is deterministic in (id, env_seed),
+  // so these two fields name the content of everything below. The runner's
+  // stage cache folds them into its content-hash keys.
+  data::DatasetId id = data::DatasetId::kCoraLike;
+  uint64_t env_seed = 0;
+
   data::Dataset dataset;
   nn::GraphContext ctx;
   fairness::SimilarityContext similarity;
@@ -42,6 +48,7 @@ struct MethodConfig {
   bool use_lap_graph = false; // LapGraph instead of EdgeRand (larger graphs)
   double pp_gamma = 0.5;      // PP heterophilic edge ratio γ
   double finetune_scale = 0.2;  // s, fine-tune epochs = s · vanilla epochs
+  int finetune_epochs = 0;    // > 0 pins the epoch count, ignoring the scale
   double finetune_lr = 5e-3;
   FrConfig fr;
   uint64_t seed = 7;

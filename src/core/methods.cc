@@ -81,40 +81,68 @@ void Finetune(nn::GnnModel* model, const ExperimentEnv& env,
   nn::Train(model, ctx, env.train_nodes(), env.labels(), finetune);
 }
 
-MethodRun RunMethod(MethodKind method, nn::ModelKind model_kind,
-                    const ExperimentEnv& env, const MethodConfig& config) {
-  MethodRun run;
-  const int finetune_epochs = std::max(
+int FinetuneEpochs(const MethodConfig& config) {
+  if (config.finetune_epochs > 0) return config.finetune_epochs;
+  return std::max(
       1, static_cast<int>(std::lround(config.finetune_scale * config.train.epochs)));
+}
+
+MethodRun RunMethod(MethodKind method, nn::ModelKind model_kind,
+                    const ExperimentEnv& env, const MethodConfig& config,
+                    StageCache* cache) {
+  MethodRun run;
+  const int finetune_epochs = FinetuneEpochs(config);
+
+  // Stage accessors: through the cache when one is installed, recomputed
+  // otherwise. Every stage is a deterministic function of (env identity,
+  // model kind, config prefix), so the two paths are bitwise identical.
+  const auto vanilla = [&]() -> std::unique_ptr<nn::GnnModel> {
+    if (cache != nullptr) return cache->VanillaModel(model_kind, env, config);
+    return TrainFresh(model_kind, env, env.ctx, config, /*lambda=*/0.0);
+  };
+  const auto fr_weights = [&](nn::GnnModel* model) -> std::shared_ptr<const FrOutput> {
+    if (cache != nullptr) return cache->FrWeights(model_kind, env, config);
+    return std::make_shared<const FrOutput>(ComputeFr(model, env, config));
+  };
+  const auto dp_context = [&]() -> std::shared_ptr<const nn::GraphContext> {
+    if (cache != nullptr) return cache->DpContext(env, config);
+    return std::make_shared<const nn::GraphContext>(MakeDpContext(env, config));
+  };
 
   switch (method) {
     case MethodKind::kVanilla:
-      run.model = TrainFresh(model_kind, env, env.ctx, config, /*lambda=*/0.0);
-      break;
+      run.model = vanilla();
+      // The cached eval is the eval of the cached model; skip recomputing it.
+      run.eval = cache != nullptr ? cache->VanillaEval(model_kind, env, config)
+                                  : EvaluateModel(run.model.get(), env.Eval());
+      return run;
     case MethodKind::kReg:
       run.model = TrainFresh(model_kind, env, env.ctx, config, config.lambda);
       break;
     case MethodKind::kDpReg: {
-      const nn::GraphContext dp_ctx = MakeDpContext(env, config);
-      run.model = TrainFresh(model_kind, env, dp_ctx, config, config.lambda);
+      const std::shared_ptr<const nn::GraphContext> dp_ctx = dp_context();
+      run.model = TrainFresh(model_kind, env, *dp_ctx, config, config.lambda);
       break;
     }
     case MethodKind::kDpFr: {
-      run.model = TrainFresh(model_kind, env, env.ctx, config, /*lambda=*/0.0);
-      const FrOutput fr = ComputeFr(run.model.get(), env, config);
-      run.fr_weights = fr.sample_weights;
-      const nn::GraphContext dp_ctx = MakeDpContext(env, config);
-      Finetune(run.model.get(), env, dp_ctx, fr.sample_weights, finetune_epochs,
+      run.model = vanilla();
+      const std::shared_ptr<const FrOutput> fr = fr_weights(run.model.get());
+      run.fr_weights = fr->sample_weights;
+      const std::shared_ptr<const nn::GraphContext> dp_ctx = dp_context();
+      Finetune(run.model.get(), env, *dp_ctx, fr->sample_weights, finetune_epochs,
                config);
       break;
     }
     case MethodKind::kPpFr: {
-      run.model = TrainFresh(model_kind, env, env.ctx, config, /*lambda=*/0.0);
-      const FrOutput fr = ComputeFr(run.model.get(), env, config);
-      run.fr_weights = fr.sample_weights;
-      const nn::GraphContext pp_ctx =
-          MakePpContext(env, run.model.get(), config.pp_gamma, config.seed ^ 0x99ULL);
-      Finetune(run.model.get(), env, pp_ctx, fr.sample_weights, finetune_epochs,
+      run.model = vanilla();
+      const std::shared_ptr<const FrOutput> fr = fr_weights(run.model.get());
+      run.fr_weights = fr->sample_weights;
+      const std::shared_ptr<const nn::GraphContext> pp_ctx =
+          cache != nullptr
+              ? cache->PpContext(model_kind, env, config)
+              : std::make_shared<const nn::GraphContext>(MakePpContext(
+                    env, run.model.get(), config.pp_gamma, config.seed ^ 0x99ULL));
+      Finetune(run.model.get(), env, *pp_ctx, fr->sample_weights, finetune_epochs,
                config);
       break;
     }

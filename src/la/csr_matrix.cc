@@ -73,7 +73,9 @@ void CsrMatrix::MultiplyAccumRows(const Matrix& x, double alpha, Matrix* out,
   PPFR_CHECK_EQ(out->rows(), rows_);
   PPFR_CHECK_EQ(out->cols(), x.cols());
   const bool masked = !x_row_nonzero.empty();
-  if (masked) PPFR_CHECK_GE(static_cast<int>(x_row_nonzero.size()), x.rows());
+  if (masked) {
+    PPFR_CHECK_GE(static_cast<int>(x_row_nonzero.size()), x.rows());
+  }
   const int n = x.cols();
   for (int r : rows) {
     PPFR_DCHECK_GE(r, 0);

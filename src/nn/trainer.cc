@@ -1,14 +1,22 @@
 #include "nn/trainer.h"
 
+#include <atomic>
+
 #include "common/logging.h"
 #include "common/rng.h"
 #include "nn/adam.h"
 
 namespace ppfr::nn {
+namespace {
+std::atomic<int64_t> train_invocations{0};
+}  // namespace
+
+int64_t TrainInvocationCount() { return train_invocations.load(); }
 
 TrainStats Train(GnnModel* model, const GraphContext& ctx,
                  const std::vector<int>& train_nodes, const std::vector<int>& labels,
                  const TrainConfig& config) {
+  train_invocations.fetch_add(1);
   PPFR_CHECK(!train_nodes.empty());
   PPFR_CHECK_EQ(labels.size(), static_cast<size_t>(ctx.num_nodes()));
 

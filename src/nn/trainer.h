@@ -50,6 +50,12 @@ TrainStats Train(GnnModel* model, const GraphContext& ctx,
                  const std::vector<int>& train_nodes, const std::vector<int>& labels,
                  const TrainConfig& config);
 
+// Process-wide count of Train() calls (vanilla runs and fine-tunes alike).
+// The scenario runner's stage cache exists to drive this number down — its
+// tests assert e.g. "vanilla trained exactly once per (dataset, model, seed)"
+// by diffing this counter around a sweep.
+int64_t TrainInvocationCount();
+
 // Fraction of `nodes` whose argmax prediction matches the label.
 double Accuracy(const la::Matrix& logits, const std::vector<int>& labels,
                 const std::vector<int>& nodes);

@@ -1,0 +1,235 @@
+#include "runner/run_cache.h"
+
+#include <bit>
+#include <chrono>
+
+namespace ppfr::runner {
+
+KeyHasher& KeyHasher::Mix(uint64_t v) {
+  // FNV-1a over the 8 little-endian bytes.
+  for (int i = 0; i < 8; ++i) {
+    hash_ ^= (v >> (8 * i)) & 0xffULL;
+    hash_ *= 1099511628211ULL;
+  }
+  return *this;
+}
+
+KeyHasher& KeyHasher::Mix(double v) { return Mix(std::bit_cast<uint64_t>(v)); }
+
+KeyHasher& KeyHasher::Mix(const std::string& s) {
+  for (unsigned char c : s) {
+    hash_ ^= c;
+    hash_ *= 1099511628211ULL;
+  }
+  // Length terminator so ("ab","c") and ("a","bc") differ.
+  return Mix(static_cast<uint64_t>(s.size()));
+}
+
+namespace {
+
+// The training-schedule prefix every trained-model stage depends on.
+void MixTrainPrefix(KeyHasher* h, const core::MethodConfig& config) {
+  h->Mix(config.train.epochs)
+      .Mix(config.train.lr)
+      .Mix(config.train.weight_decay)
+      .Mix(config.train.sage_fanout)
+      .Mix(config.train.seed)
+      .Mix(config.seed);
+}
+
+void MixFrPrefix(KeyHasher* h, const core::MethodConfig& config) {
+  h->Mix(config.fr.alpha)
+      .Mix(config.fr.beta)
+      .Mix(config.fr.zero_sum)
+      .Mix(config.fr.influence.cg.damping)
+      .Mix(config.fr.influence.cg.max_iterations)
+      .Mix(config.fr.influence.cg.tolerance)
+      .Mix(config.fr.influence.cg.hvp_step);
+}
+
+}  // namespace
+
+uint64_t RunCache::EnvKey(data::DatasetId id, uint64_t env_seed) {
+  return KeyHasher().Mix("env").Mix(static_cast<int>(id)).Mix(env_seed).hash();
+}
+
+uint64_t RunCache::VanillaKey(nn::ModelKind kind, const core::ExperimentEnv& env,
+                              const core::MethodConfig& config) {
+  KeyHasher h;
+  h.Mix("vanilla").Mix(EnvKey(env.id, env.env_seed)).Mix(static_cast<int>(kind));
+  MixTrainPrefix(&h, config);
+  return h.hash();
+}
+
+uint64_t RunCache::DpKey(const core::ExperimentEnv& env,
+                         const core::MethodConfig& config) {
+  return KeyHasher()
+      .Mix("dp")
+      .Mix(EnvKey(env.id, env.env_seed))
+      .Mix(config.dp_epsilon)
+      .Mix(config.use_lap_graph)
+      .Mix(config.seed)
+      .hash();
+}
+
+uint64_t RunCache::PpKey(nn::ModelKind kind, const core::ExperimentEnv& env,
+                         const core::MethodConfig& config) {
+  // The PP context is a function of the vanilla model's predictions, so the
+  // vanilla stage key is this key's prefix.
+  return KeyHasher()
+      .Mix("pp")
+      .Mix(VanillaKey(kind, env, config))
+      .Mix(config.pp_gamma)
+      .Mix(config.seed)
+      .hash();
+}
+
+uint64_t RunCache::FrKey(nn::ModelKind kind, const core::ExperimentEnv& env,
+                         const core::MethodConfig& config) {
+  KeyHasher h;
+  h.Mix("fr").Mix(VanillaKey(kind, env, config));
+  MixFrPrefix(&h, config);
+  return h.hash();
+}
+
+uint64_t RunCache::CellKey(const Scenario& cell, uint64_t env_seed) {
+  const core::MethodConfig config = cell.ResolvedConfig();
+  KeyHasher h;
+  h.Mix("cell")
+      .Mix(EnvKey(cell.dataset, env_seed))
+      .Mix(static_cast<int>(cell.model))
+      .Mix(static_cast<int>(cell.method));
+  MixTrainPrefix(&h, config);
+  MixFrPrefix(&h, config);
+  h.Mix(config.lambda)
+      .Mix(config.dp_epsilon)
+      .Mix(config.use_lap_graph)
+      .Mix(config.pp_gamma)
+      .Mix(config.finetune_scale)
+      .Mix(config.finetune_epochs)
+      .Mix(config.finetune_lr);
+  return h.hash();
+}
+
+template <typename V>
+V RunCache::GetOrCompute(std::unordered_map<uint64_t, std::shared_future<V>>* map,
+                         uint64_t key, StageStats* stats,
+                         const std::function<V()>& compute, bool* was_hit) {
+  std::promise<V> promise;
+  std::shared_future<V> future;
+  bool computer = false;
+  bool ready_at_claim = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map->find(key);
+    if (it != map->end()) {
+      future = it->second;
+      ++stats->hits;
+      ready_at_claim =
+          future.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+    } else {
+      future = promise.get_future().share();
+      map->emplace(key, future);
+      ++stats->misses;
+      computer = true;
+    }
+  }
+  // was_hit is only true for a PURE hit — the value was ready when we asked.
+  // A concurrent waiter that blocks on an in-flight compute spends real wall
+  // time, so reporting it as cached would corrupt the per-cell timing in the
+  // artifacts (the stats above stay claim-based either way: misses count
+  // actual computes).
+  if (was_hit != nullptr) *was_hit = ready_at_claim;
+  // compute() must not throw: this library is exception-free by design
+  // (failures abort via PPFR_CHECK — see common/check.h), and an exception
+  // here would leave a broken promise permanently mapped to the key.
+  if (computer) promise.set_value(compute());
+  // A waiter only ever blocks on a key some RUNNING thread claimed above, so
+  // a fixed-size scheduler cannot deadlock here.
+  return future.get();
+}
+
+std::shared_ptr<const core::ExperimentEnv> RunCache::Env(data::DatasetId id,
+                                                         uint64_t env_seed) {
+  return GetOrCompute<std::shared_ptr<const core::ExperimentEnv>>(
+      &envs_, EnvKey(id, env_seed), &stats_.env, [&] {
+        return std::make_shared<const core::ExperimentEnv>(
+            core::MakeEnv(id, env_seed));
+      });
+}
+
+std::shared_ptr<const RunCache::VanillaStage> RunCache::VanillaStageFor(
+    nn::ModelKind kind, const core::ExperimentEnv& env,
+    const core::MethodConfig& config) {
+  return GetOrCompute<std::shared_ptr<const VanillaStage>>(
+      &vanilla_, VanillaKey(kind, env, config), &stats_.vanilla, [&] {
+        auto stage = std::make_shared<VanillaStage>();
+        stage->model = core::TrainFresh(kind, env, env.ctx, config, /*lambda=*/0.0);
+        stage->eval = core::EvaluateModel(stage->model.get(), env.Eval());
+        return std::shared_ptr<const VanillaStage>(std::move(stage));
+      });
+}
+
+std::unique_ptr<nn::GnnModel> RunCache::VanillaModel(nn::ModelKind kind,
+                                                     const core::ExperimentEnv& env,
+                                                     const core::MethodConfig& config) {
+  return VanillaStageFor(kind, env, config)->model->Clone();
+}
+
+core::EvalResult RunCache::VanillaEval(nn::ModelKind kind,
+                                       const core::ExperimentEnv& env,
+                                       const core::MethodConfig& config) {
+  return VanillaStageFor(kind, env, config)->eval;
+}
+
+std::shared_ptr<const nn::GraphContext> RunCache::DpContext(
+    const core::ExperimentEnv& env, const core::MethodConfig& config) {
+  return GetOrCompute<std::shared_ptr<const nn::GraphContext>>(
+      &dp_contexts_, DpKey(env, config), &stats_.dp_context, [&] {
+        return std::make_shared<const nn::GraphContext>(
+            core::MakeDpContext(env, config));
+      });
+}
+
+std::shared_ptr<const nn::GraphContext> RunCache::PpContext(
+    nn::ModelKind kind, const core::ExperimentEnv& env,
+    const core::MethodConfig& config) {
+  return GetOrCompute<std::shared_ptr<const nn::GraphContext>>(
+      &pp_contexts_, PpKey(kind, env, config), &stats_.pp_context, [&] {
+        // Work on a private clone: concurrent stages must not share a
+        // mutable model, and the clone's predictions are identical.
+        const std::unique_ptr<nn::GnnModel> model = VanillaModel(kind, env, config);
+        return std::make_shared<const nn::GraphContext>(core::MakePpContext(
+            env, model.get(), config.pp_gamma, config.seed ^ 0x99ULL));
+      });
+}
+
+std::shared_ptr<const core::FrOutput> RunCache::FrWeights(
+    nn::ModelKind kind, const core::ExperimentEnv& env,
+    const core::MethodConfig& config) {
+  return GetOrCompute<std::shared_ptr<const core::FrOutput>>(
+      &fr_outputs_, FrKey(kind, env, config), &stats_.fr, [&] {
+        const std::unique_ptr<nn::GnnModel> model = VanillaModel(kind, env, config);
+        return std::make_shared<const core::FrOutput>(
+            core::ComputeFr(model.get(), env, config));
+      });
+}
+
+std::shared_ptr<const core::MethodRun> RunCache::CellRun(
+    const Scenario& cell, const core::ExperimentEnv& env, bool* cache_hit) {
+  return GetOrCompute<std::shared_ptr<const core::MethodRun>>(
+      &cells_, CellKey(cell, env.env_seed), &stats_.cell,
+      [&] {
+        const core::MethodConfig config = cell.ResolvedConfig();
+        return std::make_shared<const core::MethodRun>(
+            core::RunMethod(cell.method, cell.model, env, config, this));
+      },
+      cache_hit);
+}
+
+RunCache::Stats RunCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace ppfr::runner

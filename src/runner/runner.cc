@@ -1,0 +1,214 @@
+#include "runner/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <thread>
+
+#include "common/json_writer.h"
+#include "common/stopwatch.h"
+#include "la/backend.h"
+#include "nn/trainer.h"
+
+namespace ppfr::runner {
+namespace {
+
+RunCache::StageStats Delta(const RunCache::StageStats& after,
+                           const RunCache::StageStats& before) {
+  return {after.hits - before.hits, after.misses - before.misses};
+}
+
+RunCache::Stats Delta(const RunCache::Stats& after, const RunCache::Stats& before) {
+  RunCache::Stats d;
+  d.env = Delta(after.env, before.env);
+  d.vanilla = Delta(after.vanilla, before.vanilla);
+  d.dp_context = Delta(after.dp_context, before.dp_context);
+  d.pp_context = Delta(after.pp_context, before.pp_context);
+  d.fr = Delta(after.fr, before.fr);
+  d.cell = Delta(after.cell, before.cell);
+  return d;
+}
+
+void EmitStage(JsonWriter* w, const char* name, const RunCache::StageStats& s) {
+  w->Key(name).BeginObject();
+  w->Key("hits").Int(s.hits);
+  w->Key("misses").Int(s.misses);
+  w->EndObject();
+}
+
+}  // namespace
+
+int ResolveCellThreads(int threads, size_t n) {
+  if (threads <= 0) threads = la::ActiveBackend().num_threads();
+  return std::max(1, std::min<int>(threads, static_cast<int>(n)));
+}
+
+void ParallelCells(size_t n, int threads, const std::function<void(size_t)>& fn) {
+  threads = ResolveCellThreads(threads, n);
+  if (threads <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // A shared index queue drained by `threads` workers (the caller
+  // participates). Every worker — caller included — installs a private
+  // single-threaded backend of the active kind, so the shared
+  // ParallelBackend pool is never entered concurrently and, since every
+  // kernel is thread-count-invariant, each index's numbers are bitwise
+  // identical to a serial run.
+  std::atomic<size_t> next{0};
+  const auto worker = [&] {
+    const std::unique_ptr<la::Backend> backend =
+        la::MakeBackend(la::ActiveBackendKind(), /*num_threads=*/1);
+    la::ThreadLocalBackendGuard guard(backend.get());
+    while (true) {
+      const size_t i = next.fetch_add(1);
+      if (i >= n) break;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (int t = 1; t < threads; ++t) pool.emplace_back(worker);
+  worker();
+  for (std::thread& t : pool) t.join();
+}
+
+SweepResult RunSweep(const Sweep& sweep, RunCache* cache,
+                     const RunnerOptions& options) {
+  SweepResult result;
+  result.name = sweep.name;
+  result.title = sweep.title;
+  result.env_seed = options.env_seed;
+  result.cells.resize(sweep.cells.size());
+
+  const int threads = ResolveCellThreads(options.threads, sweep.cells.size());
+  result.threads = threads;
+
+  const RunCache::Stats stats_before = cache->stats();
+  const int64_t trains_before = nn::TrainInvocationCount();
+  Stopwatch wall;
+
+  const auto run_cell = [&](size_t i) {
+    const Scenario& cell = sweep.cells[i];
+    // Environments are heavyweight and shared read-only by every cell of
+    // the same dataset; fetching inside the cell (instead of prebuilding
+    // them serially) lets parallel workers overlap env construction with
+    // cell work — the cache's once-latch already builds each one exactly
+    // once.
+    const std::shared_ptr<const core::ExperimentEnv> env_ptr =
+        cache->Env(cell.dataset, options.env_seed);
+    const core::ExperimentEnv& env = *env_ptr;
+    CellResult& out = result.cells[i];
+    out.scenario = cell;
+    Stopwatch watch;
+    out.run = cache->CellRun(cell, env, &out.cache_hit);
+    if (cell.method != core::MethodKind::kVanilla) {
+      const core::EvalResult vanilla =
+          cache->VanillaEval(cell.model, env, cell.ResolvedConfig());
+      out.vanilla_eval = vanilla;
+      out.delta = core::ComputeDeltas(out.run->eval, vanilla);
+    } else {
+      out.vanilla_eval = out.run->eval;
+      out.delta = {};
+    }
+    out.seconds = watch.ElapsedSeconds();
+    if (options.verbose) {
+      std::fprintf(stderr, "  [%s/%s] %s done in %.1fs%s\n",
+                   data::DatasetName(cell.dataset).c_str(),
+                   nn::ModelKindName(cell.model).c_str(),
+                   cell.DisplayLabel().c_str(), out.seconds,
+                   out.cache_hit ? " (cached)" : "");
+    }
+  };
+
+  // Stage collisions between concurrent cells (two cells needing one
+  // vanilla model) are serialised by the cache's once-latch.
+  ParallelCells(sweep.cells.size(), threads, run_cell);
+
+  result.wall_seconds = wall.ElapsedSeconds();
+  result.cache_stats = Delta(cache->stats(), stats_before);
+  result.trainer_invocations = nn::TrainInvocationCount() - trains_before;
+  return result;
+}
+
+std::string WriteArtifact(const SweepResult& result, const std::string& dir) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version").Int(1);
+  w.Key("sweep").String(result.name);
+  w.Key("title").String(result.title);
+  w.Key("backend").String(la::ActiveBackend().name());
+  w.Key("backend_threads").Int(la::ActiveBackend().num_threads());
+  w.Key("runner_threads").Int(result.threads);
+  w.Key("env_seed").Uint(result.env_seed);
+  w.Key("wall_seconds").Number(result.wall_seconds);
+  w.Key("trainer_invocations").Int(result.trainer_invocations);
+
+  w.Key("cache").BeginObject();
+  EmitStage(&w, "env", result.cache_stats.env);
+  EmitStage(&w, "vanilla", result.cache_stats.vanilla);
+  EmitStage(&w, "dp_context", result.cache_stats.dp_context);
+  EmitStage(&w, "pp_context", result.cache_stats.pp_context);
+  EmitStage(&w, "fr", result.cache_stats.fr);
+  EmitStage(&w, "cell", result.cache_stats.cell);
+  w.EndObject();
+
+  w.Key("cells").BeginArray();
+  for (const CellResult& cell : result.cells) {
+    w.BeginObject();
+    w.Key("dataset").String(data::DatasetName(cell.scenario.dataset));
+    w.Key("model").String(nn::ModelKindName(cell.scenario.model));
+    w.Key("method").String(core::MethodName(cell.scenario.method));
+    w.Key("label").String(cell.scenario.DisplayLabel());
+    w.Key("seconds").Number(cell.seconds);
+    w.Key("cache_hit").Bool(cell.cache_hit);
+    w.Key("eval").BeginObject();
+    w.Key("accuracy").Number(cell.run->eval.accuracy);
+    w.Key("bias").Number(cell.run->eval.bias);
+    w.Key("risk_auc").Number(cell.run->eval.risk_auc);
+    w.Key("delta_d").Number(cell.run->eval.delta_d);
+    w.EndObject();
+    w.Key("delta").BeginObject();
+    w.Key("d_acc").Number(cell.delta.d_acc);
+    w.Key("d_bias").Number(cell.delta.d_bias);
+    w.Key("d_risk").Number(cell.delta.d_risk);
+    w.Key("combined").Number(cell.delta.combined);
+    w.EndObject();
+    if (!cell.extra.empty()) {
+      w.Key("extra").BeginObject();
+      for (const auto& [key, value] : cell.extra) {
+        w.Key(key).Number(value);
+      }
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  const std::string path = dir + "/BENCH_" + result.name + ".json";
+  WriteFileOrDie(path, w.ToString());
+  return path;
+}
+
+const CellResult* FindCell(const SweepResult& result, data::DatasetId dataset,
+                           nn::ModelKind model, core::MethodKind method) {
+  for (const CellResult& cell : result.cells) {
+    if (cell.scenario.dataset == dataset && cell.scenario.model == model &&
+        cell.scenario.method == method) {
+      return &cell;
+    }
+  }
+  return nullptr;
+}
+
+const CellResult* FindCellByLabel(const SweepResult& result,
+                                  const std::string& label) {
+  for (const CellResult& cell : result.cells) {
+    if (cell.scenario.DisplayLabel() == label) return &cell;
+  }
+  return nullptr;
+}
+
+}  // namespace ppfr::runner

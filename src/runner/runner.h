@@ -1,0 +1,81 @@
+#ifndef PPFR_RUNNER_RUNNER_H_
+#define PPFR_RUNNER_RUNNER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runner/run_cache.h"
+#include "runner/scenario.h"
+
+namespace ppfr::runner {
+
+struct RunnerOptions {
+  // Concurrent cells. 1 = serial on the calling thread with the process-wide
+  // backend (the historical bench behaviour); > 1 fans independent cells
+  // across worker threads, each pinned to a private single-threaded backend
+  // of the active kind (la::ThreadLocalBackendGuard), which keeps results
+  // bitwise identical to the serial order. <= 0 picks the active backend's
+  // thread count.
+  int threads = 1;
+  uint64_t env_seed = core::kDefaultEnvSeed;
+  bool verbose = true;  // per-cell progress lines on stderr
+};
+
+struct CellResult {
+  Scenario scenario;
+  std::shared_ptr<const core::MethodRun> run;
+  core::EvalResult vanilla_eval;  // vanilla baseline of the same (dataset, model)
+  core::DeltaMetrics delta;       // vs vanilla_eval; zeros for vanilla cells
+  double seconds = 0.0;
+  bool cache_hit = false;  // the whole cell came out of the run cache
+  // Bench-specific scalar metrics merged into the JSON artifact (e.g.
+  // table2's Pearson r); keyed by metric name.
+  std::map<std::string, double> extra;
+};
+
+struct SweepResult {
+  std::string name;
+  std::string title;
+  std::vector<CellResult> cells;
+  double wall_seconds = 0.0;
+  int threads = 1;
+  uint64_t env_seed = 0;
+  RunCache::Stats cache_stats;      // cache state delta over this sweep
+  int64_t trainer_invocations = 0;  // nn::Train calls during this sweep
+};
+
+// Runs every cell of the sweep through the cache, serially or across the
+// cell scheduler (see RunnerOptions::threads). Results are returned in cell
+// order regardless of completion order.
+SweepResult RunSweep(const Sweep& sweep, RunCache* cache,
+                     const RunnerOptions& options = {});
+
+// Resolves a requested scheduler width against the work-item count:
+// <= 0 means the active backend's thread count, clamped to [1, n].
+int ResolveCellThreads(int threads, size_t n);
+
+// The cell scheduler's worker loop, reusable by benches that fan their own
+// per-cell work (e.g. table2's influence correlations): runs fn(i) for every
+// i in [0, n). threads (after ResolveCellThreads) == 1 runs inline on the
+// caller with the process-wide backend; otherwise `threads` workers (the
+// caller participates) drain an index queue, each pinned to a private
+// single-threaded backend of the active kind — the determinism discipline
+// that keeps results bitwise identical to the serial order. fn must only
+// touch per-index state (or internally synchronised services like RunCache).
+void ParallelCells(size_t n, int threads, const std::function<void(size_t)>& fn);
+
+// Writes the uniform BENCH_<name>.json artifact; returns its path.
+std::string WriteArtifact(const SweepResult& result, const std::string& dir = ".");
+
+// First cell matching (dataset, model, method); nullptr when absent.
+const CellResult* FindCell(const SweepResult& result, data::DatasetId dataset,
+                           nn::ModelKind model, core::MethodKind method);
+// First cell with the given display label; nullptr when absent.
+const CellResult* FindCellByLabel(const SweepResult& result,
+                                  const std::string& label);
+
+}  // namespace ppfr::runner
+
+#endif  // PPFR_RUNNER_RUNNER_H_

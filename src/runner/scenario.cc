@@ -1,0 +1,372 @@
+#include "runner/scenario.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ppfr::runner {
+namespace {
+
+const std::vector<data::DatasetId>& AllDatasets() {
+  static const std::vector<data::DatasetId> all{
+      data::DatasetId::kCoraLike, data::DatasetId::kCiteseerLike,
+      data::DatasetId::kPubmedLike, data::DatasetId::kEnzymesLike,
+      data::DatasetId::kCreditLike};
+  return all;
+}
+
+const std::vector<nn::ModelKind>& AllModels() {
+  static const std::vector<nn::ModelKind> all{
+      nn::ModelKind::kGcn, nn::ModelKind::kGat, nn::ModelKind::kGraphSage};
+  return all;
+}
+
+const std::vector<core::MethodKind>& AllMethods() {
+  static const std::vector<core::MethodKind> all{
+      core::MethodKind::kVanilla, core::MethodKind::kReg, core::MethodKind::kDpReg,
+      core::MethodKind::kDpFr, core::MethodKind::kPpFr};
+  return all;
+}
+
+[[noreturn]] void DieWithValidNames(const char* what, const std::string& got,
+                                    const std::vector<std::string>& valid) {
+  std::fprintf(stderr, "unknown %s '%s'; valid names:", what, got.c_str());
+  for (const std::string& name : valid) std::fprintf(stderr, " %s", name.c_str());
+  std::fprintf(stderr, "\n");
+  std::exit(2);
+}
+
+std::vector<std::string> DatasetNames() {
+  std::vector<std::string> names;
+  for (data::DatasetId id : AllDatasets()) names.push_back(data::DatasetName(id));
+  return names;
+}
+
+std::vector<std::string> ModelNames() {
+  std::vector<std::string> names;
+  for (nn::ModelKind kind : AllModels()) names.push_back(nn::ModelKindName(kind));
+  return names;
+}
+
+std::vector<std::string> MethodNames() {
+  std::vector<std::string> names;
+  for (core::MethodKind kind : AllMethods()) names.push_back(core::MethodName(kind));
+  return names;
+}
+
+// The full method column of Tables IV/V: Vanilla first (the Δ baseline),
+// then the four comparison pipelines.
+std::vector<core::MethodKind> SuiteMethods() { return AllMethods(); }
+
+// dataset-major × model × method cross product, vanilla-first per model so a
+// serial run populates the stage cache before the fine-tune methods need it.
+std::vector<Scenario> CrossProduct(const std::vector<data::DatasetId>& datasets,
+                                   const std::vector<nn::ModelKind>& models,
+                                   const std::vector<core::MethodKind>& methods) {
+  std::vector<Scenario> cells;
+  for (data::DatasetId dataset : datasets) {
+    for (nn::ModelKind model : models) {
+      for (core::MethodKind method : methods) {
+        cells.push_back({dataset, model, method, {}, ""});
+      }
+    }
+  }
+  return cells;
+}
+
+Sweep AblationSweep() {
+  // Fig. 6: PPFR module ablation on (CoraLike, GAT). γ = 0 disables the
+  // perturbation entirely (zero heterophilic-edge budget per node), so
+  // "FR only" is PPFR with pp_gamma = 0.
+  Sweep sweep;
+  sweep.name = "fig6";
+  sweep.title = "Fig. 6 — PPFR ablation (FR-only / PP-ratio / PP+FR panels)";
+  const data::DatasetId dataset = data::DatasetId::kCoraLike;
+  const nn::ModelKind model = nn::ModelKind::kGat;
+  const std::vector<int> epoch_sweep{8, 15, 30, 45, 60};
+  const std::vector<double> gamma_sweep{0.0, 0.25, 0.5, 0.75, 1.0};
+  const int fixed_epochs = 30;
+
+  sweep.cells.push_back({dataset, model, core::MethodKind::kVanilla, {}, ""});
+  for (int epochs : epoch_sweep) {
+    Scenario cell{dataset, model, core::MethodKind::kPpFr, {}, ""};
+    cell.overrides.pp_gamma = 0.0;
+    cell.overrides.finetune_epochs = epochs;
+    cell.label = "fr_only_ep" + std::to_string(epochs);
+    sweep.cells.push_back(std::move(cell));
+  }
+  for (double gamma : gamma_sweep) {
+    Scenario cell{dataset, model, core::MethodKind::kPpFr, {}, ""};
+    cell.overrides.pp_gamma = gamma;
+    cell.overrides.finetune_epochs = fixed_epochs;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "pp_gamma_%.2f", gamma);
+    cell.label = buf;
+    sweep.cells.push_back(std::move(cell));
+  }
+  for (int epochs : epoch_sweep) {
+    Scenario cell{dataset, model, core::MethodKind::kPpFr, {}, ""};
+    cell.overrides.finetune_epochs = epochs;
+    cell.label = "ppfr_ep" + std::to_string(epochs);
+    sweep.cells.push_back(std::move(cell));
+  }
+  for (bool zero_sum : {true, false}) {
+    Scenario cell{dataset, model, core::MethodKind::kPpFr, {}, ""};
+    cell.overrides.pp_gamma = 0.0;
+    cell.overrides.finetune_epochs = fixed_epochs;
+    cell.overrides.fr_zero_sum = zero_sum;
+    cell.label = zero_sum ? "zero_sum_on" : "zero_sum_off";
+    sweep.cells.push_back(std::move(cell));
+  }
+  return sweep;
+}
+
+}  // namespace
+
+void ConfigOverrides::Apply(core::MethodConfig* cfg) const {
+  if (epochs) cfg->train.epochs = *epochs;
+  if (seed) cfg->seed = *seed;
+  if (lambda) cfg->lambda = *lambda;
+  if (dp_epsilon) cfg->dp_epsilon = *dp_epsilon;
+  if (pp_gamma) cfg->pp_gamma = *pp_gamma;
+  if (finetune_epochs) cfg->finetune_epochs = *finetune_epochs;
+  if (fr_zero_sum) cfg->fr.zero_sum = *fr_zero_sum;
+}
+
+std::string Scenario::DisplayLabel() const {
+  return label.empty() ? core::MethodName(method) : label;
+}
+
+core::MethodConfig Scenario::ResolvedConfig() const {
+  core::MethodConfig cfg = core::DefaultMethodConfig(dataset, model);
+  overrides.Apply(&cfg);
+  return cfg;
+}
+
+std::optional<data::DatasetId> ParseDataset(const std::string& name) {
+  for (data::DatasetId id : AllDatasets()) {
+    if (data::DatasetName(id) == name) return id;
+  }
+  return std::nullopt;
+}
+
+std::optional<nn::ModelKind> ParseModel(const std::string& name) {
+  for (nn::ModelKind kind : AllModels()) {
+    if (nn::ModelKindName(kind) == name) return kind;
+  }
+  return std::nullopt;
+}
+
+std::optional<core::MethodKind> ParseMethod(const std::string& name) {
+  for (core::MethodKind kind : AllMethods()) {
+    if (core::MethodName(kind) == name) return kind;
+  }
+  return std::nullopt;
+}
+
+data::DatasetId ParseDatasetOrDie(const std::string& name) {
+  const auto id = ParseDataset(name);
+  if (!id) DieWithValidNames("dataset", name, DatasetNames());
+  return *id;
+}
+
+nn::ModelKind ParseModelOrDie(const std::string& name) {
+  const auto kind = ParseModel(name);
+  if (!kind) DieWithValidNames("model", name, ModelNames());
+  return *kind;
+}
+
+core::MethodKind ParseMethodOrDie(const std::string& name) {
+  const auto kind = ParseMethod(name);
+  if (!kind) DieWithValidNames("method", name, MethodNames());
+  return *kind;
+}
+
+std::vector<std::string> SplitList(const std::string& csv, char sep) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : csv) {
+    if (c == sep) {
+      if (!current.empty()) tokens.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) tokens.push_back(current);
+  return tokens;
+}
+
+std::vector<data::DatasetId> ParseDatasetListOrDie(
+    const std::string& csv, std::vector<data::DatasetId> defaults) {
+  if (csv.empty() || csv == "*") return defaults;
+  std::vector<data::DatasetId> out;
+  for (const std::string& token : SplitList(csv)) {
+    out.push_back(ParseDatasetOrDie(token));
+  }
+  return out;
+}
+
+std::vector<nn::ModelKind> ParseModelListOrDie(const std::string& csv,
+                                               std::vector<nn::ModelKind> defaults) {
+  if (csv.empty() || csv == "*") return defaults;
+  std::vector<nn::ModelKind> out;
+  for (const std::string& token : SplitList(csv)) {
+    out.push_back(ParseModelOrDie(token));
+  }
+  return out;
+}
+
+std::vector<core::MethodKind> ParseMethodListOrDie(
+    const std::string& csv, std::vector<core::MethodKind> defaults) {
+  if (csv.empty() || csv == "*") return defaults;
+  std::vector<core::MethodKind> out;
+  for (const std::string& token : SplitList(csv)) {
+    out.push_back(ParseMethodOrDie(token));
+  }
+  return out;
+}
+
+std::optional<Sweep> RegistrySweep(const std::string& name) {
+  const auto strong = data::StrongHomophilyDatasets();
+  if (name == "table2") {
+    return Sweep{"table2",
+                 "Table II — I_fbias / I_frisk correlation (vanilla models)",
+                 CrossProduct(strong, AllModels(), {core::MethodKind::kVanilla})};
+  }
+  if (name == "table3") {
+    return Sweep{"table3", "Table III — accuracy and bias, GCN Vanilla vs Reg",
+                 CrossProduct(strong, {nn::ModelKind::kGcn},
+                              {core::MethodKind::kVanilla, core::MethodKind::kReg})};
+  }
+  if (name == "table4") {
+    return Sweep{"table4", "Table IV — PPFR effectiveness, 3 datasets x 3 models",
+                 CrossProduct(strong, AllModels(), SuiteMethods())};
+  }
+  if (name == "table5" || name == "weak-homophily") {
+    return Sweep{"table5", "Table V — weak-homophily study (GCN)",
+                 CrossProduct(data::WeakHomophilyDatasets(), {nn::ModelKind::kGcn},
+                              SuiteMethods())};
+  }
+  if (name == "fig4") {
+    return Sweep{"fig4", "Fig. 4 — attack AUC per distance, GCN vanilla vs Reg",
+                 CrossProduct(strong, {nn::ModelKind::kGcn},
+                              {core::MethodKind::kVanilla, core::MethodKind::kReg})};
+  }
+  if (name == "fig5") {
+    return Sweep{"fig5", "Fig. 5 — accuracy cost per method, GCN and GAT",
+                 CrossProduct(strong, {nn::ModelKind::kGcn, nn::ModelKind::kGat},
+                              SuiteMethods())};
+  }
+  if (name == "fig6" || name == "ablation") {
+    return AblationSweep();
+  }
+  if (name == "fig7") {
+    return Sweep{"fig7", "Fig. 7 — accuracy cost per method, GraphSAGE",
+                 CrossProduct(strong, {nn::ModelKind::kGraphSage}, SuiteMethods())};
+  }
+  if (name == "smoke") {
+    return Sweep{"smoke", "CI smoke sweep — one dataset, one model, all methods",
+                 CrossProduct({data::DatasetId::kCoraLike}, {nn::ModelKind::kGcn},
+                              SuiteMethods())};
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> RegistrySweepNames() {
+  return {"table2", "table3", "table4", "table5", "fig4",
+          "fig5",   "fig6",   "fig7",   "smoke"};
+}
+
+Sweep SweepFromFlags(const Flags& flags, const std::string& default_name) {
+  const std::string scenarios = flags.GetString("scenarios", "");
+  const std::string grid = flags.GetString("grid", "");
+  if (!scenarios.empty() && !grid.empty()) {
+    std::fprintf(stderr, "--scenarios= and --grid= are mutually exclusive\n");
+    std::exit(2);
+  }
+
+  Sweep sweep;
+  if (!grid.empty()) {
+    // <datasets>;<models>;<methods>, each a comma-list, "" / "*" = defaults.
+    // Split preserving empty positions (SplitList drops them).
+    std::vector<std::string> parts(1);
+    for (char c : grid) {
+      if (c == ';') {
+        parts.emplace_back();
+      } else {
+        parts.back() += c;
+      }
+    }
+    if (parts.size() > 3) {
+      std::fprintf(stderr,
+                   "--grid wants at most 3 ';'-separated parts "
+                   "(datasets;models;methods), got '%s'\n",
+                   grid.c_str());
+      std::exit(2);
+    }
+    parts.resize(3);
+    sweep.name = "grid";
+    sweep.title = "ad-hoc grid " + grid;
+    sweep.cells = CrossProduct(
+        ParseDatasetListOrDie(parts[0], data::StrongHomophilyDatasets()),
+        ParseModelListOrDie(parts[1], AllModels()),
+        ParseMethodListOrDie(parts[2], SuiteMethods()));
+  } else {
+    const std::vector<std::string> names =
+        scenarios.empty() ? std::vector<std::string>{default_name}
+                          : SplitList(scenarios);
+    for (const std::string& name : names) {
+      std::optional<Sweep> registered = RegistrySweep(name);
+      if (!registered) DieWithValidNames("sweep", name, RegistrySweepNames());
+      if (sweep.name.empty()) {
+        sweep = std::move(*registered);
+      } else {
+        sweep.name += "+" + registered->name;
+        sweep.title += " + " + registered->title;
+        for (Scenario& cell : registered->cells) {
+          sweep.cells.push_back(std::move(cell));
+        }
+      }
+    }
+  }
+
+  ApplyFilters(flags, &sweep);
+  return sweep;
+}
+
+void ApplyFilters(const Flags& flags, Sweep* sweep) {
+  // An empty or "*" list means "keep everything", matching the parsers'
+  // own defaults convention.
+  const auto keep_matching = [sweep](const auto& keep, auto field) {
+    std::erase_if(sweep->cells, [&](const Scenario& cell) {
+      return std::find(keep.begin(), keep.end(), cell.*field) == keep.end();
+    });
+  };
+  const std::string datasets_csv = flags.GetString("datasets", "");
+  if (!datasets_csv.empty() && datasets_csv != "*") {
+    keep_matching(ParseDatasetListOrDie(datasets_csv, {}), &Scenario::dataset);
+  }
+  const std::string models_csv = flags.GetString("models", "");
+  if (!models_csv.empty() && models_csv != "*") {
+    keep_matching(ParseModelListOrDie(models_csv, {}), &Scenario::model);
+  }
+  if (sweep->cells.empty()) {
+    std::fprintf(stderr, "sweep '%s' has no cells after --datasets/--models filters\n",
+                 sweep->name.c_str());
+    std::exit(2);
+  }
+}
+
+void ApplyCommonOverrides(const Flags& flags, Sweep* sweep) {
+  for (Scenario& cell : sweep->cells) {
+    if (flags.Has("epochs")) {
+      cell.overrides.epochs = flags.GetInt("epochs", 0);
+    }
+    if (flags.Has("seed")) {
+      cell.overrides.seed = flags.GetUint64("seed", 0);
+    }
+  }
+}
+
+}  // namespace ppfr::runner

@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "common/check.h"
 #include "common/flags.h"
+#include "common/json_writer.h"
 #include "common/rng.h"
 #include "common/table_printer.h"
 
@@ -164,6 +166,69 @@ TEST(FlagsTest, ParsesKeyValueAndBooleans) {
   EXPECT_EQ(flags.GetInt("count", 0), 12);
   EXPECT_EQ(flags.GetInt("missing", 42), 42);
   EXPECT_FALSE(flags.Has("missing"));
+}
+
+TEST(FlagsTest, Uint64SeedsRoundTripWithoutTruncation) {
+  // Seeds above INT_MAX used to be truncated by an int round-trip.
+  const char* argv[] = {"prog", "--seed=9876543210987654321"};
+  Flags flags(2, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetUint64("seed", 0), 9876543210987654321ULL);
+  EXPECT_EQ(flags.GetUint64("missing", 7), 7ULL);
+}
+
+TEST(FlagsTest, ReportsUnknownFlags) {
+  const char* argv[] = {"prog", "--epochs=10", "--epoch=12", "--sed=3"};
+  Flags flags(4, const_cast<char**>(argv));
+  const std::vector<std::string> unknown = flags.UnknownFlags({"epochs", "seed"});
+  ASSERT_EQ(unknown.size(), 2u);
+  EXPECT_EQ(unknown[0], "epoch");
+  EXPECT_EQ(unknown[1], "sed");
+  EXPECT_TRUE(flags.UnknownFlags({"epochs", "epoch", "sed"}).empty());
+}
+
+TEST(JsonWriterTest, RendersNestedDocument) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("name").String("sweep");
+  w.Key("count").Int(3);
+  w.Key("ratio").Number(0.5);
+  w.Key("ok").Bool(true);
+  w.Key("items").BeginArray();
+  w.Number(1.0);
+  w.BeginObject();
+  w.Key("inner").Null();
+  w.EndObject();
+  w.EndArray();
+  w.Key("empty").BeginObject();
+  w.EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.ToString(),
+            "{\n"
+            "  \"name\": \"sweep\",\n"
+            "  \"count\": 3,\n"
+            "  \"ratio\": 0.5,\n"
+            "  \"ok\": true,\n"
+            "  \"items\": [\n"
+            "    1,\n"
+            "    {\n"
+            "      \"inner\": null\n"
+            "    }\n"
+            "  ],\n"
+            "  \"empty\": {}\n"
+            "}\n");
+}
+
+TEST(JsonWriterTest, EscapesStringsAndSerialisesNonFiniteAsNull) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("text").String("a\"b\\c\nd\te");
+  w.Key("nan").Number(std::nan(""));
+  w.Key("inf").Number(std::numeric_limits<double>::infinity());
+  w.EndObject();
+  const std::string json = w.ToString();
+  EXPECT_NE(json.find("\"a\\\"b\\\\c\\nd\\te\""), std::string::npos);
+  EXPECT_NE(json.find("\"nan\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"inf\": null"), std::string::npos);
 }
 
 TEST(CheckDeathTest, FailedCheckAborts) {

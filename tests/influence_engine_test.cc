@@ -80,9 +80,10 @@ TEST_P(TapePoolBitwise, PooledEqualsSerialReferenceAcrossLaneCounts) {
 }
 
 TEST_P(TapePoolBitwise, PooledEqualsSerialReferenceOnGat) {
-  // GAT's fused attention backward takes the dense (unknown-support) path —
-  // this pins down that the pool is still exact when sparsity propagation
-  // bails out.
+  // GAT's fused attention backward propagates per-edge row supports (the
+  // seeded destination rows and the union of their neighbour lists), so the
+  // pooled per-node path prunes to the seed's receptive field just like
+  // GCN's SpMM path — and must still match the serial reference bit for bit.
   la::ScopedBackend scoped(GetParam(), 3);
   EngineFixture fx(nn::ModelKind::kGat);
 
@@ -93,6 +94,54 @@ TEST_P(TapePoolBitwise, PooledEqualsSerialReferenceOnGat) {
   InfluenceConfig pooled_cfg;
   pooled_cfg.tape_pool_lanes = 3;
   ExpectBitwiseEqual(want, fx.PerNodeGrads(pooled_cfg));
+}
+
+TEST(EdgeSoftmaxSupportTest, SparseSeedEqualsDenseSeedBitwise) {
+  // Drives the fused GAT op directly: a sparse-seeded backward (known row
+  // support → support-pruned path) must reproduce a dense whole-matrix seed
+  // with the same nonzeros (unknown support → dense path) exactly, for every
+  // parent (h, attn_left, attn_right).
+  Rng rng(21);
+  const int n = 7;
+  const int heads = 2;
+  const int dim = 3;
+  auto edges = std::make_shared<ag::EdgeSet>();
+  edges->num_nodes = n;
+  edges->row_ptr.push_back(0);
+  for (int i = 0; i < n; ++i) {  // ring + self-loops
+    edges->col_idx.push_back(i);
+    edges->col_idx.push_back((i + 1) % n);
+    edges->col_idx.push_back((i + n - 1) % n);
+    edges->row_ptr.push_back(static_cast<int64_t>(edges->col_idx.size()));
+  }
+  ag::Parameter hp("h", ppfr::testing::RandomMatrix(n, heads * dim, &rng));
+  ag::Parameter lp("attn_l", ppfr::testing::RandomMatrix(n, heads, &rng));
+  ag::Parameter rp("attn_r", ppfr::testing::RandomMatrix(n, heads, &rng));
+  const std::vector<ag::Parameter*> params{&hp, &lp, &rp};
+
+  auto run = [&](bool sparse_seed) {
+    for (ag::Parameter* p : params) p->ZeroGrad();
+    ag::Tape tape;
+    ag::Var out = ag::EdgeSoftmaxAggregate(tape.Leaf(&hp), tape.Leaf(&lp),
+                                           tape.Leaf(&rp), edges, heads,
+                                           /*leaky_slope=*/0.2);
+    if (sparse_seed) {
+      tape.BackwardWithSparseSeed(out, {3, 3}, {2, 4}, {1.5, -0.5});
+    } else {
+      la::Matrix seed(n, heads * dim);
+      seed(3, 2) = 1.5;
+      seed(3, 4) = -0.5;
+      tape.BackwardWithSeed(out, seed);
+    }
+    return FlattenGrads(params);
+  };
+
+  const std::vector<double> sparse = run(true);
+  const std::vector<double> dense = run(false);
+  ASSERT_EQ(sparse.size(), dense.size());
+  for (size_t i = 0; i < sparse.size(); ++i) {
+    ASSERT_EQ(sparse[i], dense[i]) << "component " << i;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, TapePoolBitwise,

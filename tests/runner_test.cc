@@ -1,0 +1,394 @@
+// Tests for the scenario-runner subsystem: content-hash cache keys that are
+// stable across processes, stage-cached results that are bitwise identical
+// to cold runs, the parallel cell scheduler's parity with the serial order,
+// the "vanilla trains exactly once" trainer-invocation contract, and the
+// uniform JSON artifact schema.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "influence/param_vector.h"
+#include "nn/trainer.h"
+#include "runner/run_cache.h"
+#include "runner/runner.h"
+#include "runner/scenario.h"
+#include "test_util.h"
+
+namespace ppfr::runner {
+namespace {
+
+constexpr uint64_t kEnvSeed = 7;
+
+// A MethodConfig with every key-relevant field pinned explicitly, so the
+// key goldens depend only on the hash schema — not on the paper defaults.
+core::MethodConfig PinnedConfig() {
+  core::MethodConfig cfg;
+  cfg.train.epochs = 50;
+  cfg.train.lr = 0.05;
+  cfg.train.weight_decay = 1e-4;
+  cfg.train.sage_fanout = 4;
+  cfg.train.seed = 3;
+  cfg.lambda = 1e-3;
+  cfg.dp_epsilon = 2.0;
+  cfg.use_lap_graph = false;
+  cfg.pp_gamma = 0.25;
+  cfg.finetune_scale = 0.5;
+  cfg.finetune_epochs = 0;
+  cfg.finetune_lr = 2e-3;
+  cfg.fr.alpha = 0.8;
+  cfg.fr.beta = 0.2;
+  cfg.fr.zero_sum = true;
+  cfg.fr.influence.cg.damping = 0.02;
+  cfg.fr.influence.cg.max_iterations = 20;
+  cfg.fr.influence.cg.tolerance = 1e-6;
+  cfg.fr.influence.cg.hvp_step = 1e-4;
+  cfg.seed = 11;
+  return cfg;
+}
+
+core::ExperimentEnv IdentityOnlyEnv(data::DatasetId id, uint64_t env_seed) {
+  core::ExperimentEnv env;
+  env.id = id;
+  env.env_seed = env_seed;
+  return env;
+}
+
+// Small sweeps reuse one environment build per dataset across all tests.
+RunCache& SharedCache() {
+  static RunCache* cache = new RunCache();
+  return *cache;
+}
+
+Scenario Cell(data::DatasetId dataset, nn::ModelKind model, core::MethodKind method,
+              int epochs) {
+  Scenario cell{dataset, model, method, {}, ""};
+  cell.overrides.epochs = epochs;
+  return cell;
+}
+
+void ExpectEvalBitwiseEq(const core::EvalResult& a, const core::EvalResult& b) {
+  EXPECT_EQ(a.accuracy, b.accuracy);
+  EXPECT_EQ(a.bias, b.bias);
+  EXPECT_EQ(a.risk_auc, b.risk_auc);
+  EXPECT_EQ(a.delta_d, b.delta_d);
+}
+
+TEST(KeyHasherTest, GoldenValuesStableAcrossProcesses) {
+  // Content hashes must not involve addresses or iteration order; these
+  // literals pin the schema so any process, on any run, produces the same
+  // keys for the same logical inputs. Changing them is a cache-format break
+  // (update the literals deliberately if the key schema evolves).
+  const core::ExperimentEnv env = IdentityOnlyEnv(data::DatasetId::kCoraLike, 123);
+  const core::MethodConfig cfg = PinnedConfig();
+
+  EXPECT_EQ(RunCache::EnvKey(data::DatasetId::kCoraLike, 123),
+            0xcda4452e6213209eULL);
+  EXPECT_EQ(RunCache::VanillaKey(nn::ModelKind::kGcn, env, cfg),
+            0x6b4731a3f0028329ULL);
+  EXPECT_EQ(RunCache::DpKey(env, cfg), 0xdc379259979ac35fULL);
+  EXPECT_EQ(RunCache::PpKey(nn::ModelKind::kGcn, env, cfg), 0x0cea453f034b7143ULL);
+  EXPECT_EQ(RunCache::FrKey(nn::ModelKind::kGcn, env, cfg), 0xec87869b3493f788ULL);
+
+  // The namespace tags must actually namespace: stages whose remaining
+  // fields coincide still get distinct keys (guards the const char* → bool
+  // overload trap in KeyHasher::Mix).
+  EXPECT_NE(KeyHasher().Mix("env").hash(), KeyHasher().Mix("cell").hash());
+  EXPECT_NE(KeyHasher().Mix("env").hash(), KeyHasher().Mix(true).hash());
+}
+
+TEST(KeyHasherTest, KeysDistinguishStageInputs) {
+  const core::ExperimentEnv env = IdentityOnlyEnv(data::DatasetId::kCoraLike, 123);
+  const core::MethodConfig cfg = PinnedConfig();
+
+  // Rebuilding identical inputs reproduces the key.
+  EXPECT_EQ(RunCache::VanillaKey(nn::ModelKind::kGcn, env, cfg),
+            RunCache::VanillaKey(nn::ModelKind::kGcn,
+                                 IdentityOnlyEnv(data::DatasetId::kCoraLike, 123),
+                                 PinnedConfig()));
+
+  // Every identity and stage-prefix field separates keys.
+  EXPECT_NE(RunCache::EnvKey(data::DatasetId::kCoraLike, 123),
+            RunCache::EnvKey(data::DatasetId::kCoraLike, 124));
+  EXPECT_NE(RunCache::EnvKey(data::DatasetId::kCoraLike, 123),
+            RunCache::EnvKey(data::DatasetId::kCiteseerLike, 123));
+  EXPECT_NE(RunCache::VanillaKey(nn::ModelKind::kGcn, env, cfg),
+            RunCache::VanillaKey(nn::ModelKind::kGat, env, cfg));
+  core::MethodConfig other = cfg;
+  other.seed = 12;
+  EXPECT_NE(RunCache::VanillaKey(nn::ModelKind::kGcn, env, cfg),
+            RunCache::VanillaKey(nn::ModelKind::kGcn, env, other));
+  other = cfg;
+  other.train.epochs = 51;
+  EXPECT_NE(RunCache::VanillaKey(nn::ModelKind::kGcn, env, cfg),
+            RunCache::VanillaKey(nn::ModelKind::kGcn, env, other));
+  other = cfg;
+  other.dp_epsilon = 3.0;
+  EXPECT_NE(RunCache::DpKey(env, cfg), RunCache::DpKey(env, other));
+  other = cfg;
+  other.use_lap_graph = true;
+  EXPECT_NE(RunCache::DpKey(env, cfg), RunCache::DpKey(env, other));
+  other = cfg;
+  other.pp_gamma = 0.5;
+  EXPECT_NE(RunCache::PpKey(nn::ModelKind::kGcn, env, cfg),
+            RunCache::PpKey(nn::ModelKind::kGcn, env, other));
+  other = cfg;
+  other.fr.zero_sum = false;
+  EXPECT_NE(RunCache::FrKey(nn::ModelKind::kGcn, env, cfg),
+            RunCache::FrKey(nn::ModelKind::kGcn, env, other));
+
+  // The DP perturbation doesn't depend on the model or its training
+  // schedule (the cache shares one DP context across GCN/GAT/GraphSage
+  // cells), so train-prefix fields must not reach DpKey.
+  other = cfg;
+  other.train.epochs = 99;
+  other.train.lr = 0.5;
+  EXPECT_EQ(RunCache::DpKey(env, cfg), RunCache::DpKey(env, other));
+
+  // Cell keys hash the resolved config, never the display label.
+  Scenario a = Cell(data::DatasetId::kCoraLike, nn::ModelKind::kGcn,
+                    core::MethodKind::kPpFr, 50);
+  Scenario b = a;
+  b.label = "renamed";
+  EXPECT_EQ(RunCache::CellKey(a, 123), RunCache::CellKey(b, 123));
+  b = a;
+  b.overrides.finetune_epochs = 9;
+  EXPECT_NE(RunCache::CellKey(a, 123), RunCache::CellKey(b, 123));
+  EXPECT_NE(RunCache::CellKey(a, 123), RunCache::CellKey(a, 124));
+}
+
+TEST(RunCacheTest, CachedStagesBitwiseIdenticalToColdRuns) {
+  const auto env = SharedCache().Env(data::DatasetId::kEnzymesLike, kEnvSeed);
+  core::MethodConfig cfg =
+      core::DefaultMethodConfig(data::DatasetId::kEnzymesLike, nn::ModelKind::kGcn);
+  cfg.train.epochs = 8;
+
+  for (core::MethodKind method : {core::MethodKind::kDpFr, core::MethodKind::kPpFr}) {
+    SCOPED_TRACE(core::MethodName(method));
+    // Cold: the historical path — vanilla retrained inside the method run.
+    const core::MethodRun cold =
+        core::RunMethod(method, nn::ModelKind::kGcn, *env, cfg, nullptr);
+    // Warm: stages resumed from the shared cache (vanilla model, FR solve,
+    // DP/PP context all come out of the memo after the first method).
+    RunCache cache;
+    const core::MethodRun warm =
+        core::RunMethod(method, nn::ModelKind::kGcn, *env, cfg, &cache);
+    ExpectEvalBitwiseEq(cold.eval, warm.eval);
+    ASSERT_EQ(cold.fr_weights.size(), warm.fr_weights.size());
+    for (size_t i = 0; i < cold.fr_weights.size(); ++i) {
+      ASSERT_EQ(cold.fr_weights[i], warm.fr_weights[i]) << "weight " << i;
+    }
+    const std::vector<double> cold_params =
+        influence::FlattenValues(cold.model->Params());
+    const std::vector<double> warm_params =
+        influence::FlattenValues(warm.model->Params());
+    ASSERT_EQ(cold_params.size(), warm_params.size());
+    for (size_t i = 0; i < cold_params.size(); ++i) {
+      ASSERT_EQ(cold_params[i], warm_params[i]) << "param " << i;
+    }
+
+    // A second run through the same cache is a pure cell hit with identical
+    // results.
+    const core::MethodRun again =
+        core::RunMethod(method, nn::ModelKind::kGcn, *env, cfg, &cache);
+    ExpectEvalBitwiseEq(warm.eval, again.eval);
+  }
+}
+
+TEST(RunnerTest, Table4EquivalentSweepMatchesPreRefactorAndTrainsVanillaOnce) {
+  // A bench_table4-equivalent sweep (every method × two models on one
+  // dataset) through the runner must produce numerically identical tables to
+  // the pre-refactor per-method pipelines while training vanilla exactly
+  // once per (dataset, model, seed).
+  const int epochs = 8;
+  const std::vector<nn::ModelKind> models{nn::ModelKind::kGcn,
+                                          nn::ModelKind::kGraphSage};
+  Sweep sweep;
+  sweep.name = "table4_mini";
+  for (nn::ModelKind model : models) {
+    for (core::MethodKind method :
+         {core::MethodKind::kVanilla, core::MethodKind::kReg,
+          core::MethodKind::kDpReg, core::MethodKind::kDpFr,
+          core::MethodKind::kPpFr}) {
+      sweep.cells.push_back(
+          Cell(data::DatasetId::kEnzymesLike, model, method, epochs));
+    }
+  }
+
+  RunnerOptions opts;
+  opts.threads = 1;
+  opts.env_seed = kEnvSeed;
+  opts.verbose = false;
+  RunCache cache;
+  const int64_t trains_before = nn::TrainInvocationCount();
+  const SweepResult result = RunSweep(sweep, &cache, opts);
+  const int64_t trains = nn::TrainInvocationCount() - trains_before;
+
+  // Per model: 1 vanilla + 1 Reg + 1 DPReg + 2 fine-tunes = 5 Train calls.
+  // The pre-refactor path took 7: DPFR and PPFR each retrained their own
+  // vanilla (TrainFresh + Finetune = 2 Train calls apiece on top of the
+  // baseline's 3).
+  EXPECT_EQ(trains, static_cast<int64_t>(5 * models.size()));
+  EXPECT_EQ(result.trainer_invocations, trains);
+  EXPECT_EQ(result.cache_stats.vanilla.misses,
+            static_cast<int64_t>(models.size()));
+
+  // Numerically identical to the pre-refactor per-method pipelines.
+  const auto env = SharedCache().Env(data::DatasetId::kEnzymesLike, kEnvSeed);
+  for (nn::ModelKind model : models) {
+    core::MethodConfig cfg =
+        core::DefaultMethodConfig(data::DatasetId::kEnzymesLike, model);
+    cfg.train.epochs = epochs;
+    const core::MethodRun vanilla =
+        core::RunMethod(core::MethodKind::kVanilla, model, *env, cfg, nullptr);
+    for (const CellResult& cell : result.cells) {
+      if (cell.scenario.model != model) continue;
+      SCOPED_TRACE(std::string(nn::ModelKindName(model)) + "/" +
+                   core::MethodName(cell.scenario.method));
+      const core::MethodRun fresh =
+          core::RunMethod(cell.scenario.method, model, *env, cfg, nullptr);
+      ExpectEvalBitwiseEq(fresh.eval, cell.run->eval);
+      if (cell.scenario.method != core::MethodKind::kVanilla) {
+        const core::DeltaMetrics want = core::ComputeDeltas(fresh.eval, vanilla.eval);
+        EXPECT_EQ(want.d_acc, cell.delta.d_acc);
+        EXPECT_EQ(want.d_bias, cell.delta.d_bias);
+        EXPECT_EQ(want.d_risk, cell.delta.d_risk);
+        EXPECT_EQ(want.combined, cell.delta.combined);
+      }
+    }
+  }
+}
+
+TEST(SchedulerTest, ParallelCellsMatchSerialOrderBitwiseOn2x2x3Grid) {
+  const int epochs = 6;
+  Sweep sweep;
+  sweep.name = "grid_2x2x3";
+  for (data::DatasetId dataset :
+       {data::DatasetId::kEnzymesLike, data::DatasetId::kCreditLike}) {
+    for (nn::ModelKind model : {nn::ModelKind::kGcn, nn::ModelKind::kGraphSage}) {
+      for (core::MethodKind method : {core::MethodKind::kVanilla,
+                                      core::MethodKind::kReg,
+                                      core::MethodKind::kPpFr}) {
+        sweep.cells.push_back(Cell(dataset, model, method, epochs));
+      }
+    }
+  }
+
+  RunnerOptions serial_opts;
+  serial_opts.threads = 1;
+  serial_opts.env_seed = kEnvSeed;
+  serial_opts.verbose = false;
+  RunCache serial_cache;
+  const SweepResult serial = RunSweep(sweep, &serial_cache, serial_opts);
+
+  RunnerOptions parallel_opts = serial_opts;
+  parallel_opts.threads = 3;
+  RunCache parallel_cache;
+  const SweepResult parallel = RunSweep(sweep, &parallel_cache, parallel_opts);
+
+  ASSERT_EQ(serial.cells.size(), parallel.cells.size());
+  EXPECT_EQ(parallel.threads, 3);
+  for (size_t i = 0; i < serial.cells.size(); ++i) {
+    SCOPED_TRACE("cell " + std::to_string(i) + " " +
+                 serial.cells[i].scenario.DisplayLabel());
+    ExpectEvalBitwiseEq(serial.cells[i].run->eval, parallel.cells[i].run->eval);
+    EXPECT_EQ(serial.cells[i].delta.d_acc, parallel.cells[i].delta.d_acc);
+    EXPECT_EQ(serial.cells[i].delta.d_bias, parallel.cells[i].delta.d_bias);
+    EXPECT_EQ(serial.cells[i].delta.d_risk, parallel.cells[i].delta.d_risk);
+    EXPECT_EQ(serial.cells[i].delta.combined, parallel.cells[i].delta.combined);
+  }
+  // Both schedulers train each (dataset, model) vanilla exactly once.
+  EXPECT_EQ(serial.cache_stats.vanilla.misses, 4);
+  EXPECT_EQ(parallel.cache_stats.vanilla.misses, 4);
+}
+
+TEST(ArtifactTest, WritesUniformSchemaGolden) {
+  Sweep sweep;
+  sweep.name = "artifact_probe";
+  sweep.title = "artifact schema probe";
+  sweep.cells.push_back(Cell(data::DatasetId::kEnzymesLike, nn::ModelKind::kGcn,
+                             core::MethodKind::kVanilla, 2));
+  sweep.cells.push_back(Cell(data::DatasetId::kEnzymesLike, nn::ModelKind::kGcn,
+                             core::MethodKind::kReg, 2));
+
+  RunnerOptions opts;
+  opts.threads = 1;
+  opts.env_seed = kEnvSeed;
+  opts.verbose = false;
+  SweepResult result = RunSweep(sweep, &SharedCache(), opts);
+  result.cells[0].extra["probe_metric"] = 0.5;
+
+  const std::string dir = ::testing::TempDir();
+  const std::string path = WriteArtifact(result, dir);
+  EXPECT_EQ(path, dir + "/BENCH_artifact_probe.json");
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+
+  // The uniform schema every sweep artifact shares (CI diffs the same list
+  // against bench/golden/artifact_schema.txt).
+  for (const char* key :
+       {"\"schema_version\"", "\"sweep\"", "\"title\"", "\"backend\"",
+        "\"backend_threads\"", "\"runner_threads\"", "\"env_seed\"",
+        "\"wall_seconds\"", "\"trainer_invocations\"", "\"cache\"", "\"env\"",
+        "\"vanilla\"", "\"dp_context\"", "\"pp_context\"", "\"fr\"", "\"cell\"",
+        "\"hits\"", "\"misses\"", "\"cells\"", "\"dataset\"", "\"model\"",
+        "\"method\"", "\"label\"", "\"seconds\"", "\"cache_hit\"", "\"eval\"",
+        "\"accuracy\"", "\"bias\"", "\"risk_auc\"", "\"delta_d\"", "\"delta\"",
+        "\"d_acc\"", "\"d_bias\"", "\"d_risk\"", "\"combined\"", "\"extra\"",
+        "\"probe_metric\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "artifact missing " << key;
+  }
+  EXPECT_NE(json.find("\"sweep\": \"artifact_probe\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ScenarioTest, RegistryCoversEveryPaperSweep) {
+  for (const std::string& name : RegistrySweepNames()) {
+    const std::optional<Sweep> sweep = RegistrySweep(name);
+    ASSERT_TRUE(sweep.has_value()) << name;
+    EXPECT_FALSE(sweep->cells.empty()) << name;
+  }
+  EXPECT_FALSE(RegistrySweep("no_such_sweep").has_value());
+  // Aliases resolve to the same cells.
+  EXPECT_EQ(RegistrySweep("table5")->cells.size(),
+            RegistrySweep("weak-homophily")->cells.size());
+  EXPECT_EQ(RegistrySweep("fig6")->cells.size(),
+            RegistrySweep("ablation")->cells.size());
+}
+
+TEST(ScenarioTest, StarAndEmptyFiltersKeepEverything) {
+  const char* argv[] = {"prog", "--datasets=*", "--models="};
+  Flags flags(3, const_cast<char**>(argv));
+  Sweep sweep = *RegistrySweep("table4");
+  const size_t cells = sweep.cells.size();
+  ApplyFilters(flags, &sweep);
+  EXPECT_EQ(sweep.cells.size(), cells);
+}
+
+TEST(ScenarioTest, OverridesResolveOntoDefaults) {
+  Scenario cell = Cell(data::DatasetId::kCoraLike, nn::ModelKind::kGcn,
+                       core::MethodKind::kPpFr, 42);
+  cell.overrides.pp_gamma = 0.0;
+  cell.overrides.finetune_epochs = 9;
+  cell.overrides.fr_zero_sum = false;
+  const core::MethodConfig cfg = cell.ResolvedConfig();
+  EXPECT_EQ(cfg.train.epochs, 42);
+  EXPECT_EQ(cfg.pp_gamma, 0.0);
+  EXPECT_EQ(cfg.finetune_epochs, 9);
+  EXPECT_FALSE(cfg.fr.zero_sum);
+  EXPECT_EQ(core::FinetuneEpochs(cfg), 9);
+
+  core::MethodConfig scaled = cfg;
+  scaled.finetune_epochs = 0;
+  scaled.finetune_scale = 0.5;
+  EXPECT_EQ(core::FinetuneEpochs(scaled), 21);
+}
+
+}  // namespace
+}  // namespace ppfr::runner
