@@ -8,14 +8,17 @@
 //     evaluation versus the replayed ReusableLossGraph arena.
 // The pooled per-node gradients are verified BITWISE against the serial
 // reference before any timing is reported, and dense-buffer allocations are
-// counted via la::MatrixAllocCount.
+// counted via la::MatrixAllocCount. A third column times the pooled path
+// under the SimdBackend (with its own serial-vs-pooled bitwise gate), so the
+// artifact tracks the vector kernels' effect on per-node gradient throughput
+// alongside the CPU feature-detection result.
 //
-// Emits BENCH_influence.json for the cross-PR perf trajectory.
+// Emits BENCH_influence.json for the cross-PR perf trajectory (schema pinned
+// by bench/golden/artifact_schema.txt, section "influence").
 //
 //   ./bench_influence_engine --nodes=800 --degree=8 --train=96 --lanes=4
 //       --la_backend=parallel --la_threads=4
 
-#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -23,6 +26,7 @@
 
 #include "bench_util.h"
 #include "common/flags.h"
+#include "common/json_writer.h"
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
 #include "data/sbm.h"
@@ -31,6 +35,7 @@
 #include "influence/influence.h"
 #include "la/backend.h"
 #include "la/matrix.h"
+#include "la/simd_kernels.h"
 #include "nn/graph_context.h"
 #include "nn/models.h"
 #include "nn/trainer.h"
@@ -147,6 +152,26 @@ int Main(int argc, char** argv) {
   const bool bitwise = BitwiseEqual(serial.grads, pooled.grads);
   std::printf("per-node grads pooled-vs-serial bitwise: %s\n", bitwise ? "OK" : "FAIL");
 
+  // The same serial/pooled pair under the SimdBackend (same thread count),
+  // with its own bitwise gate — the pooled/serial invariant must hold under
+  // the vector kernels too. When the simd backend is already active, this
+  // would just repeat the rows above, so they are reused.
+  PathResult simd_serial = serial;
+  PathResult simd_pooled = pooled;
+  bool simd_bitwise = bitwise;
+  if (la::ActiveBackendKind() != la::BackendKind::kSimd) {
+    la::ScopedBackend scoped(la::BackendKind::kSimd,
+                             la::ActiveBackend().num_threads());
+    simd_serial =
+        TimePerNodeGrads(model.get(), ctx, split.train, data.labels, before, reps);
+    simd_pooled =
+        TimePerNodeGrads(model.get(), ctx, split.train, data.labels, after, reps);
+    simd_bitwise = BitwiseEqual(simd_serial.grads, simd_pooled.grads);
+    std::printf("per-node grads pooled-vs-serial bitwise (simd backend): %s\n",
+                simd_bitwise ? "OK" : "FAIL");
+  }
+  const bool simd_kernels_active = la::simd::KernelsUsable();
+
   const double cg_before = TimeBiasSolve(model.get(), ctx, split.train, data.labels,
                                          sim, before, reps);
   const double cg_after = TimeBiasSolve(model.get(), ctx, split.train, data.labels,
@@ -154,6 +179,7 @@ int Main(int argc, char** argv) {
 
   const double tput_serial = train_count / serial.seconds;
   const double tput_pooled = train_count / pooled.seconds;
+  const double tput_simd_pooled = train_count / simd_pooled.seconds;
 
   TablePrinter table({"Path", "PerNodeGrads ms", "nodes/s", "allocs", "CG ms"});
   table.AddRow({"serial reference (before)", TablePrinter::Num(serial.seconds * 1e3),
@@ -162,44 +188,52 @@ int Main(int argc, char** argv) {
   table.AddRow({"tape pool (after)", TablePrinter::Num(pooled.seconds * 1e3),
                 TablePrinter::Num(tput_pooled, 0), std::to_string(pooled.allocs),
                 TablePrinter::Num(cg_after * 1e3)});
+  table.AddRow({std::string("tape pool (simd") +
+                    (simd_kernels_active ? ")" : ", scalar fallback)"),
+                TablePrinter::Num(simd_pooled.seconds * 1e3),
+                TablePrinter::Num(tput_simd_pooled, 0),
+                std::to_string(simd_pooled.allocs), ""});
   table.AddSeparator();
   table.AddRow({"speedup", TablePrinter::Num(serial.seconds / pooled.seconds) + "x",
                 TablePrinter::Num(tput_pooled / tput_serial) + "x", "",
                 TablePrinter::Num(cg_before / cg_after) + "x"});
   table.Print();
 
-  const std::string json_path = flags.GetString("json", "BENCH_influence.json");
-  if (FILE* f = std::fopen(json_path.c_str(), "w")) {
-    std::fprintf(f,
-                 "{\n"
-                 "  \"nodes\": %d,\n"
-                 "  \"train\": %d,\n"
-                 "  \"backend\": \"%s\",\n"
-                 "  \"threads\": %d,\n"
-                 "  \"lanes\": %d,\n"
-                 "  \"per_node_grads_ms_serial\": %.3f,\n"
-                 "  \"per_node_grads_ms_pooled\": %.3f,\n"
-                 "  \"per_node_throughput_serial\": %.1f,\n"
-                 "  \"per_node_throughput_pooled\": %.1f,\n"
-                 "  \"per_node_speedup\": %.3f,\n"
-                 "  \"per_node_allocs_serial\": %" PRId64 ",\n"
-                 "  \"per_node_allocs_pooled\": %" PRId64 ",\n"
-                 "  \"cg_solve_ms_before\": %.3f,\n"
-                 "  \"cg_solve_ms_after\": %.3f,\n"
-                 "  \"cg_speedup\": %.3f,\n"
-                 "  \"bitwise_identical\": %s\n"
-                 "}\n",
-                 nodes, train_count, la::ActiveBackend().name().c_str(),
-                 la::ActiveBackend().num_threads(), lanes, serial.seconds * 1e3,
-                 pooled.seconds * 1e3, tput_serial, tput_pooled,
-                 serial.seconds / pooled.seconds, serial.allocs, pooled.allocs,
-                 cg_before * 1e3, cg_after * 1e3, cg_before / cg_after,
-                 bitwise ? "true" : "false");
-    std::fclose(f);
-    std::printf("wrote %s\n", json_path.c_str());
-  }
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("schema_version").Int(2);
+  json.Key("nodes").Int(nodes);
+  json.Key("train").Int(train_count);
+  json.Key("backend").String(la::ActiveBackend().name());
+  json.Key("threads").Int(la::ActiveBackend().num_threads());
+  json.Key("lanes").Int(lanes);
+  json.Key("per_node_grads_ms_serial").Number(serial.seconds * 1e3);
+  json.Key("per_node_grads_ms_pooled").Number(pooled.seconds * 1e3);
+  json.Key("per_node_throughput_serial").Number(tput_serial);
+  json.Key("per_node_throughput_pooled").Number(tput_pooled);
+  json.Key("per_node_speedup").Number(serial.seconds / pooled.seconds);
+  json.Key("per_node_allocs_serial").Int(serial.allocs);
+  json.Key("per_node_allocs_pooled").Int(pooled.allocs);
+  json.Key("cg_solve_ms_before").Number(cg_before * 1e3);
+  json.Key("cg_solve_ms_after").Number(cg_after * 1e3);
+  json.Key("cg_speedup").Number(cg_before / cg_after);
+  json.Key("bitwise_identical").Bool(bitwise);
+  // SimdBackend column + the feature-detection result it acted on.
+  json.Key("simd_cpu_avx2_fma").Bool(la::simd::CpuSupportsAvx2Fma());
+  json.Key("simd_cpu_avx512").Bool(la::simd::CpuSupportsAvx512());
+  json.Key("simd_kernels_active").Bool(simd_kernels_active);
+  json.Key("per_node_grads_ms_serial_simd").Number(simd_serial.seconds * 1e3);
+  json.Key("per_node_grads_ms_pooled_simd").Number(simd_pooled.seconds * 1e3);
+  json.Key("per_node_throughput_pooled_simd").Number(tput_simd_pooled);
+  json.Key("per_node_speedup_simd").Number(simd_serial.seconds / simd_pooled.seconds);
+  json.Key("bitwise_identical_simd").Bool(simd_bitwise);
+  json.EndObject();
 
-  return bitwise ? 0 : 1;
+  const std::string json_path = flags.GetString("json", "BENCH_influence.json");
+  WriteFileOrDie(json_path, json.ToString());
+  std::printf("wrote %s\n", json_path.c_str());
+
+  return bitwise && simd_bitwise ? 0 : 1;
 }
 
 }  // namespace ppfr

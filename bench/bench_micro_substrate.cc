@@ -4,11 +4,14 @@
 // the cost of every experiment binary in this repo.
 //
 // Before the google-benchmark suite runs, the binary prints a
-// reference-vs-parallel backend comparison per kernel and per thread count
-// (the BENCH trajectory for the la::Backend layer). Flags:
-//   --la_backend=reference|parallel --la_threads=N   backend for the BM_* suite
+// reference/parallel/simd backend comparison per kernel and per thread count
+// and emits it as BENCH_micro.json (the BENCH trajectory for the la::Backend
+// layer — per-kernel GFLOP/s across PRs; schema pinned by
+// bench/golden/artifact_schema.txt, section "micro"). Flags:
+//   --la_backend=reference|parallel|simd --la_threads=N   backend for BM_*
 //   --compare_reps=N        timing repetitions for the comparison (0 skips it)
 //   --compare_gemm_size=N   GEMM problem size (default 512, i.e. 512x512x512)
+//   --json=PATH             comparison artifact path (default BENCH_micro.json)
 
 #include <benchmark/benchmark.h>
 
@@ -17,10 +20,12 @@
 #include <string>
 #include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "autograd/ops.h"
 #include "common/flags.h"
+#include "common/json_writer.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
@@ -28,6 +33,7 @@
 #include "graph/graph_ops.h"
 #include "graph/jaccard.h"
 #include "la/backend.h"
+#include "la/simd_kernels.h"
 #include "nn/graph_context.h"
 #include "nn/models.h"
 #include "nn/trainer.h"
@@ -159,14 +165,18 @@ void BM_QclpSolve(benchmark::State& state) {
 BENCHMARK(BM_QclpSolve)->Arg(140)->Arg(500);
 
 // ---------------------------------------------------------------------------
-// Reference-vs-parallel backend comparison. Each kernel is timed on a
-// standalone ReferenceBackend and on ParallelBackend instances with
-// increasing thread counts; the table reports milliseconds and speedup.
+// Backend comparison. Each kernel is timed on a standalone ReferenceBackend
+// and on ParallelBackend/SimdBackend instances with increasing thread
+// counts; the table reports milliseconds, speedups over the reference loops
+// and the simd backend's GFLOP/s. The same numbers are emitted to
+// BENCH_micro.json so the kernel trajectory is tracked across PRs like the
+// influence and sweep artifacts.
 // ---------------------------------------------------------------------------
 
 struct CompareCase {
   std::string kernel;
   std::string shape;
+  double flops_per_call;
   std::function<void(const la::Backend&)> run;
 };
 
@@ -181,7 +191,9 @@ double TimeKernel(const la::Backend& backend, const CompareCase& cc, int reps) {
   return best_ms;
 }
 
-void PrintBackendComparison(const Flags& flags) {
+double Gflops(double flops, double ms) { return flops / (ms * 1e-3) / 1e9; }
+
+void RunBackendComparison(const Flags& flags) {
   const int reps = flags.GetInt("compare_reps", 3);
   if (reps <= 0) return;
   const int n = flags.GetInt("compare_gemm_size", 512);
@@ -205,55 +217,100 @@ void PrintBackendComparison(const Flags& flags) {
   for (auto& v : vx) v = rng.Normal();
   for (auto& v : vy) v = rng.Normal();
 
+  const double gemm_flops = 2.0 * n * n * n;
   const std::string nn_shape =
       std::to_string(n) + "x" + std::to_string(n) + "x" + std::to_string(n);
   std::vector<CompareCase> cases;
-  cases.push_back({"gemm", nn_shape,
+  cases.push_back({"gemm", nn_shape, gemm_flops,
                    [&](const la::Backend& be) { be.Gemm(a, b, &gemm_out); }});
-  cases.push_back({"gemm_transA", nn_shape,
+  cases.push_back({"gemm_transA", nn_shape, gemm_flops,
                    [&](const la::Backend& be) { be.GemmTransA(a, b, &gemm_out); }});
-  cases.push_back({"gemm_transB", nn_shape,
+  cases.push_back({"gemm_transB", nn_shape, gemm_flops,
                    [&](const la::Backend& be) { be.GemmTransB(a, b, &gemm_out); }});
   // Accumulates across repetitions on purpose: zeroing inside the timed
   // region would charge both backends a constant memset and dilute the ratio.
   cases.push_back({"spmm",
                    std::to_string(adj.rows()) + "x" + std::to_string(adj.cols()) +
                        " (" + std::to_string(adj.nnz()) + " nnz) x 64",
+                   2.0 * static_cast<double>(adj.nnz()) * 64,
                    [&](const la::Backend& be) {
                      be.SpmmAccum(adj, spmm_x, 1.0, &spmm_out);
                    }});
-  cases.push_back({"vec_axpy", std::to_string(vec_n),
+  cases.push_back({"vec_axpy", std::to_string(vec_n), 2.0 * vec_n,
                    [&](const la::Backend& be) {
                      be.VAxpy(0.5, vx.data(), vy.data(), vec_n);
                    }});
-  cases.push_back({"vec_dot", std::to_string(vec_n),
+  cases.push_back({"vec_dot", std::to_string(vec_n), 2.0 * vec_n,
                    [&](const la::Backend& be) {
                      double d = be.VDot(vx.data(), vy.data(), vec_n);
                      benchmark::DoNotOptimize(d);
                    }});
 
-  std::vector<std::string> header = {"Kernel", "Shape", "ref ms"};
-  for (int t : thread_counts) {
-    header.push_back("par@" + std::to_string(t) + " ms");
-    header.push_back("speedup@" + std::to_string(t));
-  }
-  TablePrinter table(std::move(header));
+  const bool simd_active = la::simd::KernelsUsable();
+
+  TablePrinter table({"Kernel", "Shape", "thr", "ref ms", "par ms", "par spd",
+                      "simd ms", "simd spd", "simd GFLOP/s"});
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("schema_version").Int(1);
+  json.Key("bench").String("micro");
+  json.Key("gemm_size").Int(n);
+  json.Key("reps").Int(reps);
+  json.Key("hardware_threads").Int(hw);
+  json.Key("simd_cpu_avx2_fma").Bool(la::simd::CpuSupportsAvx2Fma());
+  json.Key("simd_cpu_avx512").Bool(la::simd::CpuSupportsAvx512());
+  json.Key("simd_kernels_active").Bool(simd_active);
+  json.Key("kernels").BeginArray();
 
   const auto reference = la::MakeBackend(la::BackendKind::kReference, 1);
   for (const CompareCase& cc : cases) {
     const double ref_ms = TimeKernel(*reference, cc, reps);
-    std::vector<std::string> row = {cc.kernel, cc.shape, TablePrinter::Num(ref_ms, 2)};
-    for (int t : thread_counts) {
-      const auto parallel = la::MakeBackend(la::BackendKind::kParallel, t);
-      const double par_ms = TimeKernel(*parallel, cc, reps);
-      row.push_back(TablePrinter::Num(par_ms, 2));
-      row.push_back(TablePrinter::Num(ref_ms / par_ms, 2) + "x");
+    json.BeginObject();
+    json.Key("kernel").String(cc.kernel);
+    json.Key("shape").String(cc.shape);
+    json.Key("flops_per_call").Number(cc.flops_per_call);
+    json.Key("timings").BeginArray();
+    json.BeginObject();
+    json.Key("backend").String("reference");
+    json.Key("threads").Int(1);
+    json.Key("ms").Number(ref_ms);
+    json.Key("gflops").Number(Gflops(cc.flops_per_call, ref_ms));
+    json.EndObject();
+    for (const int t : thread_counts) {
+      const double par_ms =
+          TimeKernel(*la::MakeBackend(la::BackendKind::kParallel, t), cc, reps);
+      const double simd_ms =
+          TimeKernel(*la::MakeBackend(la::BackendKind::kSimd, t), cc, reps);
+      for (const auto& [name, ms] :
+           {std::pair<const char*, double>{"parallel", par_ms}, {"simd", simd_ms}}) {
+        json.BeginObject();
+        json.Key("backend").String(name);
+        json.Key("threads").Int(t);
+        json.Key("ms").Number(ms);
+        json.Key("gflops").Number(Gflops(cc.flops_per_call, ms));
+        json.EndObject();
+      }
+      table.AddRow({cc.kernel, cc.shape, std::to_string(t),
+                    TablePrinter::Num(ref_ms, 2), TablePrinter::Num(par_ms, 2),
+                    TablePrinter::Num(ref_ms / par_ms, 2) + "x",
+                    TablePrinter::Num(simd_ms, 2),
+                    TablePrinter::Num(ref_ms / simd_ms, 2) + "x",
+                    TablePrinter::Num(Gflops(cc.flops_per_call, simd_ms), 1)});
     }
-    table.AddRow(std::move(row));
+    json.EndArray().EndObject();
   }
-  std::printf("la::Backend comparison (best of %d reps; %d hardware threads)\n", reps,
-              hw);
+  json.EndArray().EndObject();
+
+  std::printf(
+      "la::Backend comparison (best of %d reps; %d hardware threads; "
+      "simd kernels %s: avx2+fma=%d avx512=%d)\n",
+      reps, hw, simd_active ? "active" : "fallback (scalar)",
+      la::simd::CpuSupportsAvx2Fma() ? 1 : 0, la::simd::CpuSupportsAvx512() ? 1 : 0);
   table.Print();
+
+  const std::string json_path = flags.GetString("json", "BENCH_micro.json");
+  WriteFileOrDie(json_path, json.ToString());
+  std::printf("wrote %s\n", json_path.c_str());
 }
 
 }  // namespace
@@ -261,14 +318,14 @@ void PrintBackendComparison(const Flags& flags) {
 int main(int argc, char** argv) {
   const ppfr::Flags flags(argc, argv);
   ppfr::la::ConfigureBackendFromFlags(flags);
-  PrintBackendComparison(flags);
+  RunBackendComparison(flags);
   // Hand google-benchmark an argv without this binary's own flags so its
   // unrecognized-argument guard still catches misspelled --benchmark_* args.
   std::vector<char*> bench_argv;
   for (int i = 0; i < argc; ++i) {
     const std::string_view arg(argv[i]);
     if (arg.starts_with("--la_backend") || arg.starts_with("--la_threads") ||
-        arg.starts_with("--compare_")) {
+        arg.starts_with("--compare_") || arg.starts_with("--json")) {
       continue;
     }
     bench_argv.push_back(argv[i]);

@@ -1,13 +1,21 @@
 #!/usr/bin/env python3
-"""Prints the sorted key-path schema of a BENCH_<sweep>.json artifact.
+"""Key-path schema tooling for the BENCH_*.json artifacts.
 
-CI diffs this against bench/golden/artifact_schema.txt so a schema change is
-a deliberate golden update, never an accident. Bench-specific `extra` cell
-metrics are excluded — they are allowed to vary per sweep.
+CI diffs each artifact's schema against its named section of
+bench/golden/artifact_schema.txt, so a schema change is a deliberate golden
+update, never an accident. Bench-specific `extra` cell metrics are excluded —
+they are allowed to vary per sweep.
 
-Usage: extract_schema.py BENCH_smoke.json
+Usage:
+  extract_schema.py ARTIFACT.json
+      Print the artifact's sorted key-path schema (for regenerating goldens).
+  extract_schema.py ARTIFACT.json --golden GOLDEN --section NAME
+      Diff the artifact's schema against the named golden section; prints a
+      unified diff and exits non-zero on mismatch.
 """
 
+import argparse
+import difflib
 import json
 import sys
 
@@ -23,10 +31,57 @@ def walk(node, prefix, out):
             walk(value, prefix + "[]", out)
 
 
-def main():
+def artifact_schema(path):
     keys = set()
-    walk(json.load(open(sys.argv[1])), "", keys)
-    print("\n".join(sorted(k for k in keys if ".extra" not in k)))
+    with open(path) as f:
+        walk(json.load(f), "", keys)
+    return sorted(k for k in keys if ".extra" not in k)
+
+
+def golden_section(path, name):
+    """Parses `# section: <name>` delimited blocks; blank/comment lines are
+    ignored inside a section."""
+    sections = {}
+    current = None
+    with open(path) as f:
+        for raw in f:
+            line = raw.rstrip("\n")
+            if line.startswith("# section: "):
+                current = line[len("# section: "):].strip()
+                sections[current] = []
+            elif not line or line.startswith("#"):
+                continue
+            elif current is not None:
+                sections[current].append(line)
+    if name not in sections:
+        sys.exit(f"{path} has no '# section: {name}' "
+                 f"(found: {', '.join(sorted(sections)) or 'none'})")
+    return sections[name]
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("artifact")
+    parser.add_argument("--golden", help="golden schema file with sections")
+    parser.add_argument("--section", help="section name inside --golden")
+    args = parser.parse_args()
+    if bool(args.golden) != bool(args.section):
+        parser.error("--golden and --section must be used together")
+
+    got = artifact_schema(args.artifact)
+    if not args.golden:
+        print("\n".join(got))
+        return
+
+    want = golden_section(args.golden, args.section)
+    if got == want:
+        print(f"{args.artifact}: schema matches section '{args.section}'")
+        return
+    sys.stdout.writelines(
+        difflib.unified_diff([l + "\n" for l in want], [l + "\n" for l in got],
+                             fromfile=f"{args.golden}#{args.section}",
+                             tofile=args.artifact))
+    sys.exit(1)
 
 
 if __name__ == "__main__":

@@ -26,6 +26,11 @@ namespace ppfr::la {
 //     correctness oracle for tests and as the small-problem fallback.
 //   * ParallelBackend  — cache-blocked GEMM with packed operands,
 //     multi-threaded via common/thread_pool.h, and row-partitioned CSR SpMM.
+//   * SimdBackend      — the ParallelBackend dispatch/blocking layer with
+//     AVX2+FMA register micro-kernels (la/simd_kernels.h) swapped in as the
+//     leaf kernels; CPU features are probed at construction and any missing
+//     capability (or PPFR_SIMD_DISABLE=1) falls back to the scalar leaf
+//     kernels per-routine, so the binary builds and runs everywhere.
 //
 // Threading contract: kernels fan work out across the pool internally, but
 // must be *invoked* from a single orchestration thread at a time (the
@@ -38,6 +43,10 @@ class Backend {
 
   virtual std::string name() const = 0;
   virtual int num_threads() const { return 1; }
+  // True when this backend actually executes SIMD leaf kernels (i.e. it is a
+  // SimdBackend AND the runtime feature probe passed AND the operator did not
+  // force the fallback). Bench artifacts record this next to the timings.
+  virtual bool simd_active() const { return false; }
 
   // Dense GEMM family. `out` must be preallocated to the result shape; the
   // kernels overwrite it.
@@ -65,6 +74,28 @@ class Backend {
   virtual void SpmmAccum(const CsrMatrix& a, const Matrix& x, double alpha,
                          Matrix* out) const = 0;
 
+  // Support-guided row-subset kernels behind the seeded-backward row-support
+  // machinery (autograd GradRefPartial; see matrix.h / csr_matrix.h for the
+  // shape contracts, which the free-function wrappers check). The base-class
+  // implementations are the serial scalar loops — the correct choice for the
+  // small supports a per-node backward produces; ParallelBackend and
+  // SimdBackend override them with threshold-gated threading and vectorized
+  // inner loops for large supports (dense graphs), keeping the serial path
+  // as the small-support fallback.
+  //
+  // out(r, :) += g(r, :) · bᵀ for r in rows.   g: (m,n), b: (k,n), out: (m,k).
+  virtual void GemmTransBAccumRows(const Matrix& g, const Matrix& b, Matrix* out,
+                                   const std::vector<int>& rows) const;
+  // out += Σ_{r in rows} a(r, :)ᵀ ⊗ g(r, :).   a: (m,k), g: (m,n), out: (k,n).
+  virtual void GemmTransAAccumRows(const Matrix& a, const Matrix& g, Matrix* out,
+                                   const std::vector<int>& rows) const;
+  // Row-subset SpMM accumulate (CsrMatrix::MultiplyAccumRows): for r in rows,
+  // out(r, :) += alpha * Σ_k a(r, k) x(k, :), skipping x rows that
+  // `x_row_nonzero` (empty = unknown) marks as zero.
+  virtual void SpmmAccumRows(const CsrMatrix& a, const Matrix& x, double alpha,
+                             Matrix* out, const std::vector<int>& rows,
+                             const std::vector<uint8_t>& x_row_nonzero) const;
+
   // Flat-vector kernels (parameter vectors in the influence machinery, and
   // Matrix::Axpy/Scale over the contiguous buffer).
   virtual double VDot(const double* a, const double* b, int64_t n) const = 0;
@@ -72,7 +103,7 @@ class Backend {
   virtual void VScale(double alpha, double* x, int64_t n) const = 0;
 };
 
-enum class BackendKind { kReference, kParallel };
+enum class BackendKind { kReference, kParallel, kSimd };
 
 std::string BackendKindName(BackendKind kind);
 
@@ -81,16 +112,18 @@ std::string BackendKindName(BackendKind kind);
 std::unique_ptr<Backend> MakeBackend(BackendKind kind, int num_threads);
 
 // Process-wide active backend. On first use it is initialised from the
-// PPFR_LA_BACKEND ("reference"|"parallel") and PPFR_LA_THREADS environment
-// variables, defaulting to the parallel backend with one thread per core.
+// PPFR_LA_BACKEND ("reference"|"parallel"|"simd") and PPFR_LA_THREADS
+// environment variables, defaulting to the parallel backend with one thread
+// per core.
 Backend& ActiveBackend();
 BackendKind ActiveBackendKind();
 
 // Replaces the active backend. num_threads <= 0 selects hardware_concurrency.
 void SetActiveBackend(BackendKind kind, int num_threads = 0);
 
-// Applies --la_backend=reference|parallel and --la_threads=N command-line
-// flags (bench/example binaries call this right after parsing Flags).
+// Applies --la_backend=reference|parallel|simd and --la_threads=N
+// command-line flags (bench/example binaries call this right after parsing
+// Flags).
 void ConfigureBackendFromFlags(const Flags& flags);
 
 // Thread-local backend override, consulted by ActiveBackend() before the

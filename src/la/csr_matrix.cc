@@ -72,23 +72,10 @@ void CsrMatrix::MultiplyAccumRows(const Matrix& x, double alpha, Matrix* out,
   PPFR_CHECK_EQ(cols_, x.rows());
   PPFR_CHECK_EQ(out->rows(), rows_);
   PPFR_CHECK_EQ(out->cols(), x.cols());
-  const bool masked = !x_row_nonzero.empty();
-  if (masked) {
+  if (!x_row_nonzero.empty()) {
     PPFR_CHECK_GE(static_cast<int>(x_row_nonzero.size()), x.rows());
   }
-  const int n = x.cols();
-  for (int r : rows) {
-    PPFR_DCHECK_GE(r, 0);
-    PPFR_DCHECK_LT(r, rows_);
-    double* out_row = out->row(r);
-    for (int64_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      const int c = col_idx_[k];
-      if (masked && !x_row_nonzero[c]) continue;
-      const double w = alpha * values_[k];
-      const double* x_row = x.row(c);
-      for (int j = 0; j < n; ++j) out_row[j] += w * x_row[j];
-    }
-  }
+  ActiveBackend().SpmmAccumRows(*this, x, alpha, out, rows, x_row_nonzero);
 }
 
 CsrMatrix CsrMatrix::Transposed() const {

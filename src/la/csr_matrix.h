@@ -51,10 +51,11 @@ class CsrMatrix {
   void MultiplyAccum(const Matrix& x, double alpha, Matrix* out) const;
 
   // Row-subset variant: accumulates only the output rows listed in `rows`
-  // (each computed exactly as MultiplyAccum would). Serial by design — the
-  // autograd row-support machinery calls this with the small nonzero-row
-  // support of a seeded backward pass, where threading would cost more than
-  // the arithmetic.
+  // (distinct indices, each computed exactly as MultiplyAccum would).
+  // Dispatches through the active backend: the autograd row-support
+  // machinery usually passes the small nonzero-row support of a seeded
+  // backward pass, which stays on the serial path, while large supports get
+  // threshold-gated threading and SIMD inner loops.
   //
   // `x_row_nonzero` (sized >= x.rows(), or empty for "unknown") marks the
   // rows of x that may be nonzero; entries pointing at an unmarked row are

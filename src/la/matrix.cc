@@ -145,16 +145,7 @@ void GemmTransBAccumRows(const Matrix& g, const Matrix& b, Matrix* out,
   PPFR_CHECK_EQ(g.cols(), b.cols());
   PPFR_CHECK_EQ(out->rows(), g.rows());
   PPFR_CHECK_EQ(out->cols(), b.rows());
-  for (int r : rows) {
-    const double* g_row = g.row(r);
-    double* out_row = out->row(r);
-    for (int j = 0; j < b.rows(); ++j) {
-      const double* b_row = b.row(j);
-      double s = 0.0;
-      for (int c = 0; c < g.cols(); ++c) s += g_row[c] * b_row[c];
-      out_row[j] += s;
-    }
-  }
+  ActiveBackend().GemmTransBAccumRows(g, b, out, rows);
 }
 
 void GemmTransAAccumRows(const Matrix& a, const Matrix& g, Matrix* out,
@@ -162,16 +153,7 @@ void GemmTransAAccumRows(const Matrix& a, const Matrix& g, Matrix* out,
   PPFR_CHECK_EQ(a.rows(), g.rows());
   PPFR_CHECK_EQ(out->rows(), a.cols());
   PPFR_CHECK_EQ(out->cols(), g.cols());
-  for (int r : rows) {
-    const double* a_row = a.row(r);
-    const double* g_row = g.row(r);
-    for (int i = 0; i < a.cols(); ++i) {
-      const double ari = a_row[i];
-      if (ari == 0.0) continue;
-      double* out_row = out->row(i);
-      for (int j = 0; j < g.cols(); ++j) out_row[j] += ari * g_row[j];
-    }
-  }
+  ActiveBackend().GemmTransAAccumRows(a, g, out, rows);
 }
 
 Matrix SoftmaxRows(const Matrix& logits) {

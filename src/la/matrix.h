@@ -129,9 +129,11 @@ Matrix Hadamard(const Matrix& a, const Matrix& b);
 double Dot(const Matrix& a, const Matrix& b);
 
 // Row-subset GEMM accumulators used by the sparsity-propagating seeded
-// backward (autograd row-support machinery). Both are deliberately serial:
-// `rows` is the small nonzero-row support of a gradient, so the subset work
-// is far below any threading cutoff.
+// backward (autograd row-support machinery). Both dispatch through the
+// active backend: `rows` (distinct indices — a nonzero-row support) is
+// usually tiny, so the serial loops stay the base path, but large supports
+// (dense graphs) get threshold-gated threading and SIMD inner loops under
+// the parallel/simd backends.
 //
 // out(r, :) += g(r, :) · bᵀ for r in rows.   g: (m,n), b: (k,n), out: (m,k).
 void GemmTransBAccumRows(const Matrix& g, const Matrix& b, Matrix* out,

@@ -146,7 +146,8 @@ TEST(EdgeSoftmaxSupportTest, SparseSeedEqualsDenseSeedBitwise) {
 
 INSTANTIATE_TEST_SUITE_P(Backends, TapePoolBitwise,
                          ::testing::Values(la::BackendKind::kReference,
-                                           la::BackendKind::kParallel),
+                                           la::BackendKind::kParallel,
+                                           la::BackendKind::kSimd),
                          [](const ::testing::TestParamInfo<la::BackendKind>& info) {
                            return la::BackendKindName(info.param);
                          });
