@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   std::printf("(smaller AUC = better privacy; the paper observes AUC increases\n");
   std::printf(" when fairness is promoted)\n\n");
 
-  runner::RunCache cache;
+  runner::RunCache cache(bench::RunCacheDir(flags));
   runner::SweepResult result =
       runner::RunSweep(sweep, &cache, bench::RunnerOptionsFromFlags(flags));
 
@@ -68,8 +68,6 @@ int main(int argc, char** argv) {
                 kinds.size());
   }
 
-  const std::string path =
-      runner::WriteArtifact(result, flags.GetString("json_dir", "."));
-  std::printf("wrote %s\n", path.c_str());
+  bench::EmitArtifact(flags, result);
   return 0;
 }

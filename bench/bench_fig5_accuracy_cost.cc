@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
 
   std::printf("Fig. 5 — accuracy cost dAcc (%%) per method (higher = better)\n\n");
 
-  runner::RunCache cache;
+  runner::RunCache cache(bench::RunCacheDir(flags));
   const runner::SweepResult result = bench::RunAndEmit(flags, sweep, &cache);
 
   for (nn::ModelKind kind : bench::ModelsIn(result)) {

@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
 
   std::printf("Fig. 6 — PPFR ablation on (CoraLike, GAT)\n\n");
 
-  runner::RunCache cache;
+  runner::RunCache cache(bench::RunCacheDir(flags));
   const runner::SweepResult result = bench::RunAndEmit(flags, sweep, &cache);
 
   const core::EvalResult& vanilla_eval =

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
 
   std::printf("Fig. 7 — accuracy cost dAcc (%%) on GraphSAGE (higher = better)\n\n");
 
-  runner::RunCache cache;
+  runner::RunCache cache(bench::RunCacheDir(flags));
   const runner::SweepResult result = bench::RunAndEmit(flags, sweep, &cache);
 
   std::vector<std::string> header{"Dataset", "Vanilla Acc%"};

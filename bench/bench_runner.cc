@@ -27,15 +27,16 @@ int main(int argc, char** argv) {
   std::printf("sweep %s — %s (%zu cells)\n\n", sweep.name.c_str(),
               sweep.title.c_str(), sweep.cells.size());
 
-  runner::RunCache cache;
+  runner::RunCache cache(bench::RunCacheDir(flags));
   const runner::SweepResult result = bench::RunAndEmit(flags, sweep, &cache);
 
-  TablePrinter table({"Dataset", "Model", "Cell", "Acc%", "Bias", "Risk AUC",
-                      "dAcc%", "dBias%", "dRisk%", "D", "sec"});
+  TablePrinter table({"Dataset", "Model", "Cell", "Seed", "Acc%", "Bias",
+                      "Risk AUC", "dAcc%", "dBias%", "dRisk%", "D", "sec"});
   for (const runner::CellResult& cell : result.cells) {
     const bool vanilla = cell.scenario.method == core::MethodKind::kVanilla;
     table.AddRow({data::DatasetName(cell.scenario.dataset),
                   nn::ModelKindName(cell.scenario.model), cell.scenario.DisplayLabel(),
+                  std::to_string(cell.seed),
                   TablePrinter::Num(100.0 * cell.run->eval.accuracy),
                   TablePrinter::Num(cell.run->eval.bias, 4),
                   TablePrinter::Num(cell.run->eval.risk_auc, 4),
@@ -47,16 +48,42 @@ int main(int argc, char** argv) {
   }
   table.Print();
 
+  // Cross-seed mean ± stddev per logical cell (the numbers the paper's
+  // tables actually report) whenever the sweep was seed-expanded.
+  if (result.seeds.size() > 1) {
+    std::printf("\naggregates over %zu seeds (mean +/- stddev):\n",
+                result.seeds.size());
+    TablePrinter agg_table(
+        {"Dataset", "Model", "Cell", "Acc%", "+/-", "Bias", "+/-", "Risk AUC", "+/-"});
+    for (const runner::CellAggregate& g : runner::AggregateCells(result)) {
+      agg_table.AddRow(
+          {data::DatasetName(g.scenario.dataset), nn::ModelKindName(g.scenario.model),
+           g.scenario.DisplayLabel(),
+           TablePrinter::Num(100.0 * g.metrics.at("accuracy").mean),
+           TablePrinter::Num(100.0 * g.metrics.at("accuracy").stddev),
+           TablePrinter::Num(g.metrics.at("bias").mean, 4),
+           TablePrinter::Num(g.metrics.at("bias").stddev, 4),
+           TablePrinter::Num(g.metrics.at("risk_auc").mean, 4),
+           TablePrinter::Num(g.metrics.at("risk_auc").stddev, 4)});
+    }
+    agg_table.Print();
+  }
+
   const runner::RunCache::Stats stats = cache.stats();
   std::printf(
-      "\n%zu cells in %.1fs (%d runner threads) — vanilla trains %lld, "
-      "stage hits: vanilla %lld, dp %lld, pp %lld, fr %lld, cell %lld\n",
+      "\n%zu cells in %.1fs (%d runner threads) — vanilla trains %lld "
+      "(+%lld from disk), stage hits: vanilla %lld, dp %lld, pp %lld, "
+      "fr %lld, cell %lld, disk loads %lld\n",
       result.cells.size(), result.wall_seconds, result.threads,
-      static_cast<long long>(stats.vanilla.misses),
+      static_cast<long long>(stats.vanilla.misses - stats.vanilla.disk_hits),
+      static_cast<long long>(stats.vanilla.disk_hits),
       static_cast<long long>(stats.vanilla.hits),
       static_cast<long long>(stats.dp_context.hits),
       static_cast<long long>(stats.pp_context.hits),
       static_cast<long long>(stats.fr.hits),
-      static_cast<long long>(stats.cell.hits));
+      static_cast<long long>(stats.cell.hits),
+      static_cast<long long>(stats.vanilla.disk_hits + stats.dp_context.disk_hits +
+                             stats.pp_context.disk_hits + stats.fr.disk_hits +
+                             stats.cell.disk_hits));
   return 0;
 }

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   std::printf("(|r| < 0.3 or r < 0 indicates fairness/privacy inconformity in the\n");
   std::printf(" reweighting space; the paper reports mixed signs across cells)\n\n");
 
-  runner::RunCache cache;
+  runner::RunCache cache(bench::RunCacheDir(flags));
   runner::SweepResult result = runner::RunSweep(sweep, &cache, opts);
 
   // Influence correlations on the cached vanilla models — the dominant cost
@@ -75,8 +75,6 @@ int main(int argc, char** argv) {
   }
   table.Print();
 
-  const std::string path =
-      runner::WriteArtifact(result, flags.GetString("json_dir", "."));
-  std::printf("wrote %s\n", path.c_str());
+  bench::EmitArtifact(flags, result);
   return 0;
 }

@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
 
   std::printf("Table III — accuracy and bias of GCN, Vanilla vs Reg\n\n");
 
-  runner::RunCache cache;
+  runner::RunCache cache(bench::RunCacheDir(flags));
   const runner::SweepResult result = bench::RunAndEmit(flags, sweep, &cache);
 
   TablePrinter table({"Datasets", "Methods", "Acc (up)", "Bias (down)"});

@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
   std::printf("(smaller Δbias = fairer, smaller Δrisk = more private,\n");
   std::printf(" larger positive Δ = better fairness/privacy balance)\n\n");
 
-  runner::RunCache cache;
+  runner::RunCache cache(bench::RunCacheDir(flags));
   const runner::SweepResult result = bench::RunAndEmit(flags, sweep, &cache);
 
   const auto models = bench::ModelsIn(result);

@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
 
   std::printf("Table V — GCN on weak-homophily datasets (all values %%, Δ raw)\n\n");
 
-  runner::RunCache cache;
+  runner::RunCache cache(bench::RunCacheDir(flags));
   const runner::SweepResult result = bench::RunAndEmit(flags, sweep, &cache);
 
   TablePrinter table(

@@ -26,8 +26,29 @@ namespace ppfr::bench {
 
 // Flags every runner-driven bench binary understands.
 inline std::vector<std::string> CommonFlagNames() {
-  return {"datasets", "models",         "epochs",   "seed",    "env_seed",
-          "la_backend", "la_threads",   "runner_threads", "json_dir"};
+  return {"datasets",   "models",     "epochs",         "seed",
+          "seeds",      "env_seed",   "la_backend",     "la_threads",
+          "runner_threads", "json_dir", "run_cache_dir", "stable_artifact"};
+}
+
+// Directory for the disk-persisted run cache: --run_cache_dir= beats the
+// PPFR_RUN_CACHE_DIR environment variable; absent (the default) keeps the
+// cache in-memory only. A bare `--run_cache_dir` (which Flags stores as
+// "true") or an empty value is a malformed request for caching, not a
+// request for a directory named "true" — die naming the flag.
+inline std::string RunCacheDir(const Flags& flags) {
+  if (flags.Has("run_cache_dir")) {
+    const std::string dir = flags.GetString("run_cache_dir", "");
+    if (dir.empty() || dir == "true") {
+      std::fprintf(stderr,
+                   "--run_cache_dir wants a directory path "
+                   "(e.g. --run_cache_dir=.ppfr-cache)\n");
+      std::exit(2);
+    }
+    return dir;
+  }
+  const char* env = std::getenv("PPFR_RUN_CACHE_DIR");
+  return env == nullptr ? std::string{} : std::string(env);
 }
 
 // Rejects flags outside `known` with a usage listing and exits — a typo
@@ -74,14 +95,38 @@ inline runner::Sweep BenchSweep(const Flags& flags, const std::string& name) {
   return *std::move(sweep);
 }
 
-// Runs the sweep and emits its artifact into --json_dir (default ".").
+// Writes the sweep artifact into --json_dir (default "."), honouring
+// --stable_artifact (zeroes the run-varying fields — timings, cache
+// counters — so repeated runs with identical results produce identical
+// files). Every bench that writes an artifact must come through here so the
+// flag is never silently ignored.
+inline std::string EmitArtifact(const Flags& flags,
+                                const runner::SweepResult& result) {
+  runner::ArtifactOptions artifact;
+  artifact.stable = flags.GetBool("stable_artifact", false);
+  const std::string path =
+      runner::WriteArtifact(result, flags.GetString("json_dir", "."), artifact);
+  std::printf("wrote %s\n", path.c_str());
+  // The bespoke paper tables address cells by (dataset, model, method) and
+  // therefore show the FIRST seed instance; under a seed list, say so and
+  // point at the aggregated numbers instead of letting a single-seed slice
+  // read as the paper's averaged table.
+  if (result.seeds.size() > 1) {
+    std::printf(
+        "note: %zu seed instances per cell ran; any per-cell table above may "
+        "show the first seed only — cross-seed mean/stddev per metric are in "
+        "the artifact's 'aggregates'\n",
+        result.seeds.size());
+  }
+  return path;
+}
+
+// Runs the sweep and emits its artifact (see EmitArtifact).
 inline runner::SweepResult RunAndEmit(const Flags& flags, const runner::Sweep& sweep,
                                       runner::RunCache* cache) {
   runner::SweepResult result =
       runner::RunSweep(sweep, cache, RunnerOptionsFromFlags(flags));
-  const std::string path =
-      runner::WriteArtifact(result, flags.GetString("json_dir", "."));
-  std::printf("wrote %s\n", path.c_str());
+  EmitArtifact(flags, result);
   return result;
 }
 

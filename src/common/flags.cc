@@ -1,9 +1,72 @@
 #include "common/flags.h"
 
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <string_view>
 
 namespace ppfr {
+namespace {
+
+// All strict parsers share the shape: reject leading whitespace (strtoX
+// would skip it, letting " -1" smuggle a sign past any first-character
+// check), reset errno, parse with an end pointer, then reject (a) nothing
+// consumed, (b) trailing garbage, and (c) out-of-range values.
+// `--seed=12abc` and `--epochs=99999999999999` must never silently truncate
+// into a plausible number.
+
+bool LeadingWhitespace(const std::string& s) {
+  return std::isspace(static_cast<unsigned char>(s[0])) != 0;
+}
+
+[[noreturn]] void DieBadFlag(const std::string& name, const std::string& value,
+                             const char* why) {
+  std::fprintf(stderr, "invalid value for --%s: '%s' (%s)\n", name.c_str(),
+               value.c_str(), why);
+  std::exit(2);
+}
+
+}  // namespace
+
+bool ParseInt64Strict(const std::string& s, int64_t* out) {
+  if (s.empty() || LeadingWhitespace(s)) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || errno == ERANGE) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool ParseUint64Strict(const std::string& s, uint64_t* out) {
+  if (s.empty() || LeadingWhitespace(s)) return false;
+  // strtoull happily parses "-1" as ULLONG_MAX; a sign has no business in an
+  // unsigned flag.
+  if (s[0] == '-' || s[0] == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0' || errno == ERANGE) return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+bool ParseDoubleStrict(const std::string& s, double* out) {
+  if (s.empty() || LeadingWhitespace(s)) return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') return false;
+  // Non-finite results are garbage flags whether they came from overflow
+  // ("1e999") or from strtod's literal forms ("inf", "nan") — a NaN/Inf
+  // config value would poison a whole sweep. Gradual underflow to a
+  // subnormal (ERANGE on some libcs) is a representable value and fine.
+  if (!std::isfinite(v)) return false;
+  *out = v;
+  return true;
+}
 
 Flags::Flags(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
@@ -28,23 +91,42 @@ std::string Flags::GetString(const std::string& name, const std::string& def) co
 
 int Flags::GetInt(const std::string& name, int def) const {
   auto it = values_.find(name);
-  return it == values_.end() ? def : std::atoi(it->second.c_str());
+  if (it == values_.end()) return def;
+  int64_t v = 0;
+  if (!ParseInt64Strict(it->second, &v) ||
+      v < std::numeric_limits<int>::min() || v > std::numeric_limits<int>::max()) {
+    DieBadFlag(name, it->second, "want an integer in int range");
+  }
+  return static_cast<int>(v);
 }
 
 uint64_t Flags::GetUint64(const std::string& name, uint64_t def) const {
   auto it = values_.find(name);
-  return it == values_.end() ? def : std::strtoull(it->second.c_str(), nullptr, 10);
+  if (it == values_.end()) return def;
+  uint64_t v = 0;
+  if (!ParseUint64Strict(it->second, &v)) {
+    DieBadFlag(name, it->second, "want an unsigned 64-bit integer");
+  }
+  return v;
 }
 
 double Flags::GetDouble(const std::string& name, double def) const {
   auto it = values_.find(name);
-  return it == values_.end() ? def : std::atof(it->second.c_str());
+  if (it == values_.end()) return def;
+  double v = 0.0;
+  if (!ParseDoubleStrict(it->second, &v)) {
+    DieBadFlag(name, it->second, "want a finite-range decimal number");
+  }
+  return v;
 }
 
 bool Flags::GetBool(const std::string& name, bool def) const {
   auto it = values_.find(name);
   if (it == values_.end()) return def;
-  return it->second == "true" || it->second == "1" || it->second == "yes";
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  DieBadFlag(name, v, "want true/false/1/0/yes/no");
 }
 
 std::vector<std::string> Flags::UnknownFlags(

@@ -8,8 +8,18 @@
 
 namespace ppfr {
 
+// Strict scalar parsers shared by Flags and the list-valued runner flags
+// (--seeds=0,1,2). False on empty input, trailing garbage ("12abc") or
+// out-of-range values — a numeric token either parses exactly or not at all.
+bool ParseInt64Strict(const std::string& s, int64_t* out);
+bool ParseUint64Strict(const std::string& s, uint64_t* out);
+bool ParseDoubleStrict(const std::string& s, double* out);
+
 // Minimal --key=value command-line parsing for the bench/example binaries.
 // Unknown flags are kept and queryable; "--flag" alone parses as "true".
+// Typed getters parse strictly: a malformed value ("--seed=12abc", overflow,
+// "--lr=fast") prints the flag name and exits(2) instead of silently
+// truncating to something plausible.
 class Flags {
  public:
   Flags(int argc, char** argv);

@@ -1,11 +1,10 @@
 #include "common/json_writer.h"
 
-#include <cerrno>
 #include <cmath>
 #include <cstdio>
-#include <cstring>
 
 #include "common/check.h"
+#include "common/serialize.h"
 
 namespace ppfr {
 
@@ -168,12 +167,14 @@ std::string JsonWriter::Escape(const std::string& raw) {
   return out;
 }
 
+void JsonMetric(JsonWriter* w, const std::string& key, double value) {
+  w->Key(key).Number(value);
+  if (!std::isfinite(value)) w->Key(key + "_finite").Bool(false);
+}
+
 void WriteFileOrDie(const std::string& path, const std::string& contents) {
-  FILE* f = std::fopen(path.c_str(), "w");
-  PPFR_CHECK(f != nullptr) << "cannot open " << path << ": " << std::strerror(errno);
-  const size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
-  PPFR_CHECK_EQ(written, contents.size()) << "short write to " << path;
-  PPFR_CHECK_EQ(std::fclose(f), 0) << "close failed for " << path;
+  std::string error;
+  PPFR_CHECK(WriteFileAtomic(path, contents, &error)) << error;
 }
 
 }  // namespace ppfr

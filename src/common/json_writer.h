@@ -52,7 +52,18 @@ class JsonWriter {
   bool key_pending_ = false;
 };
 
-// Writes `contents` to `path`, PPFR_CHECK-failing on I/O errors.
+// Emits `key`: `value`, and — because Number() serialises non-finite values
+// as null, which corrupts bench trajectories silently — a sibling
+// "<key>_finite": false marker whenever the value is NaN/Inf. Metric-bearing
+// artifact writers route every measured number through this so a non-finite
+// metric is loud in the artifact (and trips the CI schema diff, which pins
+// the finite-only key set).
+void JsonMetric(JsonWriter* w, const std::string& key, double value);
+
+// Writes `contents` to `path` atomically (temp file + rename, flush and
+// stream state checked), PPFR_CHECK-failing with the path on any I/O error —
+// a full disk or unwritable directory must never leave a silently truncated
+// artifact behind.
 void WriteFileOrDie(const std::string& path, const std::string& contents);
 
 }  // namespace ppfr

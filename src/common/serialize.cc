@@ -1,0 +1,156 @@
+#include "common/serialize.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace ppfr {
+
+void BinaryWriter::WriteU32(uint32_t v) {
+  char bytes[4];
+  for (int i = 0; i < 4; ++i) bytes[i] = static_cast<char>((v >> (8 * i)) & 0xffu);
+  out_.append(bytes, 4);
+}
+
+void BinaryWriter::WriteU64(uint64_t v) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<char>((v >> (8 * i)) & 0xffULL);
+  }
+  out_.append(bytes, 8);
+}
+
+void BinaryWriter::WriteDouble(double v) { WriteU64(std::bit_cast<uint64_t>(v)); }
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  out_.append(s);
+}
+
+void BinaryWriter::WriteDoubleVec(const std::vector<double>& v) {
+  WriteU64(v.size());
+  for (double x : v) WriteDouble(x);
+}
+
+void BinaryWriter::WriteIntVec(const std::vector<int>& v) {
+  WriteU64(v.size());
+  for (int x : v) WriteI32(x);
+}
+
+const char* BinaryReader::Claim(size_t n) {
+  if (!ok_ || n > size_ - pos_) {
+    ok_ = false;
+    return nullptr;
+  }
+  const char* p = data_ + pos_;
+  pos_ += n;
+  return p;
+}
+
+uint32_t BinaryReader::ReadU32() {
+  const char* p = Claim(4);
+  if (p == nullptr) return 0;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t BinaryReader::ReadU64() {
+  const char* p = Claim(8);
+  if (p == nullptr) return 0;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+double BinaryReader::ReadDouble() { return std::bit_cast<double>(ReadU64()); }
+
+std::string BinaryReader::ReadString() {
+  const uint64_t n = ReadU64();
+  // A length beyond the remaining bytes marks corruption; checking before
+  // Claim avoids a pathological allocation from a garbage prefix.
+  if (!ok_ || n > size_ - pos_) {
+    ok_ = false;
+    return {};
+  }
+  const char* p = Claim(static_cast<size_t>(n));
+  return p == nullptr ? std::string{} : std::string(p, static_cast<size_t>(n));
+}
+
+std::vector<double> BinaryReader::ReadDoubleVec() {
+  const uint64_t n = ReadU64();
+  if (!ok_ || n > (size_ - pos_) / 8) {
+    ok_ = false;
+    return {};
+  }
+  std::vector<double> v(static_cast<size_t>(n));
+  for (double& x : v) x = ReadDouble();
+  return v;
+}
+
+std::vector<int> BinaryReader::ReadIntVec() {
+  const uint64_t n = ReadU64();
+  if (!ok_ || n > (size_ - pos_) / 4) {
+    ok_ = false;
+    return {};
+  }
+  std::vector<int> v(static_cast<size_t>(n));
+  for (int& x : v) x = ReadI32();
+  return v;
+}
+
+bool ReadFileToString(const std::string& path, std::string* contents) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::string out;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return false;
+  *contents = std::move(out);
+  return true;
+}
+
+bool WriteFileAtomic(const std::string& path, const std::string& contents,
+                     std::string* error) {
+  const auto fail = [&](const char* what) {
+    if (error != nullptr) {
+      *error = std::string(what) + " " + path + ": " + std::strerror(errno);
+    }
+    return false;
+  };
+  // pid + a process-wide counter keep concurrent writers — other processes
+  // sharing a cache dir AND other threads in this one — off each other's
+  // temp files; the final rename is atomic either way.
+  static std::atomic<uint64_t> tmp_serial{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(tmp_serial.fetch_add(1));
+  FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return fail("cannot open");
+  const size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  // fwrite success only means "buffered"; fflush forces the data down and
+  // surfaces ENOSPC, then ferror catches anything the stream latched.
+  const bool write_ok =
+      written == contents.size() && std::fflush(f) == 0 && std::ferror(f) == 0;
+  if (std::fclose(f) != 0 || !write_ok) {
+    std::remove(tmp.c_str());
+    return fail("short write to");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return fail("cannot rename into");
+  }
+  return true;
+}
+
+}  // namespace ppfr

@@ -1,0 +1,88 @@
+#ifndef PPFR_COMMON_SERIALIZE_H_
+#define PPFR_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ppfr {
+
+// Length-prefixed little-endian binary serialization for the disk-persisted
+// run cache (and any other fixed-layout snapshot). Writers never fail;
+// readers are *total*: every Read* reports success via ok() and returns a
+// zero value once the stream is exhausted or a length prefix is implausible,
+// so a truncated or corrupted file degrades into `!ok()` — never UB, never a
+// crash. Cache loaders treat !ok() as "entry is corrupt: delete, recompute".
+//
+// Doubles travel as their IEEE-754 bit pattern, so a round trip is bitwise
+// exact (including NaN payloads and -0.0) — the persisted cache must
+// reproduce cold-run results bit for bit.
+class BinaryWriter {
+ public:
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI64(int64_t v) { WriteU64(static_cast<uint64_t>(v)); }
+  void WriteI32(int32_t v) { WriteU32(static_cast<uint32_t>(v)); }
+  void WriteDouble(double v);
+  void WriteBool(bool v) { WriteU32(v ? 1u : 0u); }
+  void WriteString(const std::string& s);
+  void WriteDoubleVec(const std::vector<double>& v);
+  void WriteIntVec(const std::vector<int>& v);
+
+  const std::string& data() const { return out_; }
+
+ private:
+  std::string out_;
+};
+
+class BinaryReader {
+ public:
+  BinaryReader(const char* data, size_t size) : data_(data), size_(size) {}
+  explicit BinaryReader(const std::string& buf)
+      : BinaryReader(buf.data(), buf.size()) {}
+
+  uint32_t ReadU32();
+  uint64_t ReadU64();
+  int64_t ReadI64() { return static_cast<int64_t>(ReadU64()); }
+  int32_t ReadI32() { return static_cast<int32_t>(ReadU32()); }
+  double ReadDouble();
+  bool ReadBool() { return ReadU32() != 0; }
+  std::string ReadString();
+  std::vector<double> ReadDoubleVec();
+  std::vector<int> ReadIntVec();
+
+  // False once any read ran past the end of the buffer or a container
+  // length prefix exceeded the remaining bytes. Sticky.
+  bool ok() const { return ok_; }
+  // ok() and every byte consumed — loaders check this to reject entries
+  // with trailing junk.
+  bool AtEnd() const { return ok_ && pos_ == size_; }
+  // Unread bytes (0 once poisoned) — lets loaders bound a container length
+  // prefix before allocating for it.
+  size_t remaining() const { return ok_ ? size_ - pos_ : 0; }
+
+ private:
+  // Claims `n` bytes; returns nullptr (and poisons the reader) when fewer
+  // remain.
+  const char* Claim(size_t n);
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// Reads an entire file; false when it cannot be opened or read.
+bool ReadFileToString(const std::string& path, std::string* contents);
+
+// Writes `contents` to `path` atomically: a unique sibling temp file is
+// written, flushed and checked, then rename(2)d over `path`. Readers of
+// `path` therefore never observe a torn or truncated file, and a full disk
+// or unwritable directory reports false (with the temp file cleaned up)
+// instead of leaving a partial artifact behind.
+bool WriteFileAtomic(const std::string& path, const std::string& contents,
+                     std::string* error = nullptr);
+
+}  // namespace ppfr
+
+#endif  // PPFR_COMMON_SERIALIZE_H_

@@ -1,0 +1,30 @@
+#include "nn/param_io.h"
+
+namespace ppfr::nn {
+
+void SaveParams(BinaryWriter* w, const std::vector<ag::Parameter*>& params) {
+  w->WriteU64(params.size());
+  for (const ag::Parameter* p : params) {
+    w->WriteString(p->name);
+    w->WriteI32(p->value.rows());
+    w->WriteI32(p->value.cols());
+    for (int64_t i = 0; i < p->value.size(); ++i) w->WriteDouble(p->value.data()[i]);
+  }
+}
+
+bool LoadParams(BinaryReader* r, const std::vector<ag::Parameter*>& params) {
+  if (r->ReadU64() != params.size() || !r->ok()) return false;
+  for (ag::Parameter* p : params) {
+    if (r->ReadString() != p->name) return false;
+    const int rows = r->ReadI32();
+    const int cols = r->ReadI32();
+    if (!r->ok() || rows != p->value.rows() || cols != p->value.cols()) return false;
+    for (int64_t i = 0; i < p->value.size(); ++i) {
+      p->value.data()[i] = r->ReadDouble();
+    }
+    if (!r->ok()) return false;
+  }
+  return true;
+}
+
+}  // namespace ppfr::nn

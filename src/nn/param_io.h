@@ -1,0 +1,26 @@
+#ifndef PPFR_NN_PARAM_IO_H_
+#define PPFR_NN_PARAM_IO_H_
+
+#include "common/serialize.h"
+#include "nn/models.h"
+
+namespace ppfr::nn {
+
+// Binary (de)serialization of a model's trainable parameters for the
+// disk-persisted run cache. The format is positional but self-checking:
+// parameter count, then per parameter its name and shape followed by the
+// row-major values (bitwise IEEE-754, so a round trip reproduces the model
+// exactly). Gradients are not persisted — a restored model is a post-training
+// snapshot, not an optimiser state.
+void SaveParams(BinaryWriter* w, const std::vector<ag::Parameter*>& params);
+
+// Loads into an already-constructed model's parameters. False (model left in
+// an unspecified half-written state — discard it) when the stream is
+// truncated or the recorded count/names/shapes disagree with `params`, which
+// is how architecture drift between writer and reader surfaces: as a cache
+// miss, never as a crash or a silently misloaded model.
+bool LoadParams(BinaryReader* r, const std::vector<ag::Parameter*>& params);
+
+}  // namespace ppfr::nn
+
+#endif  // PPFR_NN_PARAM_IO_H_

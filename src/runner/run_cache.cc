@@ -2,6 +2,10 @@
 
 #include <bit>
 #include <chrono>
+#include <cmath>
+
+#include "common/serialize.h"
+#include "core/snapshot.h"
 
 namespace ppfr::runner {
 
@@ -14,7 +18,16 @@ KeyHasher& KeyHasher::Mix(uint64_t v) {
   return *this;
 }
 
-KeyHasher& KeyHasher::Mix(double v) { return Mix(std::bit_cast<uint64_t>(v)); }
+KeyHasher& KeyHasher::Mix(double v) {
+  // Canonicalize before bit-casting: -0.0 == 0.0 and any two NaNs compare
+  // equivalent config-wise, so equal configs must produce equal keys — the
+  // disk-persisted cache makes a spurious key split user-visible as a
+  // recompute (or a stale artifact diff).
+  if (v == 0.0) v = 0.0;  // collapses -0.0 onto +0.0
+  const uint64_t bits = std::isnan(v) ? 0x7ff8000000000000ULL  // canonical qNaN
+                                      : std::bit_cast<uint64_t>(v);
+  return Mix(bits);
+}
 
 KeyHasher& KeyHasher::Mix(const std::string& s) {
   for (unsigned char c : s) {
@@ -149,6 +162,13 @@ V RunCache::GetOrCompute(std::unordered_map<uint64_t, std::shared_future<V>>* ma
   return future.get();
 }
 
+RunCache::RunCache(std::string persist_dir) : store_(std::move(persist_dir)) {}
+
+void RunCache::NoteDiskHit(StageStats* stats) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats->disk_hits;
+}
+
 std::shared_ptr<const core::ExperimentEnv> RunCache::Env(data::DatasetId id,
                                                          uint64_t env_seed) {
   return GetOrCompute<std::shared_ptr<const core::ExperimentEnv>>(
@@ -161,11 +181,31 @@ std::shared_ptr<const core::ExperimentEnv> RunCache::Env(data::DatasetId id,
 std::shared_ptr<const RunCache::VanillaStage> RunCache::VanillaStageFor(
     nn::ModelKind kind, const core::ExperimentEnv& env,
     const core::MethodConfig& config) {
+  const uint64_t key = VanillaKey(kind, env, config);
   return GetOrCompute<std::shared_ptr<const VanillaStage>>(
-      &vanilla_, VanillaKey(kind, env, config), &stats_.vanilla, [&] {
+      &vanilla_, key, &stats_.vanilla, [&] {
+        std::string payload;
+        if (store_.Load("vanilla", key, &payload)) {
+          BinaryReader r(payload);
+          auto stage = std::make_shared<VanillaStage>();
+          stage->model = core::LoadModel(&r, kind, env, config.seed);
+          if (stage->model != nullptr && core::LoadEval(&r, &stage->eval) &&
+              r.AtEnd()) {
+            NoteDiskHit(&stats_.vanilla);
+            return std::shared_ptr<const VanillaStage>(std::move(stage));
+          }
+          // Architecture/shape drift inside a checksum-valid entry: fall
+          // through to the recompute, which overwrites it.
+        }
         auto stage = std::make_shared<VanillaStage>();
         stage->model = core::TrainFresh(kind, env, env.ctx, config, /*lambda=*/0.0);
         stage->eval = core::EvaluateModel(stage->model.get(), env.Eval());
+        if (store_.enabled()) {
+          BinaryWriter w;
+          core::SaveModel(&w, stage->model.get());
+          core::SaveEval(&w, stage->eval);
+          store_.Store("vanilla", key, w.data());
+        }
         return std::shared_ptr<const VanillaStage>(std::move(stage));
       });
 }
@@ -182,47 +222,108 @@ core::EvalResult RunCache::VanillaEval(nn::ModelKind kind,
   return VanillaStageFor(kind, env, config)->eval;
 }
 
+// Shared disk-backed compute wrapper for the two perturbed-context stages:
+// only the edited graph structure is persisted; the operators are rebuilt
+// deterministically against the environment's features.
+std::shared_ptr<const nn::GraphContext> RunCache::ContextStage(
+    std::unordered_map<uint64_t, std::shared_future<std::shared_ptr<const nn::GraphContext>>>*
+        map,
+    const char* stage, uint64_t key, StageStats* stats,
+    const core::ExperimentEnv& env,
+    const std::function<nn::GraphContext()>& compute) {
+  return GetOrCompute<std::shared_ptr<const nn::GraphContext>>(
+      map, key, stats, [&] {
+        std::string payload;
+        if (store_.Load(stage, key, &payload)) {
+          BinaryReader r(payload);
+          auto ctx = std::make_shared<nn::GraphContext>();
+          if (core::LoadGraphContext(&r, env.dataset.data.features, ctx.get()) &&
+              r.AtEnd()) {
+            NoteDiskHit(stats);
+            return std::shared_ptr<const nn::GraphContext>(std::move(ctx));
+          }
+        }
+        auto ctx = std::make_shared<const nn::GraphContext>(compute());
+        if (store_.enabled()) {
+          BinaryWriter w;
+          core::SaveGraphStructure(&w, ctx->graph);
+          store_.Store(stage, key, w.data());
+        }
+        return ctx;
+      });
+}
+
 std::shared_ptr<const nn::GraphContext> RunCache::DpContext(
     const core::ExperimentEnv& env, const core::MethodConfig& config) {
-  return GetOrCompute<std::shared_ptr<const nn::GraphContext>>(
-      &dp_contexts_, DpKey(env, config), &stats_.dp_context, [&] {
-        return std::make_shared<const nn::GraphContext>(
-            core::MakeDpContext(env, config));
-      });
+  return ContextStage(&dp_contexts_, "dp", DpKey(env, config), &stats_.dp_context,
+                      env, [&] { return core::MakeDpContext(env, config); });
 }
 
 std::shared_ptr<const nn::GraphContext> RunCache::PpContext(
     nn::ModelKind kind, const core::ExperimentEnv& env,
     const core::MethodConfig& config) {
-  return GetOrCompute<std::shared_ptr<const nn::GraphContext>>(
-      &pp_contexts_, PpKey(kind, env, config), &stats_.pp_context, [&] {
+  return ContextStage(
+      &pp_contexts_, "pp", PpKey(kind, env, config), &stats_.pp_context, env, [&] {
         // Work on a private clone: concurrent stages must not share a
         // mutable model, and the clone's predictions are identical.
         const std::unique_ptr<nn::GnnModel> model = VanillaModel(kind, env, config);
-        return std::make_shared<const nn::GraphContext>(core::MakePpContext(
-            env, model.get(), config.pp_gamma, config.seed ^ 0x99ULL));
+        return core::MakePpContext(env, model.get(), config.pp_gamma,
+                                   config.seed ^ 0x99ULL);
       });
 }
 
 std::shared_ptr<const core::FrOutput> RunCache::FrWeights(
     nn::ModelKind kind, const core::ExperimentEnv& env,
     const core::MethodConfig& config) {
+  const uint64_t key = FrKey(kind, env, config);
   return GetOrCompute<std::shared_ptr<const core::FrOutput>>(
-      &fr_outputs_, FrKey(kind, env, config), &stats_.fr, [&] {
+      &fr_outputs_, key, &stats_.fr, [&] {
+        std::string payload;
+        if (store_.Load("fr", key, &payload)) {
+          BinaryReader r(payload);
+          auto fr = std::make_shared<core::FrOutput>();
+          if (core::LoadFrOutput(&r, fr.get()) && r.AtEnd()) {
+            NoteDiskHit(&stats_.fr);
+            return std::shared_ptr<const core::FrOutput>(std::move(fr));
+          }
+        }
         const std::unique_ptr<nn::GnnModel> model = VanillaModel(kind, env, config);
-        return std::make_shared<const core::FrOutput>(
+        auto fr = std::make_shared<const core::FrOutput>(
             core::ComputeFr(model.get(), env, config));
+        if (store_.enabled()) {
+          BinaryWriter w;
+          core::SaveFrOutput(&w, *fr);
+          store_.Store("fr", key, w.data());
+        }
+        return fr;
       });
 }
 
 std::shared_ptr<const core::MethodRun> RunCache::CellRun(
     const Scenario& cell, const core::ExperimentEnv& env, bool* cache_hit) {
+  const uint64_t key = CellKey(cell, env.env_seed);
   return GetOrCompute<std::shared_ptr<const core::MethodRun>>(
-      &cells_, CellKey(cell, env.env_seed), &stats_.cell,
+      &cells_, key, &stats_.cell,
       [&] {
         const core::MethodConfig config = cell.ResolvedConfig();
-        return std::make_shared<const core::MethodRun>(
+        std::string payload;
+        if (store_.Load("cell", key, &payload)) {
+          BinaryReader r(payload);
+          auto run = std::make_shared<core::MethodRun>();
+          if (core::LoadMethodRun(&r, cell.model, env, config.seed, run.get()) &&
+              r.AtEnd()) {
+            NoteDiskHit(&stats_.cell);
+            return std::shared_ptr<const core::MethodRun>(std::move(run));
+          }
+        }
+        auto run = std::make_shared<core::MethodRun>(
             core::RunMethod(cell.method, cell.model, env, config, this));
+        if (store_.enabled()) {
+          BinaryWriter w;
+          core::SaveMethodRun(&w, *run);
+          store_.Store("cell", key, w.data());
+        }
+        return std::shared_ptr<const core::MethodRun>(std::move(run));
       },
       cache_hit);
 }

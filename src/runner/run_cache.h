@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "core/methods.h"
+#include "runner/cache_store.h"
 #include "runner/scenario.h"
 
 namespace ppfr::runner {
@@ -23,7 +24,9 @@ class KeyHasher {
   KeyHasher& Mix(uint64_t v);
   KeyHasher& Mix(int v) { return Mix(static_cast<uint64_t>(static_cast<int64_t>(v))); }
   KeyHasher& Mix(bool v) { return Mix(static_cast<uint64_t>(v ? 1 : 0)); }
-  KeyHasher& Mix(double v);  // bit pattern, so -0.0 and 0.0 differ
+  // Canonicalized bit pattern: -0.0 hashes as +0.0 and every NaN payload as
+  // one canonical qNaN, so configs that compare equal share a key.
+  KeyHasher& Mix(double v);
   KeyHasher& Mix(const std::string& s);
   // Without this overload a literal like Mix("env") would take the bool
   // conversion (pointer-to-bool beats the user-defined std::string one) and
@@ -50,11 +53,20 @@ class KeyHasher {
 // the computer is always a running thread — a waiter only ever waits on a
 // key some other running thread claimed — the latch cannot deadlock a
 // fixed-size scheduler.
+// With a persist dir (--run_cache_dir= / PPFR_RUN_CACHE_DIR), every computed
+// stage is additionally serialised into a CacheStore and in-memory misses
+// first try a disk load — so a SECOND PROCESS running the same sweep resumes
+// every trained model, DP/PP context, FR solve and whole cell from disk
+// (zero nn::Train calls, bitwise-identical artifacts; gated in
+// tests/runner_test.cc and the CI warm-cache leg).
 class RunCache : public core::StageCache {
  public:
   struct StageStats {
     int64_t hits = 0;
     int64_t misses = 0;
+    // Of the misses, how many were satisfied by a disk load instead of a
+    // recompute (disk_hits <= misses; only ever nonzero with a persist dir).
+    int64_t disk_hits = 0;
   };
   struct Stats {
     StageStats env;
@@ -64,6 +76,12 @@ class RunCache : public core::StageCache {
     StageStats fr;
     StageStats cell;
   };
+
+  // An empty persist_dir keeps the cache purely in-memory (the historical
+  // behaviour); a non-empty one persists every stage across processes.
+  explicit RunCache(std::string persist_dir = {});
+
+  const CacheStore& store() const { return store_; }
 
   // ---- Content-hash keys (public for the stability tests) ----
   static uint64_t EnvKey(data::DatasetId id, uint64_t env_seed);
@@ -125,6 +143,19 @@ class RunCache : public core::StageCache {
                                                       const core::ExperimentEnv& env,
                                                       const core::MethodConfig& config);
 
+  // Counts a miss that was satisfied from disk (called from compute lambdas,
+  // outside the map lock).
+  void NoteDiskHit(StageStats* stats);
+
+  // Disk-backed compute shared by the DP/PP context stages.
+  std::shared_ptr<const nn::GraphContext> ContextStage(
+      std::unordered_map<uint64_t,
+                         std::shared_future<std::shared_ptr<const nn::GraphContext>>>* map,
+      const char* stage, uint64_t key, StageStats* stats,
+      const core::ExperimentEnv& env,
+      const std::function<nn::GraphContext()>& compute);
+
+  CacheStore store_;
   mutable std::mutex mu_;
   Stats stats_;
   std::unordered_map<uint64_t, std::shared_future<std::shared_ptr<const core::ExperimentEnv>>>

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <thread>
@@ -16,7 +17,8 @@ namespace {
 
 RunCache::StageStats Delta(const RunCache::StageStats& after,
                            const RunCache::StageStats& before) {
-  return {after.hits - before.hits, after.misses - before.misses};
+  return {after.hits - before.hits, after.misses - before.misses,
+          after.disk_hits - before.disk_hits};
 }
 
 RunCache::Stats Delta(const RunCache::Stats& after, const RunCache::Stats& before) {
@@ -34,7 +36,34 @@ void EmitStage(JsonWriter* w, const char* name, const RunCache::StageStats& s) {
   w->Key(name).BeginObject();
   w->Key("hits").Int(s.hits);
   w->Key("misses").Int(s.misses);
+  w->Key("disk_hits").Int(s.disk_hits);
   w->EndObject();
+}
+
+// Single source of truth for the uniform per-cell metric set — both the
+// aggregation pass and the extras/"is this name reserved" guard derive from
+// this table, so adding a metric here is the whole change (the artifact's
+// aggregate key set is golden-pinned in bench/golden/artifact_schema.txt).
+struct UniformMetric {
+  const char* name;
+  double (*get)(const CellResult&);
+};
+constexpr UniformMetric kUniformMetrics[] = {
+    {"accuracy", [](const CellResult& c) { return c.run->eval.accuracy; }},
+    {"bias", [](const CellResult& c) { return c.run->eval.bias; }},
+    {"risk_auc", [](const CellResult& c) { return c.run->eval.risk_auc; }},
+    {"delta_d", [](const CellResult& c) { return c.run->eval.delta_d; }},
+    {"d_acc", [](const CellResult& c) { return c.delta.d_acc; }},
+    {"d_bias", [](const CellResult& c) { return c.delta.d_bias; }},
+    {"d_risk", [](const CellResult& c) { return c.delta.d_risk; }},
+    {"combined", [](const CellResult& c) { return c.delta.combined; }},
+};
+
+bool IsUniformMetric(const std::string& name) {
+  for (const UniformMetric& metric : kUniformMetrics) {
+    if (name == metric.name) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -80,9 +109,26 @@ SweepResult RunSweep(const Sweep& sweep, RunCache* cache,
   result.name = sweep.name;
   result.title = sweep.title;
   result.env_seed = options.env_seed;
-  result.cells.resize(sweep.cells.size());
+  result.seeds = sweep.seeds;
 
-  const int threads = ResolveCellThreads(options.threads, sweep.cells.size());
+  // Multi-seed expansion, seed-major: every seed block repeats the sweep's
+  // cell order (vanilla-first per model), so a serial warm-up populates the
+  // stage cache the same way it does for a single-seed run.
+  std::vector<Scenario> scheduled;
+  if (sweep.seeds.empty()) {
+    scheduled = sweep.cells;
+  } else {
+    scheduled.reserve(sweep.cells.size() * sweep.seeds.size());
+    for (uint64_t seed : sweep.seeds) {
+      for (Scenario cell : sweep.cells) {
+        cell.overrides.seed = seed;
+        scheduled.push_back(std::move(cell));
+      }
+    }
+  }
+  result.cells.resize(scheduled.size());
+
+  const int threads = ResolveCellThreads(options.threads, scheduled.size());
   result.threads = threads;
 
   const RunCache::Stats stats_before = cache->stats();
@@ -90,7 +136,7 @@ SweepResult RunSweep(const Sweep& sweep, RunCache* cache,
   Stopwatch wall;
 
   const auto run_cell = [&](size_t i) {
-    const Scenario& cell = sweep.cells[i];
+    const Scenario& cell = scheduled[i];
     // Environments are heavyweight and shared read-only by every cell of
     // the same dataset; fetching inside the cell (instead of prebuilding
     // them serially) lets parallel workers overlap env construction with
@@ -101,6 +147,7 @@ SweepResult RunSweep(const Sweep& sweep, RunCache* cache,
     const core::ExperimentEnv& env = *env_ptr;
     CellResult& out = result.cells[i];
     out.scenario = cell;
+    out.seed = cell.ResolvedConfig().seed;
     Stopwatch watch;
     out.run = cache->CellRun(cell, env, &out.cache_hit);
     if (cell.method != core::MethodKind::kVanilla) {
@@ -124,7 +171,7 @@ SweepResult RunSweep(const Sweep& sweep, RunCache* cache,
 
   // Stage collisions between concurrent cells (two cells needing one
   // vanilla model) are serialised by the cache's once-latch.
-  ParallelCells(sweep.cells.size(), threads, run_cell);
+  ParallelCells(scheduled.size(), threads, run_cell);
 
   result.wall_seconds = wall.ElapsedSeconds();
   result.cache_stats = Delta(cache->stats(), stats_before);
@@ -132,26 +179,83 @@ SweepResult RunSweep(const Sweep& sweep, RunCache* cache,
   return result;
 }
 
-std::string WriteArtifact(const SweepResult& result, const std::string& dir) {
+std::vector<CellAggregate> AggregateCells(const SweepResult& result) {
+  std::vector<CellAggregate> groups;
+  for (const CellResult& cell : result.cells) {
+    CellAggregate* group = nullptr;
+    for (CellAggregate& g : groups) {
+      if (g.scenario.dataset == cell.scenario.dataset &&
+          g.scenario.model == cell.scenario.model &&
+          g.scenario.method == cell.scenario.method &&
+          g.scenario.DisplayLabel() == cell.scenario.DisplayLabel()) {
+        group = &g;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      groups.push_back({cell.scenario, {}, {}});
+      group = &groups.back();
+    }
+    group->seeds.push_back(cell.seed);
+    for (const UniformMetric& metric : kUniformMetrics) {
+      group->metrics[metric.name].values.push_back(metric.get(cell));
+    }
+    for (const auto& [name, value] : cell.extra) {
+      // An extra named like a uniform metric would append into that
+      // metric's values and silently misalign every aggregate after it.
+      if (IsUniformMetric(name)) {
+        std::fprintf(stderr,
+                     "runner: dropping extra metric '%s' from aggregation "
+                     "(shadows a uniform metric name)\n",
+                     name.c_str());
+        continue;
+      }
+      group->metrics[name].values.push_back(value);
+    }
+  }
+  for (CellAggregate& g : groups) {
+    for (auto& [name, agg] : g.metrics) {
+      double sum = 0.0;
+      for (double v : agg.values) sum += v;
+      const double n = static_cast<double>(agg.values.size());
+      agg.mean = sum / n;
+      if (agg.values.size() > 1) {
+        double sq = 0.0;
+        for (double v : agg.values) sq += (v - agg.mean) * (v - agg.mean);
+        agg.stddev = std::sqrt(sq / (n - 1.0));
+      }
+    }
+  }
+  return groups;
+}
+
+std::string WriteArtifact(const SweepResult& result, const std::string& dir,
+                          const ArtifactOptions& options) {
+  const bool stable = options.stable;
   JsonWriter w;
   w.BeginObject();
-  w.Key("schema_version").Int(1);
+  w.Key("schema_version").Int(2);
   w.Key("sweep").String(result.name);
   w.Key("title").String(result.title);
   w.Key("backend").String(la::ActiveBackend().name());
   w.Key("backend_threads").Int(la::ActiveBackend().num_threads());
   w.Key("runner_threads").Int(result.threads);
   w.Key("env_seed").Uint(result.env_seed);
-  w.Key("wall_seconds").Number(result.wall_seconds);
-  w.Key("trainer_invocations").Int(result.trainer_invocations);
+  w.Key("seeds").BeginArray();
+  for (uint64_t seed : result.seeds) w.Uint(seed);
+  w.EndArray();
+  w.Key("stable").Bool(stable);
+  w.Key("wall_seconds").Number(stable ? 0.0 : result.wall_seconds);
+  w.Key("trainer_invocations").Int(stable ? 0 : result.trainer_invocations);
 
   w.Key("cache").BeginObject();
-  EmitStage(&w, "env", result.cache_stats.env);
-  EmitStage(&w, "vanilla", result.cache_stats.vanilla);
-  EmitStage(&w, "dp_context", result.cache_stats.dp_context);
-  EmitStage(&w, "pp_context", result.cache_stats.pp_context);
-  EmitStage(&w, "fr", result.cache_stats.fr);
-  EmitStage(&w, "cell", result.cache_stats.cell);
+  const RunCache::Stats cache_stats = stable ? RunCache::Stats{} : result.cache_stats;
+  EmitStage(&w, "env", cache_stats.env);
+  EmitStage(&w, "vanilla", cache_stats.vanilla);
+  EmitStage(&w, "dp_context", cache_stats.dp_context);
+  EmitStage(&w, "pp_context", cache_stats.pp_context);
+  EmitStage(&w, "fr", cache_stats.fr);
+  EmitStage(&w, "cell", cache_stats.cell);
   w.EndObject();
 
   w.Key("cells").BeginArray();
@@ -161,24 +265,84 @@ std::string WriteArtifact(const SweepResult& result, const std::string& dir) {
     w.Key("model").String(nn::ModelKindName(cell.scenario.model));
     w.Key("method").String(core::MethodName(cell.scenario.method));
     w.Key("label").String(cell.scenario.DisplayLabel());
-    w.Key("seconds").Number(cell.seconds);
-    w.Key("cache_hit").Bool(cell.cache_hit);
+    w.Key("seed").Uint(cell.seed);
+    w.Key("seconds").Number(stable ? 0.0 : cell.seconds);
+    w.Key("cache_hit").Bool(stable ? false : cell.cache_hit);
     w.Key("eval").BeginObject();
-    w.Key("accuracy").Number(cell.run->eval.accuracy);
-    w.Key("bias").Number(cell.run->eval.bias);
-    w.Key("risk_auc").Number(cell.run->eval.risk_auc);
-    w.Key("delta_d").Number(cell.run->eval.delta_d);
+    JsonMetric(&w, "accuracy", cell.run->eval.accuracy);
+    JsonMetric(&w, "bias", cell.run->eval.bias);
+    JsonMetric(&w, "risk_auc", cell.run->eval.risk_auc);
+    JsonMetric(&w, "delta_d", cell.run->eval.delta_d);
     w.EndObject();
     w.Key("delta").BeginObject();
-    w.Key("d_acc").Number(cell.delta.d_acc);
-    w.Key("d_bias").Number(cell.delta.d_bias);
-    w.Key("d_risk").Number(cell.delta.d_risk);
-    w.Key("combined").Number(cell.delta.combined);
+    JsonMetric(&w, "d_acc", cell.delta.d_acc);
+    JsonMetric(&w, "d_bias", cell.delta.d_bias);
+    JsonMetric(&w, "d_risk", cell.delta.d_risk);
+    JsonMetric(&w, "combined", cell.delta.combined);
     w.EndObject();
     if (!cell.extra.empty()) {
       w.Key("extra").BeginObject();
       for (const auto& [key, value] : cell.extra) {
-        w.Key(key).Number(value);
+        JsonMetric(&w, key, value);
+      }
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+
+  // Per-metric cross-seed aggregates (degenerate single-value groups for a
+  // single-seed run, so the schema does not depend on the seed list).
+  w.Key("aggregates").BeginArray();
+  for (const CellAggregate& group : AggregateCells(result)) {
+    w.BeginObject();
+    w.Key("dataset").String(data::DatasetName(group.scenario.dataset));
+    w.Key("model").String(nn::ModelKindName(group.scenario.model));
+    w.Key("method").String(core::MethodName(group.scenario.method));
+    w.Key("label").String(group.scenario.DisplayLabel());
+    w.Key("seeds").BeginArray();
+    for (uint64_t seed : group.seeds) w.Uint(seed);
+    w.EndArray();
+    // Bench-attached extras aggregate under "extra" (schema-exempt, like the
+    // per-cell extras) so the uniform "metrics" key set stays golden-pinned.
+    const auto emit_metric = [&w](const std::string& name, const MetricAggregate& agg) {
+      w.Key(name).BeginObject();
+      JsonMetric(&w, "mean", agg.mean);
+      JsonMetric(&w, "stddev", agg.stddev);
+      w.Key("values").BeginArray();
+      for (double v : agg.values) w.Number(v);
+      w.EndArray();
+      w.EndObject();
+    };
+    // An extra attached to only some seed instances of a group cannot be
+    // aligned with "seeds"; dropping it loudly beats emitting statistics
+    // over a silently wrong sample.
+    const auto extra_complete = [&](const std::string& name,
+                                    const MetricAggregate& agg) {
+      if (agg.values.size() == group.seeds.size()) return true;
+      std::fprintf(stderr,
+                   "runner: dropping extra metric '%s' from aggregate '%s' "
+                   "(%zu values for %zu seed instances)\n",
+                   name.c_str(), group.scenario.DisplayLabel().c_str(),
+                   agg.values.size(), group.seeds.size());
+      return false;
+    };
+    bool has_extras = false;
+    w.Key("metrics").BeginObject();
+    for (const auto& [name, agg] : group.metrics) {
+      if (IsUniformMetric(name)) {
+        emit_metric(name, agg);
+      } else {
+        has_extras |= extra_complete(name, agg);
+      }
+    }
+    w.EndObject();
+    if (has_extras) {
+      w.Key("extra").BeginObject();
+      for (const auto& [name, agg] : group.metrics) {
+        if (!IsUniformMetric(name) && agg.values.size() == group.seeds.size()) {
+          emit_metric(name, agg);
+        }
       }
       w.EndObject();
     }

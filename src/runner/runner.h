@@ -28,6 +28,7 @@ struct CellResult {
   std::shared_ptr<const core::MethodRun> run;
   core::EvalResult vanilla_eval;  // vanilla baseline of the same (dataset, model)
   core::DeltaMetrics delta;       // vs vanilla_eval; zeros for vanilla cells
+  uint64_t seed = 0;       // resolved method seed this instance ran with
   double seconds = 0.0;
   bool cache_hit = false;  // the whole cell came out of the run cache
   // Bench-specific scalar metrics merged into the JSON artifact (e.g.
@@ -38,13 +39,41 @@ struct CellResult {
 struct SweepResult {
   std::string name;
   std::string title;
+  // One entry per scheduled run. With a seed list the sweep is expanded
+  // seed-major: cells[s * base + i] is base cell i under seeds[s], so each
+  // seed block preserves the sweep's vanilla-first cell order.
   std::vector<CellResult> cells;
+  std::vector<uint64_t> seeds;  // expansion list; empty = single-seed run
   double wall_seconds = 0.0;
   int threads = 1;
   uint64_t env_seed = 0;
   RunCache::Stats cache_stats;      // cache state delta over this sweep
   int64_t trainer_invocations = 0;  // nn::Train calls during this sweep
 };
+
+// Mean / stddev / per-seed values of one metric across the seed instances of
+// one logical cell. stddev is the sample standard deviation (n-1), 0 for a
+// single value; non-finite values propagate into the mean so the artifact's
+// *_finite markers flag them.
+struct MetricAggregate {
+  std::vector<double> values;  // in SweepResult::seeds order
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+struct CellAggregate {
+  Scenario scenario;            // representative (first seed instance)
+  std::vector<uint64_t> seeds;  // seeds contributing, aligned with values
+  // Keyed by metric name: the four eval metrics, the four deltas, and any
+  // bench-attached extras present on every instance.
+  std::map<std::string, MetricAggregate> metrics;
+};
+
+// Groups the result's cells by (dataset, model, method, label) in first-
+// appearance order and aggregates every metric across seeds. Called by
+// WriteArtifact at emission time so bench-attached `extra` metrics are
+// included; exposed for tests and bespoke bench tables.
+std::vector<CellAggregate> AggregateCells(const SweepResult& result);
 
 // Runs every cell of the sweep through the cache, serially or across the
 // cell scheduler (see RunnerOptions::threads). Results are returned in cell
@@ -66,8 +95,19 @@ int ResolveCellThreads(int threads, size_t n);
 // touch per-index state (or internally synchronised services like RunCache).
 void ParallelCells(size_t n, int threads, const std::function<void(size_t)>& fn);
 
-// Writes the uniform BENCH_<name>.json artifact; returns its path.
-std::string WriteArtifact(const SweepResult& result, const std::string& dir = ".");
+struct ArtifactOptions {
+  // Stable mode zeroes the fields that legitimately vary between otherwise
+  // identical runs — wall/cell seconds, cache hit/miss/disk counters,
+  // trainer invocations, per-cell cache_hit — so two runs of the same sweep
+  // (e.g. cold vs warm --run_cache_dir) produce bitwise-identical files iff
+  // their numeric results are bitwise identical. The schema is unchanged.
+  bool stable = false;
+};
+
+// Writes the uniform BENCH_<name>.json artifact (schema_version 2: per-cell
+// seeds + per-metric mean/stddev aggregates); returns its path.
+std::string WriteArtifact(const SweepResult& result, const std::string& dir = ".",
+                          const ArtifactOptions& options = {});
 
 // First cell matching (dataset, model, method); nullptr when absent.
 const CellResult* FindCell(const SweepResult& result, data::DatasetId dataset,

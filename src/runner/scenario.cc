@@ -227,55 +227,92 @@ std::vector<core::MethodKind> ParseMethodListOrDie(
   return out;
 }
 
+std::vector<uint64_t> ParseSeedListOrDie(const std::string& csv) {
+  std::vector<uint64_t> seeds;
+  for (const std::string& token : SplitList(csv)) {
+    uint64_t seed = 0;
+    if (!ParseUint64Strict(token, &seed)) {
+      std::fprintf(stderr, "invalid seed '%s' in --seeds=%s\n", token.c_str(),
+                   csv.c_str());
+      std::exit(2);
+    }
+    if (std::find(seeds.begin(), seeds.end(), seed) != seeds.end()) {
+      std::fprintf(stderr, "duplicate seed %llu in --seeds=%s\n",
+                   static_cast<unsigned long long>(seed), csv.c_str());
+      std::exit(2);
+    }
+    seeds.push_back(seed);
+  }
+  return seeds;
+}
+
 std::optional<Sweep> RegistrySweep(const std::string& name) {
   const auto strong = data::StrongHomophilyDatasets();
   if (name == "table2") {
     return Sweep{"table2",
                  "Table II — I_fbias / I_frisk correlation (vanilla models)",
-                 CrossProduct(strong, AllModels(), {core::MethodKind::kVanilla})};
+                 CrossProduct(strong, AllModels(), {core::MethodKind::kVanilla}),
+                 {}};
   }
   if (name == "table3") {
     return Sweep{"table3", "Table III — accuracy and bias, GCN Vanilla vs Reg",
                  CrossProduct(strong, {nn::ModelKind::kGcn},
-                              {core::MethodKind::kVanilla, core::MethodKind::kReg})};
+                              {core::MethodKind::kVanilla, core::MethodKind::kReg}),
+                 {}};
   }
   if (name == "table4") {
     return Sweep{"table4", "Table IV — PPFR effectiveness, 3 datasets x 3 models",
-                 CrossProduct(strong, AllModels(), SuiteMethods())};
+                 CrossProduct(strong, AllModels(), SuiteMethods()), {}};
   }
   if (name == "table5" || name == "weak-homophily") {
     return Sweep{"table5", "Table V — weak-homophily study (GCN)",
                  CrossProduct(data::WeakHomophilyDatasets(), {nn::ModelKind::kGcn},
-                              SuiteMethods())};
+                              SuiteMethods()),
+                 {}};
   }
   if (name == "fig4") {
     return Sweep{"fig4", "Fig. 4 — attack AUC per distance, GCN vanilla vs Reg",
                  CrossProduct(strong, {nn::ModelKind::kGcn},
-                              {core::MethodKind::kVanilla, core::MethodKind::kReg})};
+                              {core::MethodKind::kVanilla, core::MethodKind::kReg}),
+                 {}};
   }
   if (name == "fig5") {
     return Sweep{"fig5", "Fig. 5 — accuracy cost per method, GCN and GAT",
                  CrossProduct(strong, {nn::ModelKind::kGcn, nn::ModelKind::kGat},
-                              SuiteMethods())};
+                              SuiteMethods()),
+                 {}};
   }
   if (name == "fig6" || name == "ablation") {
     return AblationSweep();
   }
   if (name == "fig7") {
     return Sweep{"fig7", "Fig. 7 — accuracy cost per method, GraphSAGE",
-                 CrossProduct(strong, {nn::ModelKind::kGraphSage}, SuiteMethods())};
+                 CrossProduct(strong, {nn::ModelKind::kGraphSage}, SuiteMethods()),
+                 {}};
   }
   if (name == "smoke") {
     return Sweep{"smoke", "CI smoke sweep — one dataset, one model, all methods",
                  CrossProduct({data::DatasetId::kCoraLike}, {nn::ModelKind::kGcn},
-                              SuiteMethods())};
+                              SuiteMethods()),
+                 {}};
+  }
+  if (name == "smoke-multiseed") {
+    // The smoke grid expanded over three method seeds by default — the
+    // registry's standing example of the paper's repeat-and-average
+    // protocol (any sweep does the same under --seeds=).
+    Sweep sweep{"smoke-multiseed",
+                "smoke grid aggregated over 3 method seeds (mean/stddev)",
+                CrossProduct({data::DatasetId::kCoraLike}, {nn::ModelKind::kGcn},
+                             SuiteMethods()),
+                {7, 8, 9}};
+    return sweep;
   }
   return std::nullopt;
 }
 
 std::vector<std::string> RegistrySweepNames() {
-  return {"table2", "table3", "table4", "table5", "fig4",
-          "fig5",   "fig6",   "fig7",   "smoke"};
+  return {"table2", "table3", "table4", "table5",         "fig4",
+          "fig5",   "fig6",   "fig7",   "smoke", "smoke-multiseed"};
 }
 
 Sweep SweepFromFlags(const Flags& flags, const std::string& default_name) {
@@ -322,6 +359,17 @@ Sweep SweepFromFlags(const Flags& flags, const std::string& default_name) {
       if (sweep.name.empty()) {
         sweep = std::move(*registered);
       } else {
+        // Conflicting default seed lists only matter when nothing overrides
+        // them — an explicit --seeds= / --seed= (applied by
+        // ApplyCommonOverrides after this) replaces the defaults anyway.
+        if (registered->seeds != sweep.seeds && !flags.Has("seeds") &&
+            !flags.Has("seed")) {
+          std::fprintf(stderr,
+                       "cannot merge sweeps '%s' and '%s': their default seed "
+                       "lists differ (pick one explicitly with --seeds=)\n",
+                       sweep.name.c_str(), registered->name.c_str());
+          std::exit(2);
+        }
         sweep.name += "+" + registered->name;
         sweep.title += " + " + registered->title;
         for (Scenario& cell : registered->cells) {
@@ -359,6 +407,16 @@ void ApplyFilters(const Flags& flags, Sweep* sweep) {
 }
 
 void ApplyCommonOverrides(const Flags& flags, Sweep* sweep) {
+  if (flags.Has("seed") && flags.Has("seeds")) {
+    std::fprintf(stderr,
+                 "--seed= and --seeds= are mutually exclusive (one pins a "
+                 "single method seed, the other expands the sweep)\n");
+    std::exit(2);
+  }
+  if (flags.Has("seeds")) {
+    sweep->seeds = ParseSeedListOrDie(flags.GetString("seeds", ""));
+  }
+  if (flags.Has("seed")) sweep->seeds.clear();  // a pinned seed beats defaults
   for (Scenario& cell : sweep->cells) {
     if (flags.Has("epochs")) {
       cell.overrides.epochs = flags.GetInt("epochs", 0);

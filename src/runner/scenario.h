@@ -46,6 +46,12 @@ struct Sweep {
   std::string name;   // artifact is written as BENCH_<name>.json
   std::string title;  // one-line human description
   std::vector<Scenario> cells;
+  // Seed list for multi-seed aggregation: when non-empty, RunSweep schedules
+  // every cell once per seed (seed-major, overriding overrides.seed) and the
+  // artifact reports per-seed values plus mean/stddev per metric. Empty (the
+  // default for most registry sweeps) runs each cell once with its resolved
+  // config seed. --seeds=0,1,2 overrides any per-scenario default.
+  std::vector<uint64_t> seeds;
 };
 
 // ---- Exact-match name parsing -------------------------------------------
@@ -74,12 +80,20 @@ std::vector<core::MethodKind> ParseMethodListOrDie(
 // Splits a string on `sep`, dropping empty tokens.
 std::vector<std::string> SplitList(const std::string& csv, char sep = ',');
 
+// Comma-separated seed list, parsed strictly (ParseUint64Strict): any
+// malformed or duplicate token dies with the offending value. Empty input
+// yields the empty list (= single-seed behaviour).
+std::vector<uint64_t> ParseSeedListOrDie(const std::string& csv);
+
 // ---- Registry ------------------------------------------------------------
 
 // Named sweeps reproducing the paper's tables and figures (see
 // EXPERIMENTS.md for the mapping). Known names: table2, table3, table4,
 // table5 (alias weak-homophily), fig4, fig5, fig6 (alias ablation), fig7,
-// smoke. Returns nullopt for unknown names.
+// smoke, smoke-multiseed (the smoke grid with a 3-seed default list — the
+// paper's tables average repeated runs, and this is the cheap registry
+// entry that exercises that path end-to-end). Returns nullopt for unknown
+// names.
 std::optional<Sweep> RegistrySweep(const std::string& name);
 
 // All registered sweep names, for usage listings.
@@ -99,7 +113,9 @@ Sweep SweepFromFlags(const Flags& flags, const std::string& default_name);
 void ApplyFilters(const Flags& flags, Sweep* sweep);
 
 // Applies the common cell-level flag overrides (--epochs=, --seed=) to every
-// cell of the sweep.
+// cell of the sweep, and --seeds= to the sweep's seed list. --seed and
+// --seeds are mutually exclusive (one pins a single method seed, the other
+// expands the sweep over several).
 void ApplyCommonOverrides(const Flags& flags, Sweep* sweep);
 
 }  // namespace ppfr::runner

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <set>
 
@@ -8,6 +9,7 @@
 #include "common/flags.h"
 #include "common/json_writer.h"
 #include "common/rng.h"
+#include "common/serialize.h"
 #include "common/table_printer.h"
 
 namespace ppfr {
@@ -176,6 +178,64 @@ TEST(FlagsTest, Uint64SeedsRoundTripWithoutTruncation) {
   EXPECT_EQ(flags.GetUint64("missing", 7), 7ULL);
 }
 
+TEST(StrictParseTest, AcceptsExactNumbersOnly) {
+  int64_t i = 0;
+  EXPECT_TRUE(ParseInt64Strict("-42", &i));
+  EXPECT_EQ(i, -42);
+  EXPECT_FALSE(ParseInt64Strict("", &i));
+  EXPECT_FALSE(ParseInt64Strict("12abc", &i));
+  EXPECT_FALSE(ParseInt64Strict("99999999999999999999", &i));  // overflow
+
+  uint64_t u = 0;
+  EXPECT_TRUE(ParseUint64Strict("18446744073709551615", &u));
+  EXPECT_EQ(u, 18446744073709551615ULL);
+  EXPECT_FALSE(ParseUint64Strict("18446744073709551616", &u));  // overflow
+  EXPECT_FALSE(ParseUint64Strict("-1", &u));  // strtoull would wrap this
+  EXPECT_FALSE(ParseUint64Strict("+1", &u));
+  EXPECT_FALSE(ParseUint64Strict("1 ", &u));
+  // Leading whitespace would let strtoull smuggle a sign past the
+  // first-character check (" -1" → ULLONG_MAX); exact parses only.
+  EXPECT_FALSE(ParseUint64Strict(" -1", &u));
+  EXPECT_FALSE(ParseUint64Strict("\t-2", &u));
+  EXPECT_FALSE(ParseUint64Strict(" 1", &u));
+  int64_t i2 = 0;
+  EXPECT_FALSE(ParseInt64Strict(" 5", &i2));
+  double d2 = 0.0;
+  EXPECT_FALSE(ParseDoubleStrict(" 0.5", &d2));
+
+  double d = 0.0;
+  EXPECT_TRUE(ParseDoubleStrict("2.5e-3", &d));
+  EXPECT_DOUBLE_EQ(d, 2.5e-3);
+  EXPECT_FALSE(ParseDoubleStrict("1.5x", &d));
+  EXPECT_FALSE(ParseDoubleStrict("1e999", &d));  // overflows to inf
+  EXPECT_FALSE(ParseDoubleStrict("inf", &d));    // strtod literals are garbage
+  EXPECT_FALSE(ParseDoubleStrict("nan", &d));    // flags too
+  EXPECT_TRUE(ParseDoubleStrict("1e-320", &d));  // subnormal underflow is fine
+}
+
+TEST(FlagsDeathTest, MalformedNumericFlagsExitFatally) {
+  // `--seed=12abc` used to silently parse as 12 and out-of-range values
+  // wrapped; every garbage numeric flag must now name itself and exit(2).
+  const char* argv[] = {"prog", "--seed=12abc", "--epochs=99999999999999999999",
+                        "--alpha=fast", "--neg=-1", "--flagonly", "--verbose=maybe"};
+  Flags flags(7, const_cast<char**>(argv));
+  EXPECT_EXIT(flags.GetUint64("seed", 0), ::testing::ExitedWithCode(2),
+              "invalid value for --seed: '12abc'");
+  EXPECT_EXIT(flags.GetInt("epochs", 0), ::testing::ExitedWithCode(2),
+              "invalid value for --epochs");
+  EXPECT_EXIT(flags.GetDouble("alpha", 0.0), ::testing::ExitedWithCode(2),
+              "invalid value for --alpha: 'fast'");
+  EXPECT_EXIT(flags.GetUint64("neg", 0), ::testing::ExitedWithCode(2),
+              "invalid value for --neg: '-1'");
+  // A bare "--flagonly" stores "true", which is not a number.
+  EXPECT_EXIT(flags.GetInt("flagonly", 0), ::testing::ExitedWithCode(2),
+              "invalid value for --flagonly: 'true'");
+  EXPECT_EXIT(flags.GetBool("verbose", false), ::testing::ExitedWithCode(2),
+              "invalid value for --verbose: 'maybe'");
+  // Absent flags still fall back to defaults without touching the parser.
+  EXPECT_EQ(flags.GetInt("missing", 3), 3);
+}
+
 TEST(FlagsTest, ReportsUnknownFlags) {
   const char* argv[] = {"prog", "--epochs=10", "--epoch=12", "--sed=3"};
   Flags flags(4, const_cast<char**>(argv));
@@ -229,6 +289,88 @@ TEST(JsonWriterTest, EscapesStringsAndSerialisesNonFiniteAsNull) {
   EXPECT_NE(json.find("\"a\\\"b\\\\c\\nd\\te\""), std::string::npos);
   EXPECT_NE(json.find("\"nan\": null"), std::string::npos);
   EXPECT_NE(json.find("\"inf\": null"), std::string::npos);
+}
+
+TEST(JsonWriterTest, JsonMetricMarksNonFiniteValues) {
+  JsonWriter w;
+  w.BeginObject();
+  JsonMetric(&w, "ok", 0.25);
+  JsonMetric(&w, "bad", std::nan(""));
+  JsonMetric(&w, "worse", -std::numeric_limits<double>::infinity());
+  w.EndObject();
+  const std::string json = w.ToString();
+  EXPECT_NE(json.find("\"ok\": 0.25"), std::string::npos);
+  EXPECT_EQ(json.find("\"ok_finite\""), std::string::npos);
+  EXPECT_NE(json.find("\"bad\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"bad_finite\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"worse_finite\": false"), std::string::npos);
+}
+
+TEST(SerializeTest, PrimitivesRoundTripBitwise) {
+  BinaryWriter w;
+  w.WriteU32(0xdeadbeefu);
+  w.WriteU64(0x0123456789abcdefULL);
+  w.WriteI64(-17);
+  w.WriteDouble(-0.0);
+  w.WriteDouble(std::nan(""));
+  w.WriteBool(true);
+  w.WriteString("hello\0world");  // embedded NUL would break a cstring format
+  w.WriteDoubleVec({1.5, -2.25});
+  w.WriteIntVec({-3, 0, 7});
+
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.ReadU32(), 0xdeadbeefu);
+  EXPECT_EQ(r.ReadU64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.ReadI64(), -17);
+  EXPECT_EQ(std::signbit(r.ReadDouble()), true);  // -0.0 preserved bitwise
+  EXPECT_TRUE(std::isnan(r.ReadDouble()));
+  EXPECT_TRUE(r.ReadBool());
+  EXPECT_EQ(r.ReadString(), std::string("hello"));  // literal truncates at NUL
+  EXPECT_EQ(r.ReadDoubleVec(), (std::vector<double>{1.5, -2.25}));
+  EXPECT_EQ(r.ReadIntVec(), (std::vector<int>{-3, 0, 7}));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, TruncationAndGarbageLengthsPoisonInsteadOfCrashing) {
+  BinaryWriter w;
+  w.WriteString("payload");
+  w.WriteDoubleVec({1.0, 2.0, 3.0});
+  const std::string& full = w.data();
+
+  // Every truncation point parses to a poisoned reader, never UB.
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    BinaryReader r(full.data(), cut);
+    (void)r.ReadString();
+    (void)r.ReadDoubleVec();
+    EXPECT_FALSE(r.AtEnd()) << "cut at " << cut;
+  }
+
+  // A garbage length prefix must not trigger a pathological allocation.
+  BinaryWriter bad;
+  bad.WriteU64(0xffffffffffffffffULL);
+  BinaryReader r(bad.data());
+  EXPECT_TRUE(r.ReadString().empty());
+  EXPECT_FALSE(r.ok());
+  // Reads after poisoning return zero values.
+  EXPECT_EQ(r.ReadU64(), 0u);
+}
+
+TEST(SerializeTest, WriteFileAtomicReportsFailuresAndLeavesNoPartials) {
+  const std::string dir = ::testing::TempDir();
+  const std::string path = dir + "/atomic_probe.bin";
+  EXPECT_TRUE(WriteFileAtomic(path, "abc"));
+  std::string back;
+  ASSERT_TRUE(ReadFileToString(path, &back));
+  EXPECT_EQ(back, "abc");
+  // Overwrite is atomic too.
+  EXPECT_TRUE(WriteFileAtomic(path, "xyz"));
+  ASSERT_TRUE(ReadFileToString(path, &back));
+  EXPECT_EQ(back, "xyz");
+  std::remove(path.c_str());
+
+  std::string error;
+  EXPECT_FALSE(WriteFileAtomic("/nonexistent-dir-zzz/out.json", "x", &error));
+  EXPECT_NE(error.find("/nonexistent-dir-zzz/out.json"), std::string::npos);
 }
 
 TEST(CheckDeathTest, FailedCheckAborts) {

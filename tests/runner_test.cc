@@ -6,10 +6,16 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
+#include "common/serialize.h"
+#include "core/snapshot.h"
 #include "influence/param_vector.h"
 #include "nn/trainer.h"
 #include "runner/run_cache.h"
@@ -159,6 +165,28 @@ TEST(KeyHasherTest, KeysDistinguishStageInputs) {
   EXPECT_NE(RunCache::CellKey(a, 123), RunCache::CellKey(a, 124));
 }
 
+TEST(KeyHasherTest, CanonicalizesNegativeZeroAndNaN) {
+  // -0.0 == 0.0 and NaNs are config-equivalent, so equal configs must hash
+  // equally — with the disk-persisted cache a spurious key split would be a
+  // user-visible recompute.
+  EXPECT_EQ(KeyHasher().Mix(0.0).hash(), KeyHasher().Mix(-0.0).hash());
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  const double payload_nan =
+      std::bit_cast<double>(std::bit_cast<uint64_t>(qnan) | 0x5ULL);
+  EXPECT_EQ(KeyHasher().Mix(qnan).hash(), KeyHasher().Mix(payload_nan).hash());
+  EXPECT_EQ(KeyHasher().Mix(-qnan).hash(), KeyHasher().Mix(qnan).hash());
+  // ...but canonicalization must not collapse distinct reals.
+  EXPECT_NE(KeyHasher().Mix(0.0).hash(), KeyHasher().Mix(1e-300).hash());
+
+  // End-to-end: a cell overridden with -0.0 shares the +0.0 cell's key.
+  Scenario plus = Cell(data::DatasetId::kCoraLike, nn::ModelKind::kGcn,
+                       core::MethodKind::kPpFr, 50);
+  plus.overrides.pp_gamma = 0.0;
+  Scenario minus = plus;
+  minus.overrides.pp_gamma = -0.0;
+  EXPECT_EQ(RunCache::CellKey(plus, 123), RunCache::CellKey(minus, 123));
+}
+
 TEST(RunCacheTest, CachedStagesBitwiseIdenticalToColdRuns) {
   const auto env = SharedCache().Env(data::DatasetId::kEnzymesLike, kEnvSeed);
   core::MethodConfig cfg =
@@ -304,6 +332,323 @@ TEST(SchedulerTest, ParallelCellsMatchSerialOrderBitwiseOn2x2x3Grid) {
   EXPECT_EQ(parallel.cache_stats.vanilla.misses, 4);
 }
 
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// A sweep exercising every persisted stage: vanilla train + eval, DP and PP
+// contexts, the FR solve, and whole cells.
+Sweep MiniSuiteSweep(int epochs) {
+  Sweep sweep;
+  sweep.name = "disk_mini";
+  for (core::MethodKind method :
+       {core::MethodKind::kVanilla, core::MethodKind::kDpFr,
+        core::MethodKind::kPpFr}) {
+    sweep.cells.push_back(
+        Cell(data::DatasetId::kEnzymesLike, nn::ModelKind::kGcn, method, epochs));
+  }
+  return sweep;
+}
+
+void ExpectSweepBitwiseEq(const SweepResult& a, const SweepResult& b) {
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (size_t i = 0; i < a.cells.size(); ++i) {
+    SCOPED_TRACE("cell " + std::to_string(i) + " " +
+                 a.cells[i].scenario.DisplayLabel());
+    ExpectEvalBitwiseEq(a.cells[i].run->eval, b.cells[i].run->eval);
+    ExpectEvalBitwiseEq(a.cells[i].vanilla_eval, b.cells[i].vanilla_eval);
+    ASSERT_EQ(a.cells[i].run->fr_weights.size(), b.cells[i].run->fr_weights.size());
+    for (size_t j = 0; j < a.cells[i].run->fr_weights.size(); ++j) {
+      ASSERT_EQ(a.cells[i].run->fr_weights[j], b.cells[i].run->fr_weights[j]);
+    }
+    const std::vector<double> pa = influence::FlattenValues(a.cells[i].run->model->Params());
+    const std::vector<double> pb = influence::FlattenValues(b.cells[i].run->model->Params());
+    ASSERT_EQ(pa.size(), pb.size());
+    for (size_t j = 0; j < pa.size(); ++j) {
+      ASSERT_EQ(pa[j], pb[j]) << "param " << j;
+    }
+  }
+}
+
+TEST(DiskCacheTest, FreshProcessReloadsEveryStageWithoutTraining) {
+  const std::string dir = ::testing::TempDir() + "/disk_cache_roundtrip";
+  std::filesystem::remove_all(dir);
+  const Sweep sweep = MiniSuiteSweep(6);
+  RunnerOptions opts;
+  opts.threads = 1;
+  opts.env_seed = kEnvSeed;
+  opts.verbose = false;
+
+  RunCache cold(dir);
+  const SweepResult first = RunSweep(sweep, &cold, opts);
+  EXPECT_GT(first.trainer_invocations, 0);
+  EXPECT_EQ(first.cache_stats.cell.disk_hits, 0);
+
+  // A fresh RunCache over the same dir stands in for a second process — the
+  // keys are process-stable content hashes, so nothing in-memory carries
+  // over. Every stage must come off disk: zero nn::Train calls, results
+  // bitwise identical, stable artifacts byte-for-byte equal.
+  RunCache warm(dir);
+  const SweepResult second = RunSweep(sweep, &warm, opts);
+  EXPECT_EQ(second.trainer_invocations, 0);
+  EXPECT_EQ(second.cache_stats.cell.disk_hits,
+            static_cast<int64_t>(sweep.cells.size()));
+  ExpectSweepBitwiseEq(first, second);
+
+  const std::string dir1 = ::testing::TempDir() + "/disk_art1";
+  const std::string dir2 = ::testing::TempDir() + "/disk_art2";
+  std::filesystem::create_directories(dir1);
+  std::filesystem::create_directories(dir2);
+  ArtifactOptions stable;
+  stable.stable = true;
+  const std::string path1 = WriteArtifact(first, dir1, stable);
+  const std::string path2 = WriteArtifact(second, dir2, stable);
+  EXPECT_EQ(ReadFileOrDie(path1), ReadFileOrDie(path2))
+      << "stable artifacts must be bitwise identical across processes";
+
+  // The vanilla stage itself also reloads train-free for a third consumer.
+  RunCache third(dir);
+  const auto env = SharedCache().Env(data::DatasetId::kEnzymesLike, kEnvSeed);
+  const int64_t trains_before = nn::TrainInvocationCount();
+  const core::EvalResult eval = third.VanillaEval(
+      nn::ModelKind::kGcn, *env, sweep.cells[0].ResolvedConfig());
+  EXPECT_EQ(nn::TrainInvocationCount(), trains_before);
+  ExpectEvalBitwiseEq(eval, first.cells[0].run->eval);
+}
+
+TEST(DiskCacheTest, CorruptAndForeignEntriesRecoverBitwise) {
+  const std::string dir = ::testing::TempDir() + "/disk_cache_corrupt";
+  std::filesystem::remove_all(dir);
+  const Sweep sweep = MiniSuiteSweep(6);
+  RunnerOptions opts;
+  opts.threads = 1;
+  opts.env_seed = kEnvSeed;
+  opts.verbose = false;
+
+  RunCache cold(dir);
+  const SweepResult first = RunSweep(sweep, &cold, opts);
+
+  // Vandalise the store: truncate every cell entry mid-payload, garbage the
+  // FR entry, and leave the rest intact.
+  int mangled = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.starts_with("cell-")) {
+      const std::string bytes = ReadFileOrDie(entry.path().string());
+      std::ofstream out(entry.path(), std::ios::trunc | std::ios::binary);
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+      ++mangled;
+    } else if (name.starts_with("fr-")) {
+      std::ofstream out(entry.path(), std::ios::trunc | std::ios::binary);
+      out << "not a cache entry";
+      ++mangled;
+    }
+  }
+  ASSERT_GT(mangled, 0);
+
+  // Recovery: corrupt entries are deleted and recomputed (never a crash),
+  // and the recompute reproduces the original numbers bitwise. The intact
+  // vanilla entry still loads, so the DP/PP cells only pay their fine-tune.
+  RunCache recover(dir);
+  const SweepResult recovered = RunSweep(sweep, &recover, opts);
+  ExpectSweepBitwiseEq(first, recovered);
+  EXPECT_EQ(recovered.cache_stats.vanilla.disk_hits, 1);
+
+  // The recompute rewrote clean entries: one more fresh cache is train-free.
+  RunCache warm(dir);
+  const SweepResult warm_run = RunSweep(sweep, &warm, opts);
+  EXPECT_EQ(warm_run.trainer_invocations, 0);
+  ExpectSweepBitwiseEq(first, warm_run);
+}
+
+TEST(DiskCacheTest, MismatchedFingerprintIsAMissNotACrash) {
+  const std::string dir = ::testing::TempDir() + "/disk_cache_foreign";
+  std::filesystem::remove_all(dir);
+  CacheStore store(dir);
+  ASSERT_TRUE(store.enabled());
+  store.Store("fr", 42, "payload");
+  std::string payload;
+  ASSERT_TRUE(store.Load("fr", 42, &payload));
+  EXPECT_EQ(payload, "payload");
+  // Another key never aliases.
+  EXPECT_FALSE(store.Load("fr", 43, &payload));
+
+  // Rewrite the entry as if a different build had produced it: flip a byte
+  // inside the stored fingerprint region. Structurally intact ⇒ plain miss,
+  // and the file survives for its producer.
+  const std::string path = store.EntryPath("fr", 42);
+  std::string bytes = ReadFileOrDie(path);
+  // Header layout: magic u64 (0-7), format u32 (8-11), fingerprint length
+  // u64 (12-19), fingerprint chars from 20 ("v1|backend=..."); flipping the
+  // low bit of the '1' at offset 21 yields an intact "v0|..." fingerprint.
+  bytes[21] ^= 0x1;
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_FALSE(store.Load("fr", 42, &payload));
+  EXPECT_TRUE(std::filesystem::exists(path));
+
+  // A foreign-magic file (another tool's, or a future format) is not ours
+  // to delete either: plain miss, file left in place.
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << "alien bytes with no ppfr magic";
+  }
+  EXPECT_FALSE(store.Load("fr", 42, &payload));
+  EXPECT_TRUE(std::filesystem::exists(path));
+
+  // But a magic-matching truncation IS corruption: deleted on sight.
+  store.Store("fr", 42, "payload");
+  std::string intact = ReadFileOrDie(path);
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out.write(intact.data(), static_cast<std::streamsize>(intact.size() - 3));
+  }
+  EXPECT_FALSE(store.Load("fr", 42, &payload));
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+TEST(MultiSeedTest, SeedExpansionMatchesIndependentRunsAndAggregates) {
+  Sweep sweep;
+  sweep.name = "multiseed_mini";
+  sweep.cells.push_back(Cell(data::DatasetId::kEnzymesLike, nn::ModelKind::kGcn,
+                             core::MethodKind::kVanilla, 6));
+  sweep.cells.push_back(Cell(data::DatasetId::kEnzymesLike, nn::ModelKind::kGcn,
+                             core::MethodKind::kReg, 6));
+  sweep.seeds = {3, 4};
+
+  RunnerOptions opts;
+  opts.threads = 1;
+  opts.env_seed = kEnvSeed;
+  opts.verbose = false;
+  RunCache cache;
+  const SweepResult result = RunSweep(sweep, &cache, opts);
+
+  // Seed-major expansion: each seed block repeats the cell order.
+  ASSERT_EQ(result.cells.size(), 4u);
+  EXPECT_EQ(result.seeds, (std::vector<uint64_t>{3, 4}));
+  EXPECT_EQ(result.cells[0].seed, 3u);
+  EXPECT_EQ(result.cells[1].seed, 3u);
+  EXPECT_EQ(result.cells[2].seed, 4u);
+  EXPECT_EQ(result.cells[3].seed, 4u);
+  EXPECT_EQ(result.cells[0].scenario.method, core::MethodKind::kVanilla);
+  EXPECT_EQ(result.cells[2].scenario.method, core::MethodKind::kVanilla);
+
+  // Each instance is bitwise identical to an independent cold run pinned to
+  // that seed — expansion changes scheduling, not numbers.
+  const auto env = SharedCache().Env(data::DatasetId::kEnzymesLike, kEnvSeed);
+  for (size_t i = 0; i < result.cells.size(); ++i) {
+    SCOPED_TRACE("cell " + std::to_string(i));
+    core::MethodConfig cfg = result.cells[i].scenario.ResolvedConfig();
+    EXPECT_EQ(cfg.seed, result.cells[i].seed);
+    const core::MethodRun cold = core::RunMethod(
+        result.cells[i].scenario.method, nn::ModelKind::kGcn, *env, cfg, nullptr);
+    ExpectEvalBitwiseEq(cold.eval, result.cells[i].run->eval);
+  }
+
+  // Aggregates group by logical cell across seeds, in first-appearance
+  // order, and report exact mean / sample-stddev over the per-seed values.
+  const std::vector<CellAggregate> aggregates = AggregateCells(result);
+  ASSERT_EQ(aggregates.size(), 2u);
+  EXPECT_EQ(aggregates[0].scenario.method, core::MethodKind::kVanilla);
+  EXPECT_EQ(aggregates[1].scenario.method, core::MethodKind::kReg);
+  for (const CellAggregate& agg : aggregates) {
+    EXPECT_EQ(agg.seeds, (std::vector<uint64_t>{3, 4}));
+    ASSERT_EQ(agg.metrics.at("accuracy").values.size(), 2u);
+  }
+  const MetricAggregate& acc = aggregates[1].metrics.at("accuracy");
+  const double v0 = result.cells[1].run->eval.accuracy;
+  const double v1 = result.cells[3].run->eval.accuracy;
+  EXPECT_EQ(acc.values[0], v0);
+  EXPECT_EQ(acc.values[1], v1);
+  EXPECT_EQ(acc.mean, (v0 + v1) / 2.0);
+  const double mean = (v0 + v1) / 2.0;
+  const double want_stddev =
+      std::sqrt((v0 - mean) * (v0 - mean) + (v1 - mean) * (v1 - mean));
+  EXPECT_DOUBLE_EQ(acc.stddev, want_stddev);
+
+  // A single-instance group degrades to stddev 0 without schema changes.
+  Sweep single = sweep;
+  single.seeds.clear();
+  const SweepResult single_result = RunSweep(single, &cache, opts);
+  const std::vector<CellAggregate> single_aggs = AggregateCells(single_result);
+  ASSERT_EQ(single_aggs.size(), 2u);
+  EXPECT_EQ(single_aggs[0].metrics.at("accuracy").values.size(), 1u);
+  EXPECT_EQ(single_aggs[0].metrics.at("accuracy").stddev, 0.0);
+}
+
+TEST(MultiSeedTest, SeedsFlagParsingAndRegistryDefaults) {
+  EXPECT_EQ(ParseSeedListOrDie("0,1,2"), (std::vector<uint64_t>{0, 1, 2}));
+  EXPECT_TRUE(ParseSeedListOrDie("").empty());
+  EXPECT_EXIT(ParseSeedListOrDie("1,2x,3"), ::testing::ExitedWithCode(2),
+              "invalid seed '2x'");
+  EXPECT_EXIT(ParseSeedListOrDie("1,1"), ::testing::ExitedWithCode(2),
+              "duplicate seed 1");
+
+  {
+    const char* argv[] = {"prog", "--seeds=5,6"};
+    Flags flags(2, const_cast<char**>(argv));
+    Sweep sweep = *RegistrySweep("smoke");
+    ApplyCommonOverrides(flags, &sweep);
+    EXPECT_EQ(sweep.seeds, (std::vector<uint64_t>{5, 6}));
+  }
+  {
+    // A pinned --seed= beats any default seed list.
+    const char* argv[] = {"prog", "--seed=11"};
+    Flags flags(2, const_cast<char**>(argv));
+    Sweep sweep = *RegistrySweep("smoke-multiseed");
+    EXPECT_EQ(sweep.seeds.size(), 3u);
+    ApplyCommonOverrides(flags, &sweep);
+    EXPECT_TRUE(sweep.seeds.empty());
+    EXPECT_EQ(*sweep.cells[0].overrides.seed, 11u);
+  }
+  {
+    const char* argv[] = {"prog", "--seed=1", "--seeds=1,2"};
+    Flags flags(3, const_cast<char**>(argv));
+    Sweep sweep = *RegistrySweep("smoke");
+    EXPECT_EXIT(ApplyCommonOverrides(flags, &sweep),
+                ::testing::ExitedWithCode(2), "mutually exclusive");
+  }
+  {
+    // Merging sweeps with conflicting default seed lists dies without an
+    // override...
+    const char* argv[] = {"prog", "--scenarios=smoke,smoke-multiseed"};
+    Flags flags(2, const_cast<char**>(argv));
+    EXPECT_EXIT(SweepFromFlags(flags, "smoke"), ::testing::ExitedWithCode(2),
+                "default seed lists differ");
+  }
+  {
+    // ...but an explicit --seeds= resolves the conflict, exactly as the
+    // error message advises.
+    const char* argv[] = {"prog", "--scenarios=smoke,smoke-multiseed",
+                          "--seeds=5"};
+    Flags flags(3, const_cast<char**>(argv));
+    Sweep merged = SweepFromFlags(flags, "smoke");
+    ApplyCommonOverrides(flags, &merged);
+    EXPECT_EQ(merged.cells.size(), 10u);
+    EXPECT_EQ(merged.seeds, (std::vector<uint64_t>{5}));
+  }
+}
+
+TEST(SnapshotTest, GarbageEdgeCountIsRejectedBeforeAllocating) {
+  // A checksum could in principle collide, so the snapshot loaders must be
+  // total on arbitrary bytes too: a garbage edge count may not trigger a
+  // pathological reserve() (length_error would escape this exception-free
+  // codebase as a crash).
+  BinaryWriter w;
+  w.WriteI32(3);                         // num_nodes
+  w.WriteU64(0xffffffffffffffffULL);     // num_edges: larger than any stream
+  BinaryReader r(w.data());
+  const la::Matrix features(3, 2);
+  nn::GraphContext ctx;
+  EXPECT_FALSE(core::LoadGraphContext(&r, features, &ctx));
+}
+
 TEST(ArtifactTest, WritesUniformSchemaGolden) {
   Sweep sweep;
   sweep.name = "artifact_probe";
@@ -319,33 +664,47 @@ TEST(ArtifactTest, WritesUniformSchemaGolden) {
   opts.verbose = false;
   SweepResult result = RunSweep(sweep, &SharedCache(), opts);
   result.cells[0].extra["probe_metric"] = 0.5;
+  result.cells[1].extra["bad_metric"] = std::numeric_limits<double>::quiet_NaN();
 
   const std::string dir = ::testing::TempDir();
   const std::string path = WriteArtifact(result, dir);
   EXPECT_EQ(path, dir + "/BENCH_artifact_probe.json");
-
-  std::ifstream in(path);
-  ASSERT_TRUE(in.good());
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  const std::string json = buffer.str();
+  const std::string json = ReadFileOrDie(path);
 
   // The uniform schema every sweep artifact shares (CI diffs the same list
   // against bench/golden/artifact_schema.txt).
   for (const char* key :
-       {"\"schema_version\"", "\"sweep\"", "\"title\"", "\"backend\"",
+       {"\"schema_version\": 2", "\"sweep\"", "\"title\"", "\"backend\"",
         "\"backend_threads\"", "\"runner_threads\"", "\"env_seed\"",
-        "\"wall_seconds\"", "\"trainer_invocations\"", "\"cache\"", "\"env\"",
-        "\"vanilla\"", "\"dp_context\"", "\"pp_context\"", "\"fr\"", "\"cell\"",
-        "\"hits\"", "\"misses\"", "\"cells\"", "\"dataset\"", "\"model\"",
-        "\"method\"", "\"label\"", "\"seconds\"", "\"cache_hit\"", "\"eval\"",
-        "\"accuracy\"", "\"bias\"", "\"risk_auc\"", "\"delta_d\"", "\"delta\"",
-        "\"d_acc\"", "\"d_bias\"", "\"d_risk\"", "\"combined\"", "\"extra\"",
-        "\"probe_metric\""}) {
+        "\"seeds\"", "\"stable\"", "\"wall_seconds\"", "\"trainer_invocations\"",
+        "\"cache\"", "\"env\"", "\"vanilla\"", "\"dp_context\"", "\"pp_context\"",
+        "\"fr\"", "\"cell\"", "\"hits\"", "\"misses\"", "\"disk_hits\"",
+        "\"cells\"", "\"dataset\"", "\"model\"", "\"method\"", "\"label\"",
+        "\"seed\"", "\"seconds\"", "\"cache_hit\"", "\"eval\"", "\"accuracy\"",
+        "\"bias\"", "\"risk_auc\"", "\"delta_d\"", "\"delta\"", "\"d_acc\"",
+        "\"d_bias\"", "\"d_risk\"", "\"combined\"", "\"extra\"",
+        "\"probe_metric\"", "\"aggregates\"", "\"metrics\"", "\"mean\"",
+        "\"stddev\"", "\"values\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << "artifact missing " << key;
   }
   EXPECT_NE(json.find("\"sweep\": \"artifact_probe\""), std::string::npos);
+  // A non-finite metric serialises as null but announces itself with a
+  // sibling marker instead of corrupting the trajectory silently.
+  EXPECT_NE(json.find("\"bad_metric\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"bad_metric_finite\": false"), std::string::npos);
   std::remove(path.c_str());
+
+  // Stable mode zeroes only the run-varying fields; schema and results are
+  // untouched, so two identical-result runs produce identical bytes.
+  ArtifactOptions stable;
+  stable.stable = true;
+  const std::string stable_path = WriteArtifact(result, dir, stable);
+  const std::string stable_json = ReadFileOrDie(stable_path);
+  EXPECT_NE(stable_json.find("\"stable\": true"), std::string::npos);
+  EXPECT_NE(stable_json.find("\"wall_seconds\": 0"), std::string::npos);
+  EXPECT_NE(stable_json.find("\"trainer_invocations\": 0"), std::string::npos);
+  EXPECT_NE(stable_json.find("\"probe_metric\": 0.5"), std::string::npos);
+  std::remove(stable_path.c_str());
 }
 
 TEST(ScenarioTest, RegistryCoversEveryPaperSweep) {
@@ -355,6 +714,10 @@ TEST(ScenarioTest, RegistryCoversEveryPaperSweep) {
     EXPECT_FALSE(sweep->cells.empty()) << name;
   }
   EXPECT_FALSE(RegistrySweep("no_such_sweep").has_value());
+  // The multiseed smoke entry carries the registry's only default seed list.
+  EXPECT_EQ(RegistrySweep("smoke-multiseed")->seeds,
+            (std::vector<uint64_t>{7, 8, 9}));
+  EXPECT_TRUE(RegistrySweep("smoke")->seeds.empty());
   // Aliases resolve to the same cells.
   EXPECT_EQ(RegistrySweep("table5")->cells.size(),
             RegistrySweep("weak-homophily")->cells.size());
