@@ -48,11 +48,11 @@ int main(int argc, char** argv) {
     influence::InfluenceCalculator calculator(model.get(), env->ctx,
                                               env->train_nodes(), env->labels(),
                                               cfg.fr.influence);
-    const std::vector<double> bias_influence =
-        calculator.InfluenceOnBias(env->similarity.laplacian);
-    const std::vector<double> risk_influence =
-        calculator.InfluenceOnRisk(env->attack_pairs);
-    cell.extra["pearson_r"] = la::PearsonCorrelation(bias_influence, risk_influence);
+    // One 2-RHS block inverse-HVP solve for both influence vectors.
+    const std::vector<std::vector<double>> batched = calculator.InfluenceOnFunctions(
+        {influence::InfluenceCalculator::BiasFunction(env->similarity.laplacian),
+         influence::InfluenceCalculator::RiskFunction(env->attack_pairs)});
+    cell.extra["pearson_r"] = la::PearsonCorrelation(batched[0], batched[1]);
     std::fprintf(stderr, "  [%s/%s] r = %.3f\n",
                  data::DatasetName(cell.scenario.dataset).c_str(),
                  nn::ModelKindName(cell.scenario.model).c_str(),

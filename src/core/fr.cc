@@ -1,5 +1,7 @@
 #include "core/fr.h"
 
+#include <utility>
+
 #include "solver/qclp.h"
 
 namespace ppfr::core {
@@ -12,8 +14,14 @@ FrOutput ComputeFairnessWeights(nn::GnnModel* model, const nn::GraphContext& ctx
   influence::InfluenceCalculator calculator(model, ctx, train_nodes, labels,
                                             config.influence);
   FrOutput out;
-  out.bias_influence = calculator.InfluenceOnBias(laplacian);
-  out.util_influence = calculator.InfluenceOnUtility();
+  // Bias and utility influences share one 2-RHS block inverse-HVP solve (and
+  // the batched -SᵀG contraction) instead of two independent CG chains; with
+  // influence.cg_block = 1 this reduces to the single-RHS oracle per column.
+  std::vector<std::vector<double>> batched = calculator.InfluenceOnFunctions(
+      {influence::InfluenceCalculator::BiasFunction(laplacian),
+       calculator.UtilityFunction()});
+  out.bias_influence = std::move(batched[0]);
+  out.util_influence = std::move(batched[1]);
 
   // Sign bookkeeping. By the implicit function theorem dθ*/dw_v = -H⁻¹∇L_v,
   // so df/dw_v = -∇fᵀH⁻¹∇L_v — which is exactly what the calculator returns

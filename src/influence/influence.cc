@@ -1,6 +1,8 @@
 #include "influence/influence.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <utility>
 
 #include "fairness/bias_metric.h"
 #include "influence/param_vector.h"
@@ -14,7 +16,11 @@ InfluenceCalculator::InfluenceCalculator(nn::GnnModel* model,
                                          std::vector<int> train_nodes,
                                          const std::vector<int>& labels,
                                          const InfluenceConfig& config)
-    : model_(model), ctx_(ctx), train_nodes_(std::move(train_nodes)), config_(config) {
+    : model_(model),
+      ctx_(ctx),
+      train_nodes_(std::move(train_nodes)),
+      labels_(labels),
+      config_(config) {
   PPFR_CHECK(!train_nodes_.empty());
   params_ = model_->Params();
   train_labels_.reserve(train_nodes_.size());
@@ -23,6 +29,25 @@ InfluenceCalculator::InfluenceCalculator(nn::GnnModel* model,
     PPFR_CHECK_LT(v, static_cast<int>(labels.size()));
     train_labels_.push_back(labels[v]);
   }
+}
+
+int ResolveCgBlock(int configured) {
+  if (configured > 0) return configured;
+  if (const char* env = std::getenv("PPFR_CG_BLOCK")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 8;
+}
+
+int InfluenceCalculator::ResolvedCgBlock() const {
+  return ResolveCgBlock(config_.cg_block);
+}
+
+int InfluenceCalculator::ResolvedLanes(int num_items) const {
+  int lanes = config_.tape_pool_lanes;
+  if (lanes <= 0) lanes = std::min(la::ActiveBackend().num_threads(), 8);
+  return std::max(1, std::min(lanes, num_items));
 }
 
 std::vector<double> InfluenceCalculator::TrainingLossGrad() {
@@ -68,9 +93,7 @@ const std::vector<std::vector<double>>& InfluenceCalculator::PerNodeLossGrads() 
 }
 
 std::vector<std::vector<double>> InfluenceCalculator::PerNodeLossGradsPooled() {
-  int lanes = config_.tape_pool_lanes;
-  if (lanes <= 0) lanes = std::min(la::ActiveBackend().num_threads(), 8);
-  lanes = std::max(1, std::min<int>(lanes, static_cast<int>(train_nodes_.size())));
+  const int lanes = ResolvedLanes(static_cast<int>(train_nodes_.size()));
   TapePool pool(
       [this](ag::Tape& tape) {
         ag::Var logits = model_->Forward(tape, ctx_, nn::ForwardOptions{});
@@ -113,45 +136,167 @@ InfluenceCalculator::PerNodeLossGradsSerialReference() {
   return grads;
 }
 
+BatchGradFn InfluenceCalculator::BatchTrainGrad() {
+  if (grad_lane_pool_ == nullptr) {
+    // Every lane owns a full model clone, so probe-point evaluation never
+    // touches the real parameters. Lane count follows tape_pool_lanes; the
+    // per-point gradients are lane-count-invariant bit for bit.
+    const int lanes = ResolvedLanes(2 * ResolvedCgBlock());
+    grad_lane_pool_ = std::make_unique<GradLanePool>(
+        [this]() {
+          GradLane lane;
+          std::unique_ptr<nn::GnnModel> clone = model_->Clone();
+          nn::GnnModel* m = clone.get();
+          lane.params = m->Params();
+          lane.graph = std::make_unique<ReusableLossGraph>(
+              [this, m](ag::Tape& tape) {
+                ag::Var logits = m->Forward(tape, ctx_, nn::ForwardOptions{});
+                ag::Var logp = ag::LogSoftmaxRows(logits);
+                const std::vector<double> ones(train_nodes_.size(), 1.0);
+                return ag::WeightedNll(logp, train_nodes_, train_labels_, ones,
+                                       static_cast<double>(train_nodes_.size()));
+              },
+              lane.params);
+          lane.owner = std::shared_ptr<void>(std::move(clone));
+          return lane;
+        },
+        lanes);
+  }
+  return [this](const std::vector<std::vector<double>>& points) {
+    return grad_lane_pool_->GradsAt(points);
+  };
+}
+
+MultiVector InfluenceCalculator::SolveRhsBlock(const MultiVector& b) {
+  const int block = ResolvedCgBlock();
+  const GradFn train_grad = [this] { return TrainingLossGrad(); };
+  const BatchGradFn batch_grad = BatchTrainGrad();
+  MultiVector solution(b.dim(), b.k());
+  for (int begin = 0; begin < b.k(); begin += block) {
+    const int end = std::min(begin + block, b.k());
+    std::vector<int> cols(static_cast<size_t>(end - begin));
+    for (int j = begin; j < end; ++j) cols[static_cast<size_t>(j - begin)] = j;
+    const BlockCgResult chunk = BlockConjugateGradientSolve(
+        params_, train_grad, batch_grad, b.SelectColumns(cols), config_.cg);
+    for (int j = begin; j < end; ++j) {
+      solution.SetColumn(j, chunk.x.Column(j - begin));
+      if (chunk.converged[static_cast<size_t>(j - begin)]) ++block_stats_.converged_rhs;
+    }
+    ++block_stats_.solves;
+    block_stats_.block_iterations += chunk.stats.block_iterations;
+    block_stats_.grad_evals += chunk.stats.grad_evals;
+    block_stats_.total_rhs += end - begin;
+    block_stats_.algebra_seconds += chunk.stats.algebra_seconds;
+    block_stats_.algebra_flops += chunk.stats.algebra_flops;
+  }
+  return solution;
+}
+
+std::vector<std::vector<double>> InfluenceCalculator::ContractAgainstNodeGrads(
+    const MultiVector& s) {
+  // I(i, v) = -s_iᵀ ∇θL_v: one (num_f × num_train) GEMM-T against the cached
+  // node-gradient block instead of num_f · num_train separate VDots.
+  const MultiVector node_grads = MultiVector::FromColumns(PerNodeLossGrads());
+  const la::Matrix prod = BlockGram(s, node_grads);
+  std::vector<std::vector<double>> influence(
+      static_cast<size_t>(s.k()),
+      std::vector<double>(train_nodes_.size(), 0.0));
+  for (int i = 0; i < s.k(); ++i) {
+    for (size_t v = 0; v < train_nodes_.size(); ++v) {
+      influence[static_cast<size_t>(i)][v] = -prod(i, static_cast<int>(v));
+    }
+  }
+  return influence;
+}
+
+std::vector<std::vector<double>> InfluenceCalculator::InfluenceOnFunctions(
+    const std::vector<FunctionBuilder>& builders) {
+  if (builders.empty()) return {};
+  std::vector<std::vector<double>> rhs;
+  rhs.reserve(builders.size());
+  for (const FunctionBuilder& build_f : builders) rhs.push_back(FunctionGrad(build_f));
+  return ContractAgainstNodeGrads(SolveRhsBlock(MultiVector::FromColumns(rhs)));
+}
+
+std::vector<std::vector<double>> InfluenceCalculator::InfluenceOnNodeLosses(
+    const std::vector<int>& target_nodes) {
+  if (target_nodes.empty()) return {};
+  for (int t : target_nodes) {
+    PPFR_CHECK_GE(t, 0);
+    PPFR_CHECK_LT(t, static_cast<int>(labels_.size()));
+  }
+  // All target-node loss gradients ∇θL_t from ONE shared forward pass, the
+  // same seeded-backward machinery as the per-train-node sweep.
+  TapePool pool(
+      [this](ag::Tape& tape) {
+        ag::Var logits = model_->Forward(tape, ctx_, nn::ForwardOptions{});
+        return ag::LogSoftmaxRows(logits);
+      },
+      params_, ResolvedLanes(static_cast<int>(target_nodes.size())));
+  const std::vector<std::vector<double>> rhs = pool.PerSeedGrads(
+      static_cast<int>(target_nodes.size()),
+      [this, &target_nodes](int k, std::vector<int>* rows, std::vector<int>* cols,
+                            std::vector<double>* values) {
+        const int t = target_nodes[static_cast<size_t>(k)];
+        rows->push_back(t);
+        cols->push_back(labels_[static_cast<size_t>(t)]);
+        values->push_back(-1.0);
+      });
+  return ContractAgainstNodeGrads(SolveRhsBlock(MultiVector::FromColumns(rhs)));
+}
+
 std::vector<double> InfluenceCalculator::InfluenceOnFunction(
     const FunctionBuilder& build_f) {
   const std::vector<double> grad_f = FunctionGrad(build_f);
   const GradFn train_grad = [this] { return TrainingLossGrad(); };
   const CgResult solve = ConjugateGradientSolve(params_, train_grad, grad_f, config_.cg);
 
-  // I_f(w_v) = -s_fᵀ ∇θL_v with s_f = H⁻¹∇θf.
-  const auto& node_grads = PerNodeLossGrads();
-  std::vector<double> influence(train_nodes_.size());
-  for (size_t k = 0; k < node_grads.size(); ++k) {
-    influence[k] = -VecDot(solve.x, node_grads[k]);
-  }
-  return influence;
+  // I_f(w_v) = -s_fᵀ ∇θL_v with s_f = H⁻¹∇θf. The contraction runs through
+  // the same GEMM-T kernel as the batched path (not a VDot per node), so a
+  // cg_block = 1 batched call is bitwise identical to this oracle on every
+  // backend — the reduction order matches by construction.
+  return ContractAgainstNodeGrads(MultiVector::FromColumns({solve.x}))[0];
+}
+
+FunctionBuilder InfluenceCalculator::BiasFunction(
+    const std::shared_ptr<const la::CsrMatrix>& laplacian) {
+  return [laplacian](ag::Tape& tape, ag::Var logits) {
+    (void)tape;
+    ag::Var probs = ag::SoftmaxRows(logits);
+    return ag::LaplacianQuadratic(laplacian, probs);
+  };
+}
+
+FunctionBuilder InfluenceCalculator::RiskFunction(const privacy::PairSample& pairs) {
+  return [pairs](ag::Tape& tape, ag::Var logits) {
+    return privacy::RiskSurrogate(tape, logits, pairs);
+  };
+}
+
+FunctionBuilder InfluenceCalculator::UtilityFunction() const {
+  const std::vector<int> nodes = train_nodes_;
+  const std::vector<int> node_labels = train_labels_;
+  return [nodes, node_labels](ag::Tape& tape, ag::Var logits) {
+    (void)tape;
+    ag::Var logp = ag::LogSoftmaxRows(logits);
+    const std::vector<double> ones(nodes.size(), 1.0);
+    return ag::WeightedNll(logp, nodes, node_labels, ones,
+                           static_cast<double>(nodes.size()));
+  };
 }
 
 std::vector<double> InfluenceCalculator::InfluenceOnBias(
     const std::shared_ptr<const la::CsrMatrix>& laplacian) {
-  return InfluenceOnFunction([laplacian](ag::Tape& tape, ag::Var logits) {
-    (void)tape;
-    ag::Var probs = ag::SoftmaxRows(logits);
-    return ag::LaplacianQuadratic(laplacian, probs);
-  });
+  return InfluenceOnFunction(BiasFunction(laplacian));
 }
 
 std::vector<double> InfluenceCalculator::InfluenceOnRisk(
     const privacy::PairSample& pairs) {
-  return InfluenceOnFunction([&pairs](ag::Tape& tape, ag::Var logits) {
-    return privacy::RiskSurrogate(tape, logits, pairs);
-  });
+  return InfluenceOnFunction(RiskFunction(pairs));
 }
 
 std::vector<double> InfluenceCalculator::InfluenceOnUtility() {
-  return InfluenceOnFunction([this](ag::Tape& tape, ag::Var logits) {
-    (void)tape;
-    ag::Var logp = ag::LogSoftmaxRows(logits);
-    const std::vector<double> ones(train_nodes_.size(), 1.0);
-    return ag::WeightedNll(logp, train_nodes_, train_labels_, ones,
-                           static_cast<double>(train_nodes_.size()));
-  });
+  return InfluenceOnFunction(UtilityFunction());
 }
 
 }  // namespace ppfr::influence

@@ -35,6 +35,35 @@ struct InfluenceConfig {
   // Records the training-loss gradient graph once and replays it for every
   // CG/HVP gradient evaluation instead of rebuilding a tape each time.
   bool reuse_grad_tape = true;
+
+  // Columns per block in the multi-RHS inverse-HVP solve (InfluenceOnFunctions
+  // / InfluenceOnNodeLosses). 0 — the default — resolves at runtime from the
+  // PPFR_CG_BLOCK environment variable, else 8; 1 disables blocking, so every
+  // RHS runs through the single-RHS bitwise oracle. The resolved value for a
+  // fixed RHS set is deterministic: the same block width always produces the
+  // same bits regardless of thread or lane counts.
+  int cg_block = 0;
+};
+
+// The block width a configured cg_block value resolves to at runtime
+// (configured if > 0, else the PPFR_CG_BLOCK environment variable, else 8).
+// Cache keys over FR results mix THIS value, not the raw config field, so
+// runs under different environments never share an entry.
+int ResolveCgBlock(int configured);
+
+// Aggregate instrumentation over the block solves an InfluenceCalculator has
+// issued since construction (or the last Reset) — surfaced into
+// BENCH_influence.json's block-sweep rows.
+struct BlockSolveStats {
+  int solves = 0;            // block solves issued
+  int block_iterations = 0;  // outer block iterations, summed over solves
+  int grad_evals = 0;        // probe-point gradient evaluations
+  int total_rhs = 0;         // RHS columns handled
+  int converged_rhs = 0;     // columns meeting the relative-residual tolerance
+  double algebra_seconds = 0.0;  // wall time in block GEMM/fused kernels
+  double algebra_flops = 0.0;    // ≈ flops issued to those kernels
+
+  void Reset() { *this = BlockSolveStats(); }
 };
 
 // Per-training-node influence on scalar evaluation functions f of the
@@ -55,8 +84,26 @@ class InfluenceCalculator {
                       const InfluenceConfig& config);
 
   // I_f(w_v) for every training node v, given an arbitrary scalar function of
-  // the logits.
+  // the logits. Single-RHS path — the bitwise oracle the block solver is
+  // parity-tested against.
   std::vector<double> InfluenceOnFunction(const FunctionBuilder& build_f);
+
+  // Batched influence: out[i][v] = I_{f_i}(w_v). All inverse-HVP solves run
+  // through BlockConjugateGradientSolve in blocks of cg_block columns, and
+  // the final -SᵀG contraction against the per-node loss gradients is one
+  // GEMM-T. Per-column results agree with InfluenceOnFunction to solver
+  // tolerance (see the parity tests); with cg_block = 1 they are bitwise
+  // identical to it.
+  std::vector<std::vector<double>> InfluenceOnFunctions(
+      const std::vector<FunctionBuilder>& builders);
+
+  // Influence of every training node on each target node's individual loss:
+  // out[t][v] = I_{L_t}(w_v). The target-node gradient RHSs are gathered
+  // from one shared forward pass (TapePool) and solved in blocks of
+  // cg_block — the per-node influence sweep the paper's correlation study
+  // (Table 2) runs, now BLAS-3 end to end.
+  std::vector<std::vector<double>> InfluenceOnNodeLosses(
+      const std::vector<int>& target_nodes);
 
   // f = InFoRM bias Tr(softmax(logits)ᵀ L_S softmax(logits)).
   std::vector<double> InfluenceOnBias(
@@ -68,7 +115,29 @@ class InfluenceCalculator {
   // f = the (unweighted) training loss itself — utility influence (Eq. 11).
   std::vector<double> InfluenceOnUtility();
 
+  // Self-contained builders for the standard evaluation functions, so
+  // callers can batch several of them through one InfluenceOnFunctions call
+  // (each builder owns copies of what it captures).
+  static FunctionBuilder BiasFunction(
+      const std::shared_ptr<const la::CsrMatrix>& laplacian);
+  static FunctionBuilder RiskFunction(const privacy::PairSample& pairs);
+  FunctionBuilder UtilityFunction() const;
+
   int num_train_nodes() const { return static_cast<int>(train_nodes_.size()); }
+
+  // The block width InfluenceOnFunctions / InfluenceOnNodeLosses will use
+  // (config.cg_block, else PPFR_CG_BLOCK, else 8).
+  int ResolvedCgBlock() const;
+
+  // Instrumentation over every block solve issued so far.
+  const BlockSolveStats& block_stats() const { return block_stats_; }
+  void ResetBlockStats() { block_stats_.Reset(); }
+
+  // The BatchGradFn the block solver consumes: training-loss gradients at
+  // explicit parameter points, evaluated on pooled model clones (the real
+  // model's parameters are never touched). Public so the engine bench and
+  // the lane-invariance tests can drive it directly.
+  BatchGradFn BatchTrainGrad();
 
   // Flat ∇θ L_v for every v, computed from shared forward passes — fanned
   // across a TapePool, or serially on one tape in reference mode (see
@@ -84,15 +153,26 @@ class InfluenceCalculator {
   std::vector<double> FunctionGrad(const FunctionBuilder& build_f);
   std::vector<std::vector<double>> PerNodeLossGradsPooled();
   std::vector<std::vector<double>> PerNodeLossGradsSerialReference();
+  // Lanes for pooled per-seed backward / batched probe gradients.
+  int ResolvedLanes(int num_items) const;
+  // Solves (H + λI) S = B in blocks of ResolvedCgBlock() columns,
+  // accumulating block_stats_; returns S with one column per RHS column.
+  MultiVector SolveRhsBlock(const MultiVector& b);
+  // influence[i][v] = -s_iᵀ ∇θL_v for every solution column — one GEMM-T
+  // against the cached per-node loss gradients.
+  std::vector<std::vector<double>> ContractAgainstNodeGrads(const MultiVector& s);
 
   nn::GnnModel* model_;
   const nn::GraphContext& ctx_;
   std::vector<int> train_nodes_;
   std::vector<int> train_labels_;
+  std::vector<int> labels_;  // full label vector (target-node RHS seeds)
   InfluenceConfig config_;
   std::vector<ag::Parameter*> params_;
   std::vector<std::vector<double>> per_node_grads_;       // lazily filled cache
   std::unique_ptr<ReusableLossGraph> train_grad_graph_;  // lazily recorded
+  std::unique_ptr<GradLanePool> grad_lane_pool_;         // lazily built
+  BlockSolveStats block_stats_;
 };
 
 }  // namespace ppfr::influence

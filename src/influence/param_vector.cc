@@ -59,4 +59,102 @@ void VecAxpy(double alpha, const std::vector<double>& x, std::vector<double>* y)
   la::ActiveBackend().VAxpy(alpha, x.data(), y->data(), static_cast<int64_t>(x.size()));
 }
 
+double VecAxpyDot(double alpha, const std::vector<double>& x, std::vector<double>* y) {
+  PPFR_CHECK_EQ(x.size(), y->size());
+  return la::ActiveBackend().VAxpyDot(alpha, x.data(), y->data(),
+                                      static_cast<int64_t>(x.size()));
+}
+
+double VecDotAxpy(double beta, const std::vector<double>& x, std::vector<double>* y) {
+  PPFR_CHECK_EQ(x.size(), y->size());
+  return la::ActiveBackend().VDotAxpy(beta, x.data(), y->data(),
+                                      static_cast<int64_t>(x.size()));
+}
+
+MultiVector MultiVector::FromColumns(const std::vector<std::vector<double>>& columns) {
+  if (columns.empty()) return MultiVector();
+  MultiVector out(static_cast<int64_t>(columns[0].size()),
+                  static_cast<int>(columns.size()));
+  for (size_t j = 0; j < columns.size(); ++j) {
+    out.SetColumn(static_cast<int>(j), columns[j]);
+  }
+  return out;
+}
+
+std::vector<double> MultiVector::Column(int j) const {
+  const double* c = col(j);
+  return std::vector<double>(c, c + dim());
+}
+
+void MultiVector::SetColumn(int j, const std::vector<double>& values) {
+  PPFR_CHECK_EQ(static_cast<int64_t>(values.size()), dim());
+  std::copy(values.begin(), values.end(), col(j));
+}
+
+MultiVector MultiVector::SelectColumns(const std::vector<int>& keep) const {
+  MultiVector out(dim(), static_cast<int>(keep.size()));
+  for (size_t j = 0; j < keep.size(); ++j) {
+    std::copy(col(keep[j]), col(keep[j]) + dim(), out.col(static_cast<int>(j)));
+  }
+  return out;
+}
+
+la::Matrix BlockGram(const MultiVector& a, const MultiVector& b) {
+  PPFR_CHECK_EQ(a.dim(), b.dim());
+  la::Matrix out(a.k(), b.k());
+  la::ActiveBackend().GemmTransB(a.mat(), b.mat(), &out);
+  return out;
+}
+
+std::vector<double> ColumnNormsSq(const MultiVector& a) {
+  std::vector<double> out(static_cast<size_t>(a.k()), 0.0);
+  for (int j = 0; j < a.k(); ++j) {
+    out[static_cast<size_t>(j)] = la::ActiveBackend().VDot(a.col(j), a.col(j), a.dim());
+  }
+  return out;
+}
+
+void BlockAccumulate(const la::Matrix& coeff, const MultiVector& x, double sign,
+                     MultiVector* y) {
+  PPFR_CHECK_EQ(coeff.rows(), x.k());
+  PPFR_CHECK_EQ(coeff.cols(), y->k());
+  PPFR_CHECK_EQ(x.dim(), y->dim());
+  // y += sign · coeffᵀ·X, row-major: one GEMM-T plus one flat axpy over the
+  // whole block buffer.
+  la::Matrix delta(y->k(), static_cast<int>(y->dim()));
+  la::ActiveBackend().GemmTransA(coeff, x.mat(), &delta);
+  la::ActiveBackend().VAxpy(sign, delta.data(), y->mat().data(), y->mat().size());
+}
+
+std::vector<double> BlockAccumulateNormsSq(const la::Matrix& coeff,
+                                           const MultiVector& x, MultiVector* y) {
+  PPFR_CHECK_EQ(coeff.rows(), x.k());
+  PPFR_CHECK_EQ(coeff.cols(), y->k());
+  PPFR_CHECK_EQ(x.dim(), y->dim());
+  la::Matrix delta(y->k(), static_cast<int>(y->dim()));
+  la::ActiveBackend().GemmTransA(coeff, x.mat(), &delta);
+  std::vector<double> norms_sq(static_cast<size_t>(y->k()), 0.0);
+  for (int j = 0; j < y->k(); ++j) {
+    norms_sq[static_cast<size_t>(j)] =
+        la::ActiveBackend().VAxpyDot(-1.0, delta.row(j), y->col(j), y->dim());
+  }
+  return norms_sq;
+}
+
+std::vector<double> BlockDirectionUpdate(const la::Matrix& coeff,
+                                         const MultiVector& r, MultiVector* p) {
+  PPFR_CHECK_EQ(coeff.rows(), p->k());
+  PPFR_CHECK_EQ(coeff.cols(), r.k());
+  PPFR_CHECK_EQ(r.dim(), p->dim());
+  la::Matrix updated(r.k(), static_cast<int>(p->dim()));
+  la::ActiveBackend().GemmTransA(coeff, p->mat(), &updated);
+  std::vector<double> norms_sq(static_cast<size_t>(r.k()), 0.0);
+  for (int j = 0; j < r.k(); ++j) {
+    norms_sq[static_cast<size_t>(j)] =
+        la::ActiveBackend().VDotAxpy(1.0, r.col(j), updated.row(j), r.dim());
+  }
+  p->mat() = std::move(updated);
+  return norms_sq;
+}
+
 }  // namespace ppfr::influence

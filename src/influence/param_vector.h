@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "autograd/tape.h"
+#include "la/matrix.h"
 
 namespace ppfr::influence {
 
@@ -28,6 +29,70 @@ double VecDot(const std::vector<double>& a, const std::vector<double>& b);
 double VecNorm(const std::vector<double>& a);
 // y += alpha * x
 void VecAxpy(double alpha, const std::vector<double>& x, std::vector<double>* y);
+// Fused y += alpha·x returning the updated yᵀy (Backend::VAxpyDot).
+double VecAxpyDot(double alpha, const std::vector<double>& x, std::vector<double>* y);
+// Fused y = x + beta·y returning the updated yᵀy (Backend::VDotAxpy).
+double VecDotAxpy(double beta, const std::vector<double>& x, std::vector<double>* y);
+
+// A block of k parameter-space vectors, stored as a k x dim row-major
+// la::Matrix so that block row j IS column j: each column is one contiguous
+// dim-length buffer (flat-kernel friendly) and the block algebra below maps
+// directly onto the backend GEMM family — the point of the block-CG solver
+// is that its hot loop is these GEMMs instead of k separate BLAS-1 chains.
+class MultiVector {
+ public:
+  MultiVector() = default;
+  MultiVector(int64_t dim, int k)
+      : m_(k, static_cast<int>(dim)) {}
+
+  static MultiVector FromColumns(const std::vector<std::vector<double>>& columns);
+
+  int64_t dim() const { return m_.cols(); }
+  int k() const { return m_.rows(); }
+
+  double* col(int j) { return m_.row(j); }
+  const double* col(int j) const { return m_.row(j); }
+  std::vector<double> Column(int j) const;
+  void SetColumn(int j, const std::vector<double>& values);
+
+  // Keeps only the listed columns, in order (deflation compaction). Per-entry
+  // results of every kernel depend only on the operand columns themselves, so
+  // compaction never perturbs the surviving columns' bits.
+  MultiVector SelectColumns(const std::vector<int>& keep) const;
+
+  la::Matrix& mat() { return m_; }
+  const la::Matrix& mat() const { return m_; }
+
+ private:
+  la::Matrix m_;
+};
+
+// Block Gram matrix G(i, j) = a_iᵀ b_j — a (a.k x b.k) GEMM-T through the
+// active backend (the BLAS-3 replacement for k² separate VDots).
+la::Matrix BlockGram(const MultiVector& a, const MultiVector& b);
+
+// Squared column norms (the Gram diagonal, without forming the full Gram).
+std::vector<double> ColumnNormsSq(const MultiVector& a);
+
+// y_j += sign · Σ_i coeff(i, j) · x_i for every column j — the block-CG
+// X += P·α update, computed as one coeffᵀ·X GEMM plus one flat axpy.
+// coeff is (x.k rows, y->k cols).
+void BlockAccumulate(const la::Matrix& coeff, const MultiVector& x, double sign,
+                     MultiVector* y);
+
+// Fused residual step: y_j -= Σ_i coeff(i, j) · x_i, returning each updated
+// column's squared norm (the block R -= AP·α update + convergence check in
+// one pass over y, via Backend::VAxpyDot).
+std::vector<double> BlockAccumulateNormsSq(const la::Matrix& coeff,
+                                           const MultiVector& x, MultiVector* y);
+
+// Fused direction step: p_j = r_j + Σ_i coeff(i, j) · p_i (in place; p ends
+// up with r.k columns — coeff may be rectangular, (p.k rows, r.k cols), when
+// dependent directions were screened out of p), returning each updated
+// column's squared norm via Backend::VDotAxpy — the norms feed the batched
+// finite-difference HVP's per-column step sizes without a second pass.
+std::vector<double> BlockDirectionUpdate(const la::Matrix& coeff,
+                                         const MultiVector& r, MultiVector* p);
 
 }  // namespace ppfr::influence
 

@@ -1,8 +1,10 @@
 #include "influence/tape_pool.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/check.h"
+#include "influence/param_vector.h"
 
 namespace ppfr::influence {
 
@@ -60,6 +62,48 @@ std::vector<std::vector<double>> TapePool::PerSeedGrads(int num_seeds,
       const int begin = static_cast<int>(l * num_seeds / lanes);
       const int end = static_cast<int>((l + 1) * num_seeds / lanes);
       RunLane(begin, end, seed_fn, &grads);
+    }
+  });
+  return grads;
+}
+
+GradLanePool::GradLanePool(const LaneFactory& factory, int num_lanes) {
+  PPFR_CHECK_GE(num_lanes, 1);
+  lanes_.reserve(static_cast<size_t>(num_lanes));
+  for (int l = 0; l < num_lanes; ++l) lanes_.push_back(factory());
+  if (num_lanes > 1) pool_ = std::make_unique<ThreadPool>(num_lanes);
+}
+
+void GradLanePool::RunLane(int lane, int begin, int end,
+                           const std::vector<std::vector<double>>& points,
+                           std::vector<std::vector<double>>* grads) {
+  // Same worker-private discipline as TapePool::RunLane: each lane replays
+  // its own graph under a single-threaded backend of the active kind.
+  const std::unique_ptr<la::Backend> backend =
+      la::MakeBackend(la::ActiveBackendKind(), /*num_threads=*/1);
+  la::ThreadLocalBackendGuard backend_guard(backend.get());
+  GradLane& state = lanes_[static_cast<size_t>(lane)];
+  for (int i = begin; i < end; ++i) {
+    SetValues(state.params, points[static_cast<size_t>(i)]);
+    (*grads)[static_cast<size_t>(i)] = state.graph->Grad();
+  }
+}
+
+std::vector<std::vector<double>> GradLanePool::GradsAt(
+    const std::vector<std::vector<double>>& points) {
+  const int n = static_cast<int>(points.size());
+  std::vector<std::vector<double>> grads(points.size());
+  if (n == 0) return grads;
+  const int lanes = std::min<int>(num_lanes(), n);
+  if (lanes == 1 || pool_ == nullptr) {
+    RunLane(0, 0, n, points, &grads);
+    return grads;
+  }
+  pool_->ParallelFor(0, lanes, 1, [&](int64_t l0, int64_t l1) {
+    for (int64_t l = l0; l < l1; ++l) {
+      const int begin = static_cast<int>(l * n / lanes);
+      const int end = static_cast<int>((l + 1) * n / lanes);
+      RunLane(static_cast<int>(l), begin, end, points, &grads);
     }
   });
   return grads;

@@ -80,6 +80,44 @@ class ReusableLossGraph {
   bool recorded_ = false;
 };
 
+// One lane of batched gradient evaluation: a private parameter set plus a
+// recorded loss graph over it. Factories hand the pool a full clone of the
+// model state per lane, so probe-point evaluation never touches the caller's
+// parameters; `owner` keeps the cloned model alive for the lane's lifetime.
+struct GradLane {
+  std::vector<ag::Parameter*> params;
+  std::unique_ptr<ReusableLossGraph> graph;
+  std::shared_ptr<void> owner;
+};
+
+// Evaluates the loss gradient at many ABSOLUTE parameter points, fanned
+// across lanes — the BatchGradFn engine behind the block-CG solver's batched
+// finite-difference HVPs. Each point's gradient comes from replaying one
+// lane's recorded graph at that point, under a private single-threaded
+// backend of the active kind (the shared ParallelBackend pool is never
+// entered concurrently). Which lane evaluates a point never affects its
+// bits, so results are bitwise identical for any lane count.
+class GradLanePool {
+ public:
+  using LaneFactory = std::function<GradLane()>;
+
+  GradLanePool(const LaneFactory& factory, int num_lanes);
+
+  // Flat loss gradient at each point, in point order.
+  std::vector<std::vector<double>> GradsAt(
+      const std::vector<std::vector<double>>& points);
+
+  int num_lanes() const { return static_cast<int>(lanes_.size()); }
+
+ private:
+  void RunLane(int lane, int begin, int end,
+               const std::vector<std::vector<double>>& points,
+               std::vector<std::vector<double>>* grads);
+
+  std::vector<GradLane> lanes_;
+  std::unique_ptr<ThreadPool> pool_;  // only when num_lanes > 1
+};
+
 }  // namespace ppfr::influence
 
 #endif  // PPFR_INFLUENCE_TAPE_POOL_H_

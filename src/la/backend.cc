@@ -160,6 +160,10 @@ struct LeafKernels {
   void (*axpy)(double alpha, const double* x, double* y, int64_t n);
   void (*scale)(double alpha, double* x, int64_t n);
   void (*hadamard)(const double* a, const double* b, double* out, int64_t n);
+  // Fused CG-step leaves; see Backend::VAxpyDot / Backend::VDotAxpy for the
+  // bitwise contracts they implement.
+  double (*axpy_dot)(double alpha, const double* x, double* y, int64_t n);
+  double (*xpay_dot)(double beta, const double* x, double* y, int64_t n);
 };
 
 // Register micro-tile (MR x NR accumulators) and cache panels: an MC x KC
@@ -220,9 +224,24 @@ void ScalarHadamard(const double* a, const double* b, double* out, int64_t n) {
   for (int64_t i = 0; i < n; ++i) out[i] = a[i] * b[i];
 }
 
+// The scalar fused leaves are literally the unfused compositions — that IS
+// the bitwise definition of the fused contract, and the single-pass win only
+// materialises in the vector variants (simd::AxpyDot / simd::XpayDot), where
+// explicit intrinsics pin the per-element operations exactly.
+double ScalarAxpyDot(double alpha, const double* x, double* y, int64_t n) {
+  ScalarAxpy(alpha, x, y, n);
+  return ScalarDot(y, y, n);
+}
+
+double ScalarXpayDot(double beta, const double* x, double* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = x[i] + beta * y[i];
+  return ScalarDot(y, y, n);
+}
+
 constexpr LeafKernels kScalarLeafKernels = {&ScalarMicroKernel, kNr, &ScalarDot,
                                             &ScalarAxpy, &ScalarScale,
-                                            &ScalarHadamard};
+                                            &ScalarHadamard, &ScalarAxpyDot,
+                                            &ScalarXpayDot};
 
 // Debug guard for the row-partitioned support kernels: partitioning the row
 // list across workers is only race-free because support entries are distinct
@@ -249,6 +268,8 @@ LeafKernels SimdLeafKernels() {
   kernels.axpy = &simd::VAxpy;
   kernels.scale = &simd::VScale;
   kernels.hadamard = &simd::Hadamard;
+  kernels.axpy_dot = &simd::AxpyDot;
+  kernels.xpay_dot = &simd::XpayDot;
   return kernels;
 }
 
@@ -455,6 +476,25 @@ class ParallelBackend : public Backend {
     });
   }
 
+  // Fused CG steps. The update halves are elementwise and split-invariant,
+  // so chunking them by reduce blocks (instead of VAxpy's coarser elementwise
+  // grain) leaves every element bit-identical; the dot halves then follow
+  // VDot's exact fixed-block partial scheme. Net effect: one pass over y, and
+  // bitwise equality with the unfused sequences at every n and thread count.
+  double VAxpyDot(double alpha, const double* x, double* y, int64_t n) const override {
+    if (n < kElementwiseCutoff) return kernels_.axpy_dot(alpha, x, y, n);
+    return FusedReduce([&](int64_t lo, int64_t hi) {
+      return kernels_.axpy_dot(alpha, x + lo, y + lo, hi - lo);
+    }, n);
+  }
+
+  double VDotAxpy(double beta, const double* x, double* y, int64_t n) const override {
+    if (n < kElementwiseCutoff) return kernels_.xpay_dot(beta, x, y, n);
+    return FusedReduce([&](int64_t lo, int64_t hi) {
+      return kernels_.xpay_dot(beta, x + lo, y + lo, hi - lo);
+    }, n);
+  }
+
   // Support-guided kernels. `rows` entries are distinct (they are nonzero-row
   // supports), so partitioning the row list hands each worker disjoint output
   // rows. Per-element summation order never depends on the partition: the
@@ -550,6 +590,24 @@ class ParallelBackend : public Backend {
   }
 
  private:
+  // Runs a fused update+square-reduce leaf over the VDot reduce-block grid
+  // and sums the partials in block order (the VDot determinism scheme).
+  template <typename BlockFn>
+  double FusedReduce(const BlockFn& block_fn, int64_t n) const {
+    const int64_t num_blocks = (n + kReduceBlock - 1) / kReduceBlock;
+    std::vector<double> partial(static_cast<size_t>(num_blocks), 0.0);
+    pool_.ParallelFor(0, num_blocks, 4, [&](int64_t b0, int64_t b1) {
+      for (int64_t blk = b0; blk < b1; ++blk) {
+        const int64_t lo = blk * kReduceBlock;
+        const int64_t hi = std::min(n, lo + kReduceBlock);
+        partial[static_cast<size_t>(blk)] = block_fn(lo, hi);
+      }
+    });
+    double s = 0.0;
+    for (double p : partial) s += p;
+    return s;
+  }
+
   // out(r0:r1, :) += alpha * a(r0:r1, :) * x — one contiguous row range,
   // inner column loop routed through the leaf axpy kernel.
   void SpmmRowRange(const CsrMatrix& a, const Matrix& x, double alpha, Matrix* out,
@@ -751,6 +809,19 @@ void Backend::SpmmAccumRows(const CsrMatrix& a, const Matrix& x, double alpha,
                             Matrix* out, const std::vector<int>& rows,
                             const std::vector<uint8_t>& x_row_nonzero) const {
   SerialSpmmAccumRows(a, x, alpha, out, rows, x_row_nonzero);
+}
+
+// Unfused compositions — the bitwise definition of the fused contracts
+// (ReferenceBackend keeps these; ParallelBackend overrides with single-pass
+// loops that match them bit for bit).
+double Backend::VAxpyDot(double alpha, const double* x, double* y, int64_t n) const {
+  VAxpy(alpha, x, y, n);
+  return VDot(y, y, n);
+}
+
+double Backend::VDotAxpy(double beta, const double* x, double* y, int64_t n) const {
+  for (int64_t i = 0; i < n; ++i) y[i] = x[i] + beta * y[i];
+  return VDot(y, y, n);
 }
 
 std::string BackendKindName(BackendKind kind) {

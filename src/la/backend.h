@@ -101,6 +101,23 @@ class Backend {
   virtual double VDot(const double* a, const double* b, int64_t n) const = 0;
   virtual void VAxpy(double alpha, const double* x, double* y, int64_t n) const = 0;
   virtual void VScale(double alpha, double* x, int64_t n) const = 0;
+
+  // Fused CG-step kernels — one pass over y where the unfused sequence costs
+  // two or three. Contracts (relied on by the influence CG solvers and
+  // verified bitwise in tests/la_backend_test.cc):
+  //   * VAxpyDot: y += alpha·x, returns yᵀy of the UPDATED y. Bitwise equal
+  //     to VAxpy followed by VDot(y, y) on every backend and thread count
+  //     (the update is elementwise split-invariant, the reduction follows
+  //     VDot's fixed-block partial scheme).
+  //   * VDotAxpy: y = x + beta·y elementwise (the CG search-direction
+  //     update), returns yᵀy of the updated y; a follow-up VDot(y, y)
+  //     reproduces the returned value bit for bit. Deterministic across
+  //     thread counts like every other kernel.
+  // The base implementations are the unfused compositions, which IS the
+  // bitwise definition; ParallelBackend overrides them with genuinely fused
+  // single-pass loops.
+  virtual double VAxpyDot(double alpha, const double* x, double* y, int64_t n) const;
+  virtual double VDotAxpy(double beta, const double* x, double* y, int64_t n) const;
 };
 
 enum class BackendKind { kReference, kParallel, kSimd };

@@ -222,6 +222,83 @@ void VAxpy(double alpha, const double* x, double* y, int64_t n) {
 }
 
 PPFR_TARGET_AVX2
+double AxpyDot(double alpha, const double* x, double* y, int64_t n) {
+  // Fused y += alpha·x; returns yᵀy of the updated y. The update applies
+  // VAxpy's exact per-element operation (fmadd lanes, std::fma tail) and the
+  // reduction accumulates in VDot's exact pattern (two 4-wide accumulators on
+  // an 8-element stride, one optional 4-wide step into acc0, fixed lane
+  // combine, scalar tail), so the result is bitwise identical to VAxpy
+  // followed by VDot(y, y) — in one pass over y instead of three.
+  const __m256d va = _mm256_set1_pd(alpha);
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d y0 =
+        _mm256_fmadd_pd(va, _mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i));
+    const __m256d y1 =
+        _mm256_fmadd_pd(va, _mm256_loadu_pd(x + i + 4), _mm256_loadu_pd(y + i + 4));
+    _mm256_storeu_pd(y + i, y0);
+    _mm256_storeu_pd(y + i + 4, y1);
+    acc0 = _mm256_fmadd_pd(y0, y0, acc0);
+    acc1 = _mm256_fmadd_pd(y1, y1, acc1);
+  }
+  if (i + 4 <= n) {
+    const __m256d y0 =
+        _mm256_fmadd_pd(va, _mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i));
+    _mm256_storeu_pd(y + i, y0);
+    acc0 = _mm256_fmadd_pd(y0, y0, acc0);
+    i += 4;
+  }
+  const __m256d acc = _mm256_add_pd(acc0, acc1);
+  double lanes[4];
+  _mm256_storeu_pd(lanes, acc);
+  double s = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (; i < n; ++i) {
+    y[i] = std::fma(alpha, x[i], y[i]);
+    s += y[i] * y[i];
+  }
+  return s;
+}
+
+PPFR_TARGET_AVX2
+double XpayDot(double beta, const double* x, double* y, int64_t n) {
+  // Fused y = x + beta·y (the CG search-direction update, single-rounded per
+  // element); returns yᵀy of the updated y in VDot's exact accumulation
+  // pattern, so VDot(y, y) afterwards reproduces the returned bits.
+  const __m256d vb = _mm256_set1_pd(beta);
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d y0 =
+        _mm256_fmadd_pd(vb, _mm256_loadu_pd(y + i), _mm256_loadu_pd(x + i));
+    const __m256d y1 =
+        _mm256_fmadd_pd(vb, _mm256_loadu_pd(y + i + 4), _mm256_loadu_pd(x + i + 4));
+    _mm256_storeu_pd(y + i, y0);
+    _mm256_storeu_pd(y + i + 4, y1);
+    acc0 = _mm256_fmadd_pd(y0, y0, acc0);
+    acc1 = _mm256_fmadd_pd(y1, y1, acc1);
+  }
+  if (i + 4 <= n) {
+    const __m256d y0 =
+        _mm256_fmadd_pd(vb, _mm256_loadu_pd(y + i), _mm256_loadu_pd(x + i));
+    _mm256_storeu_pd(y + i, y0);
+    acc0 = _mm256_fmadd_pd(y0, y0, acc0);
+    i += 4;
+  }
+  const __m256d acc = _mm256_add_pd(acc0, acc1);
+  double lanes[4];
+  _mm256_storeu_pd(lanes, acc);
+  double s = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (; i < n; ++i) {
+    y[i] = std::fma(beta, y[i], x[i]);
+    s += y[i] * y[i];
+  }
+  return s;
+}
+
+PPFR_TARGET_AVX2
 void VScale(double alpha, double* x, int64_t n) {
   const __m256d va = _mm256_set1_pd(alpha);
   int64_t i = 0;
@@ -259,6 +336,14 @@ double VDot(const double*, const double*, int64_t) {
 }
 void VAxpy(double, const double*, double*, int64_t) {
   PPFR_CHECK(false) << "SIMD kernels are not compiled into this build";
+}
+double AxpyDot(double, const double*, double*, int64_t) {
+  PPFR_CHECK(false) << "SIMD kernels are not compiled into this build";
+  return 0.0;
+}
+double XpayDot(double, const double*, double*, int64_t) {
+  PPFR_CHECK(false) << "SIMD kernels are not compiled into this build";
+  return 0.0;
 }
 void VScale(double, double*, int64_t) {
   PPFR_CHECK(false) << "SIMD kernels are not compiled into this build";

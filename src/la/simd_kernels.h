@@ -67,6 +67,20 @@ void VAxpy(double alpha, const double* x, double* y, int64_t n);
 void VScale(double alpha, double* x, int64_t n);
 void Hadamard(const double* a, const double* b, double* out, int64_t n);
 
+// Fused CG-step kernels: one memory pass over y instead of the two that the
+// separate axpy + dot calls cost. Bitwise contract (relied on by the CG
+// solver and tests/la_backend_test.cc):
+//   * AxpyDot(alpha, x, y, n): y += alpha·x exactly as VAxpy (fmadd lanes,
+//     std::fma tail), and the returned yᵀy of the UPDATED y accumulates in
+//     exactly VDot's fixed-lane pattern — so the result equals calling
+//     VAxpy then VDot(y, y), bit for bit.
+//   * XpayDot(beta, x, y, n): y = x + beta·y elementwise (single-rounded
+//     fmadd lanes, std::fma tail — the CG p-update), returning yᵀy of the
+//     updated y in VDot's pattern, so a follow-up VDot(y, y) reproduces the
+//     returned value bit for bit.
+double AxpyDot(double alpha, const double* x, double* y, int64_t n);
+double XpayDot(double beta, const double* x, double* y, int64_t n);
+
 }  // namespace ppfr::la::simd
 
 #endif  // PPFR_LA_SIMD_KERNELS_H_

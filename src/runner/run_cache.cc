@@ -6,6 +6,7 @@
 
 #include "common/serialize.h"
 #include "core/snapshot.h"
+#include "influence/influence.h"
 
 namespace ppfr::runner {
 
@@ -57,7 +58,8 @@ void MixFrPrefix(KeyHasher* h, const core::MethodConfig& config) {
       .Mix(config.fr.influence.cg.damping)
       .Mix(config.fr.influence.cg.max_iterations)
       .Mix(config.fr.influence.cg.tolerance)
-      .Mix(config.fr.influence.cg.hvp_step);
+      .Mix(config.fr.influence.cg.hvp_step)
+      .Mix(influence::ResolveCgBlock(config.fr.influence.cg_block));
 }
 
 }  // namespace

@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "autograd/ops.h"
@@ -285,6 +287,315 @@ INSTANTIATE_TEST_SUITE_P(Models, TrainerReplay,
                                            nn::ModelKind::kGraphSage),
                          [](const ::testing::TestParamInfo<nn::ModelKind>& info) {
                            return nn::ModelKindName(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Block-CG multi-RHS solver. Contracts under test (see influence/hvp.h):
+// k = 1 equals the single-RHS oracle bit for bit; k > 1 agrees per column to
+// solver tolerance; a fixed block is bitwise invariant across thread and lane
+// counts; converged columns deflate individually; zero and duplicate RHS
+// columns are handled exactly.
+// ---------------------------------------------------------------------------
+
+// Quadratic test bed L(θ) = ½θᵀAθ - bᵀθ (exact Hessian A), same shape as the
+// fixture in influence_test.cc, plus the batch evaluation the block solver
+// consumes: ∇L at an absolute point p is A·p - c, independent of θ.
+struct BlockQuadratic {
+  ag::Parameter theta;
+  la::Matrix a;  // SPD (n x n)
+  std::vector<double> c;
+
+  explicit BlockQuadratic(int n, uint64_t seed) : theta("theta", la::Matrix(n, 1)) {
+    Rng rng(seed);
+    la::Matrix m = ppfr::testing::RandomMatrix(n, n, &rng);
+    a = la::MatMulTransA(m, m);
+    for (int i = 0; i < n; ++i) a(i, i) += 1.0;
+    c.resize(static_cast<size_t>(n));
+    for (auto& v : c) v = rng.Normal();
+    for (int i = 0; i < n; ++i) theta.value(i, 0) = rng.Normal();
+  }
+
+  std::vector<double> GradAt(const std::vector<double>& point) const {
+    std::vector<double> g(static_cast<size_t>(a.rows()));
+    for (int i = 0; i < a.rows(); ++i) {
+      double s = -c[static_cast<size_t>(i)];
+      for (int j = 0; j < a.cols(); ++j) s += a(i, j) * point[static_cast<size_t>(j)];
+      g[static_cast<size_t>(i)] = s;
+    }
+    return g;
+  }
+
+  GradFn MakeGradFn() {
+    return [this] { return GradAt(FlattenValues({&theta})); };
+  }
+
+  BatchGradFn MakeBatchGradFn() {
+    return [this](const std::vector<std::vector<double>>& points) {
+      std::vector<std::vector<double>> grads;
+      grads.reserve(points.size());
+      for (const auto& p : points) grads.push_back(GradAt(p));
+      return grads;
+    };
+  }
+
+  std::vector<ag::Parameter*> Params() { return {&theta}; }
+};
+
+MultiVector RandomRhs(int64_t dim, int k, uint64_t seed) {
+  Rng rng(seed);
+  MultiVector b(dim, k);
+  for (int j = 0; j < k; ++j) {
+    for (int64_t i = 0; i < dim; ++i) b.col(j)[i] = rng.Normal();
+  }
+  return b;
+}
+
+class BlockCgBackend : public ::testing::TestWithParam<la::BackendKind> {};
+
+TEST_P(BlockCgBackend, SingleColumnBlockEqualsOracleBitwise) {
+  la::ScopedBackend scoped(GetParam(), 4);
+  BlockQuadratic problem(10, 17);
+  const MultiVector b = RandomRhs(10, 1, 18);
+  CgOptions options;
+  options.max_iterations = 60;
+  options.tolerance = 1e-10;
+
+  const CgResult oracle = ConjugateGradientSolve(problem.Params(), problem.MakeGradFn(),
+                                                 b.Column(0), options);
+  const BlockCgResult block =
+      BlockConjugateGradientSolve(problem.Params(), problem.MakeGradFn(),
+                                  problem.MakeBatchGradFn(), b, options);
+
+  ASSERT_EQ(block.x.k(), 1);
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_EQ(block.x.col(0)[i], oracle.x[static_cast<size_t>(i)]) << "component " << i;
+  }
+  EXPECT_EQ(block.residual_norm[0], oracle.residual_norm);
+  EXPECT_EQ(block.iterations[0], oracle.iterations);
+}
+
+TEST_P(BlockCgBackend, BlockMatchesOraclePerColumnWithinTolerance) {
+  la::ScopedBackend scoped(GetParam(), 2);
+  const int n = 12;
+  BlockQuadratic problem(n, 23);
+  CgOptions options;
+  options.max_iterations = 80;
+  options.tolerance = 1e-10;
+
+  for (int k : {2, 3, 8}) {
+    SCOPED_TRACE("k=" + std::to_string(k));
+    const MultiVector b = RandomRhs(n, k, 100 + static_cast<uint64_t>(k));
+    const BlockCgResult block =
+        BlockConjugateGradientSolve(problem.Params(), problem.MakeGradFn(),
+                                    problem.MakeBatchGradFn(), b, options);
+    for (int j = 0; j < k; ++j) {
+      EXPECT_TRUE(block.converged[static_cast<size_t>(j)]) << "column " << j;
+      const CgResult oracle = ConjugateGradientSolve(
+          problem.Params(), problem.MakeGradFn(), b.Column(j), options);
+      double num = 0.0;
+      double den = 0.0;
+      for (int64_t i = 0; i < n; ++i) {
+        const double d = block.x.col(j)[i] - oracle.x[static_cast<size_t>(i)];
+        num += d * d;
+        den += oracle.x[static_cast<size_t>(i)] * oracle.x[static_cast<size_t>(i)];
+      }
+      EXPECT_LT(std::sqrt(num / std::max(den, 1e-30)), 1e-6)
+          << "column " << j << " diverges from the single-RHS oracle";
+    }
+  }
+}
+
+TEST_P(BlockCgBackend, FixedBlockIsBitwiseInvariantAcrossThreadCounts) {
+  const int n = 14;
+  const int k = 4;
+  CgOptions options;
+  options.max_iterations = 80;
+  options.tolerance = 1e-10;
+
+  std::vector<std::vector<double>> runs;
+  for (int threads : {1, 2, 4}) {
+    la::ScopedBackend scoped(GetParam(), threads);
+    BlockQuadratic problem(n, 41);  // rebuilt identically per run
+    const MultiVector b = RandomRhs(n, k, 42);
+    const BlockCgResult block =
+        BlockConjugateGradientSolve(problem.Params(), problem.MakeGradFn(),
+                                    problem.MakeBatchGradFn(), b, options);
+    std::vector<double> flat;
+    for (int j = 0; j < k; ++j) {
+      const std::vector<double> col = block.x.Column(j);
+      flat.insert(flat.end(), col.begin(), col.end());
+      flat.push_back(block.residual_norm[static_cast<size_t>(j)]);
+      flat.push_back(static_cast<double>(block.iterations[static_cast<size_t>(j)]));
+    }
+    runs.push_back(std::move(flat));
+  }
+  for (size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(runs[r].size(), runs[0].size());
+    for (size_t i = 0; i < runs[0].size(); ++i) {
+      ASSERT_EQ(runs[r][i], runs[0][i]) << "thread-count run " << r << " entry " << i;
+    }
+  }
+}
+
+TEST(BlockCgTest, DeflationRetiresEasyColumnsEarly) {
+  // Diagonal Hessian: a single-coordinate RHS lives in a 1-dimensional Krylov
+  // space and converges on the first block iteration, while a dense RHS needs
+  // one iteration per distinct eigenvalue — so the easy column must deflate
+  // out with a strictly smaller per-RHS iteration count.
+  const int n = 10;
+  BlockQuadratic problem(n, 55);
+  problem.a = la::Matrix(n, n);
+  for (int i = 0; i < n; ++i) problem.a(i, i) = 1.0 + 0.37 * i;
+
+  MultiVector b(n, 2);
+  for (int64_t i = 0; i < n; ++i) b.col(0)[i] = 1.0;  // dense: needs n eigenvalues
+  b.col(1)[3] = 2.5;                                  // single coordinate: 1 iteration
+
+  CgOptions options;
+  options.max_iterations = 60;
+  options.tolerance = 1e-10;
+  const BlockCgResult block =
+      BlockConjugateGradientSolve(problem.Params(), problem.MakeGradFn(),
+                                  problem.MakeBatchGradFn(), b, options);
+
+  EXPECT_TRUE(block.converged[0]);
+  EXPECT_TRUE(block.converged[1]);
+  EXPECT_LT(block.iterations[1], block.iterations[0]);
+  // Exact solutions of (A + λI) x = b for the diagonal A.
+  for (int64_t i = 0; i < n; ++i) {
+    const double denom = problem.a(static_cast<int>(i), static_cast<int>(i)) +
+                         options.damping;
+    EXPECT_NEAR(block.x.col(0)[i], 1.0 / denom, 1e-7) << "dense column entry " << i;
+    EXPECT_NEAR(block.x.col(1)[i], (i == 3 ? 2.5 : 0.0) / denom, 1e-7)
+        << "sparse column entry " << i;
+  }
+}
+
+TEST(BlockCgTest, ZeroAndDuplicateColumnsAreExact) {
+  const int n = 9;
+  BlockQuadratic problem(n, 71);
+  const MultiVector base = RandomRhs(n, 2, 72);
+  MultiVector b(n, 4);
+  // col 0: zero. col 1 and col 3: bitwise duplicates. col 2: independent.
+  b.SetColumn(1, base.Column(0));
+  b.SetColumn(2, base.Column(1));
+  b.SetColumn(3, base.Column(0));
+
+  CgOptions options;
+  options.max_iterations = 60;
+  options.tolerance = 1e-10;
+  const BlockCgResult block =
+      BlockConjugateGradientSolve(problem.Params(), problem.MakeGradFn(),
+                                  problem.MakeBatchGradFn(), b, options);
+
+  EXPECT_TRUE(block.converged[0]);
+  EXPECT_EQ(block.iterations[0], 0);
+  EXPECT_EQ(block.residual_norm[0], 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(block.x.col(0)[i], 0.0) << "zero RHS must yield the zero solution";
+    ASSERT_EQ(block.x.col(1)[i], block.x.col(3)[i])
+        << "duplicate RHS columns must share the representative's bits";
+  }
+  EXPECT_EQ(block.iterations[1], block.iterations[3]);
+  EXPECT_EQ(block.residual_norm[1], block.residual_norm[3]);
+}
+
+TEST(BlockInfluenceTest, CgBlockOneReproducesSingleRhsOracleBitwise) {
+  // On the real GNN pipeline: cg_block = 1 routes every RHS through the
+  // single-RHS oracle, so InfluenceOnFunctions must equal the per-function
+  // entry points bit for bit.
+  EngineFixture fx(nn::ModelKind::kGcn, /*seed=*/37);
+  InfluenceConfig cfg;
+  cfg.cg_block = 1;
+  // A PD regime where the solve actually converges (the default damping of
+  // 0.01 leaves this trained model's Hessian indefinite, and the oracle
+  // truncates via its p_ap <= 0 safeguard), so converged_rhs is checkable.
+  cfg.cg.damping = 1.0;
+  cfg.cg.max_iterations = 300;
+  cfg.cg.tolerance = 1e-6;
+  InfluenceCalculator calc(fx.model.get(), fx.ctx, fx.split.train, fx.data.labels,
+                           cfg);
+  InfluenceCalculator oracle(fx.model.get(), fx.ctx, fx.split.train, fx.data.labels,
+                             cfg);
+  const auto batched = calc.InfluenceOnFunctions({calc.UtilityFunction()});
+  const auto single = oracle.InfluenceOnUtility();
+  ASSERT_EQ(batched.size(), 1u);
+  ASSERT_EQ(batched[0].size(), single.size());
+  for (size_t v = 0; v < single.size(); ++v) {
+    ASSERT_EQ(batched[0][v], single[v]) << "node " << v;
+  }
+  EXPECT_EQ(calc.block_stats().total_rhs, 1);
+  EXPECT_EQ(calc.block_stats().converged_rhs, 1);
+}
+
+TEST(BlockInfluenceTest, BlockedInfluenceMatchesOracleWithinTolerance) {
+  EngineFixture fx(nn::ModelKind::kGcn, /*seed=*/39);
+  InfluenceConfig cfg;
+  cfg.cg_block = 8;
+  // Damping that keeps the trained model's damped Hessian positive definite,
+  // so both sides run CONVERGED solves (unconverged truncations of the two
+  // Krylov processes would differ arbitrarily).
+  cfg.cg.damping = 1.0;
+  cfg.cg.max_iterations = 200;
+  cfg.cg.tolerance = 1e-9;
+  InfluenceCalculator calc(fx.model.get(), fx.ctx, fx.split.train, fx.data.labels,
+                           cfg);
+  InfluenceConfig oracle_cfg = cfg;
+  oracle_cfg.cg_block = 1;
+  InfluenceCalculator oracle(fx.model.get(), fx.ctx, fx.split.train, fx.data.labels,
+                             oracle_cfg);
+
+  std::vector<int> targets;
+  for (int t = 0; t < 12; ++t) targets.push_back(fx.split.train[static_cast<size_t>(t)]);
+  const auto blocked = calc.InfluenceOnNodeLosses(targets);
+  const auto single = oracle.InfluenceOnNodeLosses(targets);
+  ASSERT_EQ(blocked.size(), single.size());
+  double max_rel = 0.0;
+  for (size_t t = 0; t < blocked.size(); ++t) {
+    double num = 0.0;
+    double den = 0.0;
+    ASSERT_EQ(blocked[t].size(), single[t].size());
+    for (size_t v = 0; v < blocked[t].size(); ++v) {
+      const double d = blocked[t][v] - single[t][v];
+      num += d * d;
+      den += single[t][v] * single[t][v];
+    }
+    max_rel = std::max(max_rel, std::sqrt(num / std::max(den, 1e-30)));
+  }
+  // Both sides are converged solves of the same systems; they differ only in
+  // Krylov-space roundoff, far below the solver tolerance's effect on I.
+  EXPECT_LT(max_rel, 1e-4) << "blocked influence sweep diverges from the oracle";
+  EXPECT_GT(calc.block_stats().grad_evals, 0);
+  EXPECT_EQ(calc.block_stats().total_rhs, static_cast<int>(targets.size()));
+}
+
+TEST(BlockInfluenceTest, FixedBlockIsBitwiseInvariantAcrossLaneCounts) {
+  EngineFixture fx(nn::ModelKind::kGcn, /*seed=*/43);
+  std::vector<int> targets;
+  for (int t = 0; t < 6; ++t) targets.push_back(fx.split.train[static_cast<size_t>(t)]);
+
+  auto run = [&](int lanes) {
+    InfluenceConfig cfg;
+    cfg.cg_block = 6;
+    cfg.tape_pool_lanes = lanes;
+    InfluenceCalculator calc(fx.model.get(), fx.ctx, fx.split.train, fx.data.labels,
+                             cfg);
+    return calc.InfluenceOnNodeLosses(targets);
+  };
+
+  const auto want = run(1);
+  for (int lanes : {2, 4}) {
+    SCOPED_TRACE("lanes=" + std::to_string(lanes));
+    ExpectBitwiseEqual(want, run(lanes));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BlockCgBackend,
+                         ::testing::Values(la::BackendKind::kReference,
+                                           la::BackendKind::kParallel,
+                                           la::BackendKind::kSimd),
+                         [](const ::testing::TestParamInfo<la::BackendKind>& info) {
+                           return la::BackendKindName(info.param);
                          });
 
 }  // namespace

@@ -454,6 +454,71 @@ TEST(BackendParityTest, VectorOpsMatchAcrossThreadCounts) {
   }
 }
 
+// Fused CG kernels (VAxpyDot / VDotAxpy). Contracts from backend.h:
+//   * VAxpyDot updates y exactly like VAxpy and returns the bits a follow-up
+//     VDot(y, y) would produce — on every backend, for every thread count.
+//   * VDotAxpy computes y = x + beta*y elementwise; a follow-up VDot(y, y)
+//     reproduces the returned bits; and the result is thread-count invariant.
+// Sizes straddle the parallel elementwise cutoff and the reduce block, with
+// ragged tails for the SIMD lane loop.
+TEST(BackendParityTest, FusedCgKernelsHonourTheirContracts) {
+  Rng rng(23);
+  for (const int64_t n : {int64_t{7}, int64_t{1013}, int64_t{40003}, int64_t{100001}}) {
+    SCOPED_TRACE("n=" + std::to_string(n));
+    std::vector<double> x(n), y0(n);
+    for (auto& v : x) v = rng.Normal();
+    for (auto& v : y0) v = rng.Normal();
+
+    for (BackendKind kind :
+         {BackendKind::kReference, BackendKind::kParallel, BackendKind::kSimd}) {
+      SCOPED_TRACE(BackendKindName(kind));
+      std::optional<double> axpy_dot1;
+      std::vector<double> axpy_y1;
+      std::optional<double> xpay_dot1;
+      std::vector<double> xpay_y1;
+      for (int threads : {1, 2, 4}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        const auto backend = MakeBackend(kind, threads);
+
+        // VAxpyDot == VAxpy then VDot(y, y), bitwise.
+        std::vector<double> y_fused = y0;
+        const double fused = backend->VAxpyDot(0.37, x.data(), y_fused.data(), n);
+        std::vector<double> y_unfused = y0;
+        backend->VAxpy(0.37, x.data(), y_unfused.data(), n);
+        for (int64_t i = 0; i < n; ++i) {
+          ASSERT_EQ(y_fused[i], y_unfused[i]) << "VAxpyDot update differs at " << i;
+        }
+        EXPECT_EQ(fused, backend->VDot(y_fused.data(), y_fused.data(), n));
+
+        // VDotAxpy: y = x + beta*y; follow-up VDot reproduces the bits.
+        std::vector<double> y_dir = y0;
+        const double dir_norm = backend->VDotAxpy(-0.58, x.data(), y_dir.data(), n);
+        EXPECT_EQ(dir_norm, backend->VDot(y_dir.data(), y_dir.data(), n));
+        for (int64_t i = 0; i < n; ++i) {
+          const double want = x[i] + (-0.58) * y0[i];
+          ASSERT_NEAR(y_dir[i], want, 1e-12 * std::max(1.0, std::fabs(want)))
+              << "VDotAxpy update wrong at " << i;
+        }
+
+        // Thread-count invariance of both fused kernels, bitwise.
+        if (!axpy_dot1.has_value()) {
+          axpy_dot1 = fused;
+          axpy_y1 = y_fused;
+          xpay_dot1 = dir_norm;
+          xpay_y1 = y_dir;
+        } else {
+          EXPECT_EQ(fused, *axpy_dot1);
+          EXPECT_EQ(dir_norm, *xpay_dot1);
+          for (int64_t i = 0; i < n; ++i) {
+            ASSERT_EQ(y_fused[i], axpy_y1[i]) << "VAxpyDot thread variance at " << i;
+            ASSERT_EQ(y_dir[i], xpay_y1[i]) << "VDotAxpy thread variance at " << i;
+          }
+        }
+      }
+    }
+  }
+}
+
 // Odd/tail lengths around the 4-lane AVX2 width: n = 0..2 vector widths plus
 // ragged remainders, exercising the lane loop, the single-lane step and the
 // scalar tail of every flat kernel.

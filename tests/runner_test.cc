@@ -51,6 +51,7 @@ core::MethodConfig PinnedConfig() {
   cfg.fr.influence.cg.max_iterations = 20;
   cfg.fr.influence.cg.tolerance = 1e-6;
   cfg.fr.influence.cg.hvp_step = 1e-4;
+  cfg.fr.influence.cg_block = 8;  // pinned: 0 would resolve from PPFR_CG_BLOCK
   cfg.seed = 11;
   return cfg;
 }
@@ -96,7 +97,7 @@ TEST(KeyHasherTest, GoldenValuesStableAcrossProcesses) {
             0x6b4731a3f0028329ULL);
   EXPECT_EQ(RunCache::DpKey(env, cfg), 0xdc379259979ac35fULL);
   EXPECT_EQ(RunCache::PpKey(nn::ModelKind::kGcn, env, cfg), 0x0cea453f034b7143ULL);
-  EXPECT_EQ(RunCache::FrKey(nn::ModelKind::kGcn, env, cfg), 0xec87869b3493f788ULL);
+  EXPECT_EQ(RunCache::FrKey(nn::ModelKind::kGcn, env, cfg), 0xf6ed48839d1de780ULL);
 
   // The namespace tags must actually namespace: stages whose remaining
   // fields coincide still get distinct keys (guards the const char* → bool
@@ -142,6 +143,13 @@ TEST(KeyHasherTest, KeysDistinguishStageInputs) {
             RunCache::PpKey(nn::ModelKind::kGcn, env, other));
   other = cfg;
   other.fr.zero_sum = false;
+  EXPECT_NE(RunCache::FrKey(nn::ModelKind::kGcn, env, cfg),
+            RunCache::FrKey(nn::ModelKind::kGcn, env, other));
+  // The block width changes FR results (different Krylov spaces), so it must
+  // separate FR keys — by its RESOLVED value, so cg_block = 0 under the
+  // default environment shares the explicit cg_block = 8 entry.
+  other = cfg;
+  other.fr.influence.cg_block = 16;
   EXPECT_NE(RunCache::FrKey(nn::ModelKind::kGcn, env, cfg),
             RunCache::FrKey(nn::ModelKind::kGcn, env, other));
 
