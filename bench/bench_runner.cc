@@ -18,7 +18,7 @@
 int main(int argc, char** argv) {
   using namespace ppfr;
   Flags flags(argc, argv);
-  bench::RequireKnownFlags(flags, {"scenarios", "grid"});
+  bench::RequireKnownFlags(flags, {"scenarios", "grid", "journal", "resume"});
   la::ConfigureBackendFromFlags(flags);
 
   runner::Sweep sweep = runner::SweepFromFlags(flags, /*default_name=*/"smoke");
@@ -33,6 +33,14 @@ int main(int argc, char** argv) {
   TablePrinter table({"Dataset", "Model", "Cell", "Seed", "Acc%", "Bias",
                       "Risk AUC", "dAcc%", "dBias%", "dRisk%", "D", "sec"});
   for (const runner::CellResult& cell : result.cells) {
+    if (cell.failed) {
+      table.AddRow({data::DatasetName(cell.scenario.dataset),
+                    nn::ModelKindName(cell.scenario.model),
+                    cell.scenario.DisplayLabel(), std::to_string(cell.seed),
+                    "FAILED", "-", "-", "-", "-", "-", "-",
+                    TablePrinter::Num(cell.seconds, 1)});
+      continue;
+    }
     const bool vanilla = cell.scenario.method == core::MethodKind::kVanilla;
     table.AddRow({data::DatasetName(cell.scenario.dataset),
                   nn::ModelKindName(cell.scenario.model), cell.scenario.DisplayLabel(),
@@ -47,6 +55,18 @@ int main(int argc, char** argv) {
                   TablePrinter::Num(cell.seconds, 1)});
   }
   table.Print();
+
+  if (result.failed_cells > 0 || result.resumed_cells > 0) {
+    std::printf("\n%lld cell(s) resumed from the journal, %lld FAILED",
+                static_cast<long long>(result.resumed_cells),
+                static_cast<long long>(result.failed_cells));
+    for (const runner::CellResult& cell : result.cells) {
+      if (!cell.failed) continue;
+      std::printf("\n  FAILED %s seed %llu: %s", cell.scenario.DisplayLabel().c_str(),
+                  static_cast<unsigned long long>(cell.seed), cell.error.c_str());
+    }
+    std::printf("\n");
+  }
 
   // Cross-seed mean ± stddev per logical cell (the numbers the paper's
   // tables actually report) whenever the sweep was seed-expanded.

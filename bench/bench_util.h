@@ -11,10 +11,12 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "common/flags.h"
+#include "common/serialize.h"
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
 #include "core/experiment.h"
@@ -28,7 +30,8 @@ namespace ppfr::bench {
 inline std::vector<std::string> CommonFlagNames() {
   return {"datasets",   "models",     "epochs",         "seed",
           "seeds",      "env_seed",   "la_backend",     "la_threads",
-          "runner_threads", "json_dir", "run_cache_dir", "stable_artifact"};
+          "runner_threads", "json_dir", "run_cache_dir", "stable_artifact",
+          "cell_retries"};
 }
 
 // Directory for the disk-persisted run cache: --run_cache_dir= beats the
@@ -79,7 +82,54 @@ inline runner::RunnerOptions RunnerOptionsFromFlags(const Flags& flags) {
   runner::RunnerOptions opts;
   opts.threads = flags.GetInt("runner_threads", 1);
   opts.env_seed = flags.GetUint64("env_seed", core::kDefaultEnvSeed);
+  opts.max_cell_retries = flags.GetInt("cell_retries", opts.max_cell_retries);
+  // --journal/--resume are only in bench_runner's known-flag list: bespoke
+  // table benches post-process cell.run->model, which a journal-restored cell
+  // does not carry, so they reject the flags as unknown instead of crashing.
+  if (flags.Has("journal")) {
+    const std::string path = flags.GetString("journal", "");
+    if (path.empty() || path == "true") {
+      std::fprintf(stderr,
+                   "--journal wants a file path "
+                   "(e.g. --journal=sweep.journal)\n");
+      std::exit(2);
+    }
+    opts.journal_path = path;
+  }
+  opts.resume = flags.GetBool("resume", false);
+  if (opts.resume && opts.journal_path.empty()) {
+    std::fprintf(stderr, "--resume needs --journal=<path> to replay from\n");
+    std::exit(2);
+  }
   return opts;
+}
+
+// Fails fast, BEFORE any training runs, if an output location the run will
+// eventually write to is not writable: --json_dir (artifact) and the
+// --journal parent directory. Probes by creating the directory and atomically
+// writing + removing a scratch file — the same code path the real writes
+// take. A sweep that trains for an hour and then dies on its artifact write
+// is the failure mode this removes.
+inline void PreflightOutputPaths(const Flags& flags) {
+  const auto probe_dir = [](const std::string& dir, const char* what) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);  // ok if it already exists
+    const std::string probe =
+        (std::filesystem::path(dir) / ".ppfr_preflight").string();
+    std::string error;
+    if (!WriteFileAtomic(probe, "probe", &error)) {
+      std::fprintf(stderr, "%s '%s' is not writable: %s\n", what, dir.c_str(),
+                   error.c_str());
+      std::exit(2);
+    }
+    std::remove(probe.c_str());
+  };
+  probe_dir(flags.GetString("json_dir", "."), "--json_dir");
+  if (flags.Has("journal")) {
+    const std::filesystem::path parent =
+        std::filesystem::path(flags.GetString("journal", "")).parent_path();
+    probe_dir(parent.empty() ? "." : parent.string(), "--journal directory");
+  }
 }
 
 // Resolves the binary's registered sweep, applying --datasets/--models
@@ -121,9 +171,12 @@ inline std::string EmitArtifact(const Flags& flags,
   return path;
 }
 
-// Runs the sweep and emits its artifact (see EmitArtifact).
+// Runs the sweep and emits its artifact (see EmitArtifact). Output paths are
+// preflighted first so an unwritable --json_dir/--journal dies before any
+// cell trains.
 inline runner::SweepResult RunAndEmit(const Flags& flags, const runner::Sweep& sweep,
                                       runner::RunCache* cache) {
+  PreflightOutputPaths(flags);
   runner::SweepResult result =
       runner::RunSweep(sweep, cache, RunnerOptionsFromFlags(flags));
   EmitArtifact(flags, result);

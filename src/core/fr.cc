@@ -22,6 +22,9 @@ FrOutput ComputeFairnessWeights(nn::GnnModel* model, const nn::GraphContext& ctx
        calculator.UtilityFunction()});
   out.bias_influence = std::move(batched[0]);
   out.util_influence = std::move(batched[1]);
+  const influence::BlockSolveStats& solve_stats = calculator.block_stats();
+  out.cg_total_rhs = solve_stats.total_rhs;
+  out.cg_unconverged = solve_stats.total_rhs - solve_stats.converged_rhs;
 
   // Sign bookkeeping. By the implicit function theorem dθ*/dw_v = -H⁻¹∇L_v,
   // so df/dw_v = -∇fᵀH⁻¹∇L_v — which is exactly what the calculator returns

@@ -32,6 +32,12 @@ struct FrOutput {
   std::vector<double> bias_influence;   // I_fbias(w_v)
   std::vector<double> util_influence;   // I_futil(w_v)
   double objective = 0.0;
+  // Inverse-HVP solve health behind the influences: how many CG right-hand
+  // sides the solve processed and how many of those missed the residual
+  // tolerance. Surfaced per cell as the `cg_unconverged` artifact metric so
+  // sweeps flag silently-degraded solves.
+  int cg_total_rhs = 0;
+  int cg_unconverged = 0;
 };
 
 FrOutput ComputeFairnessWeights(nn::GnnModel* model, const nn::GraphContext& ctx,

@@ -128,6 +128,8 @@ MethodRun RunMethod(MethodKind method, nn::ModelKind model_kind,
       run.model = vanilla();
       const std::shared_ptr<const FrOutput> fr = fr_weights(run.model.get());
       run.fr_weights = fr->sample_weights;
+      run.cg_total_rhs = fr->cg_total_rhs;
+      run.cg_unconverged = fr->cg_unconverged;
       const std::shared_ptr<const nn::GraphContext> dp_ctx = dp_context();
       Finetune(run.model.get(), env, *dp_ctx, fr->sample_weights, finetune_epochs,
                config);
@@ -137,6 +139,8 @@ MethodRun RunMethod(MethodKind method, nn::ModelKind model_kind,
       run.model = vanilla();
       const std::shared_ptr<const FrOutput> fr = fr_weights(run.model.get());
       run.fr_weights = fr->sample_weights;
+      run.cg_total_rhs = fr->cg_total_rhs;
+      run.cg_unconverged = fr->cg_unconverged;
       const std::shared_ptr<const nn::GraphContext> pp_ctx =
           cache != nullptr
               ? cache->PpContext(model_kind, env, config)

@@ -27,6 +27,11 @@ struct MethodRun {
   std::unique_ptr<nn::GnnModel> model;
   EvalResult eval;                   // always on the original graph
   std::vector<double> fr_weights;    // (1 + w), FR-based methods only
+  // FR-based methods only: inverse-HVP solve health copied from the FrOutput
+  // (how many CG right-hand sides ran / missed tolerance), surfaced per cell
+  // as the `cg_unconverged` artifact metric.
+  int cg_total_rhs = 0;
+  int cg_unconverged = 0;
 };
 
 // Memoisation point for the expensive pipeline stages that methods share:

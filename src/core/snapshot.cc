@@ -37,6 +37,8 @@ void SaveFrOutput(BinaryWriter* w, const FrOutput& fr) {
   w->WriteDoubleVec(fr.bias_influence);
   w->WriteDoubleVec(fr.util_influence);
   w->WriteDouble(fr.objective);
+  w->WriteI32(fr.cg_total_rhs);
+  w->WriteI32(fr.cg_unconverged);
 }
 
 bool LoadFrOutput(BinaryReader* r, FrOutput* fr) {
@@ -45,6 +47,8 @@ bool LoadFrOutput(BinaryReader* r, FrOutput* fr) {
   fr->bias_influence = r->ReadDoubleVec();
   fr->util_influence = r->ReadDoubleVec();
   fr->objective = r->ReadDouble();
+  fr->cg_total_rhs = r->ReadI32();
+  fr->cg_unconverged = r->ReadI32();
   return r->ok();
 }
 
@@ -95,6 +99,8 @@ void SaveMethodRun(BinaryWriter* w, const MethodRun& run) {
   SaveModel(w, run.model.get());
   SaveEval(w, run.eval);
   w->WriteDoubleVec(run.fr_weights);
+  w->WriteI32(run.cg_total_rhs);
+  w->WriteI32(run.cg_unconverged);
 }
 
 bool LoadMethodRun(BinaryReader* r, nn::ModelKind kind, const ExperimentEnv& env,
@@ -103,6 +109,8 @@ bool LoadMethodRun(BinaryReader* r, nn::ModelKind kind, const ExperimentEnv& env
   if (run->model == nullptr) return false;
   if (!LoadEval(r, &run->eval)) return false;
   run->fr_weights = r->ReadDoubleVec();
+  run->cg_total_rhs = r->ReadI32();
+  run->cg_unconverged = r->ReadI32();
   return r->ok();
 }
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/recoverable.h"
 #include "common/stopwatch.h"
 #include "la/backend.h"
 
@@ -463,6 +464,14 @@ BlockCgResult BlockConjugateGradientSolve(const std::vector<ag::Parameter*>& par
     };
     for (const DeferredColumn& col : deferred) {
       const CgResult fix = CgCore(fallback_matvec, col.r, options);
+      // The fallback is the last line of defence: if even the single-RHS
+      // oracle diverges on this residual system, the Hessian itself is
+      // numerically broken for this cell's data — recoverable (other cells
+      // are fine), but not transient (the same system diverges every time).
+      if (!std::isfinite(fix.residual_norm)) {
+        throw RecoverableError(
+            "block-CG total collapse: non-finite fallback residual");
+      }
       result.stats.grad_evals += 2 * fix.iterations;
       std::vector<double> x_col = col.x;
       VecAxpy(1.0, fix.x, &x_col);

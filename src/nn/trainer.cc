@@ -1,8 +1,11 @@
 #include "nn/trainer.h"
 
 #include <atomic>
+#include <cmath>
+#include <string>
 
 #include "common/logging.h"
+#include "common/recoverable.h"
 #include "common/rng.h"
 #include "nn/adam.h"
 
@@ -65,6 +68,15 @@ TrainStats Train(GnnModel* model, const GraphContext& ctx,
     recorded = true;
     optimizer.Step();
 
+    // A non-finite loss is a data-dependent divergence (bad hyper-parameter
+    // cell, exploding fairness term), not a programming error: raise the
+    // sanctioned recoverable error so the runner can fail just this cell
+    // instead of killing the whole sweep. Not transient — the same inputs
+    // diverge identically, so retrying is wasted work.
+    if (!std::isfinite(loss.scalar())) {
+      throw RecoverableError("non-finite training loss at epoch " +
+                             std::to_string(epoch));
+    }
     stats.epoch_losses.push_back(loss.scalar());
     if (config.verbose && epoch % 20 == 0) {
       PPFR_LOG(Info) << "epoch " << epoch << " loss " << loss.scalar();

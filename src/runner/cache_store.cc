@@ -12,7 +12,8 @@ namespace {
 
 // Bumped whenever any stage payload layout or this header layout changes;
 // old entries then read as plain misses and are rewritten.
-constexpr uint32_t kFormatVersion = 1;
+// v2: FrOutput/MethodRun payloads gained the block-CG convergence counters.
+constexpr uint32_t kFormatVersion = 2;
 constexpr uint64_t kMagic = 0x31435252524650ULL;  // "PFRRRC1" little-endian
 
 uint64_t Fnv1a(const std::string& bytes) {

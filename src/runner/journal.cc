@@ -1,0 +1,188 @@
+#include "runner/journal.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/check.h"
+#include "common/fault_injection.h"
+#include "common/serialize.h"
+#include "core/snapshot.h"
+#include "runner/cache_store.h"
+
+namespace ppfr::runner {
+namespace {
+
+constexpr uint64_t kJournalMagic = 0x314c4e4a52465050ULL;  // "PPFRJNL1" LE
+constexpr uint32_t kJournalVersion = 1;
+
+uint64_t Fnv1a(const std::string& bytes) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// [u32 body_len][u64 fnv1a(body)][body]
+std::string Frame(const std::string& body) {
+  BinaryWriter head;
+  head.WriteU32(static_cast<uint32_t>(body.size()));
+  head.WriteU64(Fnv1a(body));
+  return head.data() + body;
+}
+
+// Parses the frame at *pos; false on a torn/corrupt frame (short header,
+// body running past EOF, checksum mismatch) — the caller stops there and
+// everything before *pos stays the valid prefix.
+bool ReadFrame(const std::string& bytes, size_t* pos, std::string* body) {
+  if (bytes.size() - *pos < 12) return false;
+  BinaryReader head(bytes.data() + *pos, 12);
+  const uint32_t len = head.ReadU32();
+  const uint64_t checksum = head.ReadU64();
+  if (bytes.size() - *pos - 12 < len) return false;
+  body->assign(bytes, *pos + 12, len);
+  if (Fnv1a(*body) != checksum) return false;
+  *pos += 12 + static_cast<size_t>(len);
+  return true;
+}
+
+void SaveRecord(BinaryWriter* w, const JournalRecord& rec) {
+  w->WriteU64(rec.cell_key);
+  w->WriteU64(rec.seed);
+  w->WriteBool(rec.failed);
+  w->WriteI32(rec.retries);
+  w->WriteBool(rec.cache_hit);
+  w->WriteString(rec.error);
+  core::SaveEval(w, rec.eval);
+  core::SaveEval(w, rec.vanilla_eval);
+  w->WriteDouble(rec.delta.d_acc);
+  w->WriteDouble(rec.delta.d_bias);
+  w->WriteDouble(rec.delta.d_risk);
+  w->WriteDouble(rec.delta.combined);
+  w->WriteU32(static_cast<uint32_t>(rec.extra.size()));
+  for (const auto& [name, value] : rec.extra) {
+    w->WriteString(name);
+    w->WriteDouble(value);
+  }
+}
+
+bool LoadRecord(const std::string& body, JournalRecord* rec) {
+  BinaryReader r(body);
+  rec->cell_key = r.ReadU64();
+  rec->seed = r.ReadU64();
+  rec->failed = r.ReadBool();
+  rec->retries = r.ReadI32();
+  rec->cache_hit = r.ReadBool();
+  rec->error = r.ReadString();
+  if (!core::LoadEval(&r, &rec->eval)) return false;
+  if (!core::LoadEval(&r, &rec->vanilla_eval)) return false;
+  rec->delta.d_acc = r.ReadDouble();
+  rec->delta.d_bias = r.ReadDouble();
+  rec->delta.d_risk = r.ReadDouble();
+  rec->delta.combined = r.ReadDouble();
+  const uint32_t extras = r.ReadU32();
+  // Each extra is at least 12 bytes (length prefix + double); bounding the
+  // count before the loop keeps a garbage prefix from spinning.
+  if (extras > r.remaining() / 12) return false;
+  for (uint32_t i = 0; i < extras; ++i) {
+    std::string name = r.ReadString();
+    const double value = r.ReadDouble();
+    if (!r.ok()) return false;
+    rec->extra.emplace(std::move(name), value);
+  }
+  return r.AtEnd();
+}
+
+std::string HeaderBody(const std::string& sweep_name, uint64_t env_seed) {
+  BinaryWriter w;
+  w.WriteU64(kJournalMagic);
+  w.WriteU32(kJournalVersion);
+  w.WriteString(CacheStore::Fingerprint());
+  w.WriteString(sweep_name);
+  w.WriteU64(env_seed);
+  return w.data();
+}
+
+}  // namespace
+
+SweepJournal::SweepJournal(std::string path, std::string sweep_name,
+                           uint64_t env_seed, bool resume)
+    : path_(std::move(path)), sweep_name_(std::move(sweep_name)),
+      env_seed_(env_seed) {
+  PPFR_CHECK(!path_.empty()) << "journal path must not be empty";
+  const std::string header = HeaderBody(sweep_name_, env_seed_);
+  std::string valid_prefix;
+  std::string bytes;
+  if (resume && ReadFileToString(path_, &bytes)) {
+    size_t pos = 0;
+    std::string body;
+    if (ReadFrame(bytes, &pos, &body) && body == header) {
+      // Header matches this run's identity bit for bit (magic, version,
+      // fingerprint, sweep, env seed — HeaderBody is canonical). Replay
+      // every intact record; the first torn or corrupt frame ends the valid
+      // prefix and discards the tail.
+      size_t valid_end = pos;
+      while (ReadFrame(bytes, &pos, &body)) {
+        JournalRecord rec;
+        if (!LoadRecord(body, &rec)) break;
+        replayed_[rec.cell_key] = std::move(rec);  // last record wins
+        valid_end = pos;
+      }
+      if (valid_end < bytes.size()) {
+        std::fprintf(stderr,
+                     "journal: dropping torn tail of '%s' (%zu of %zu bytes "
+                     "valid; the affected cells recompute)\n",
+                     path_.c_str(), valid_end, bytes.size());
+      }
+      valid_prefix = bytes.substr(0, valid_end);
+    } else {
+      std::fprintf(stderr,
+                   "journal: '%s' is corrupt or belongs to another "
+                   "sweep/format/backend — starting fresh (all cells "
+                   "recompute)\n",
+                   path_.c_str());
+      replayed_.clear();
+    }
+  }
+  if (valid_prefix.empty()) valid_prefix = Frame(header);
+  // Rewrite the valid prefix atomically: a fresh run truncates any previous
+  // journal, a resume drops the torn tail so appends land on frame
+  // boundaries. Journals are one small frame per cell, so the rewrite is
+  // cheap. A journal that was requested but cannot be written dies loudly —
+  // see the class contract.
+  std::string error;
+  PPFR_CHECK(WriteFileAtomic(path_, valid_prefix, &error))
+      << "journal '" << path_ << "' cannot be written: " << error;
+}
+
+void SweepJournal::Append(const JournalRecord& record) {
+  if (fault::ShouldFail(fault::kJournalAppend)) {
+    std::fprintf(stderr,
+                 "journal: injected append fault (record dropped; the cell "
+                 "recomputes on resume)\n");
+    return;
+  }
+  BinaryWriter body;
+  SaveRecord(&body, record);
+  const std::string frame = Frame(body.data());
+  std::lock_guard<std::mutex> lock(mu_);
+  std::FILE* f = std::fopen(path_.c_str(), "ab");
+  if (f == nullptr) {
+    std::fprintf(stderr, "journal: cannot append to '%s' (record dropped)\n",
+                 path_.c_str());
+    return;
+  }
+  const bool ok =
+      std::fwrite(frame.data(), 1, frame.size(), f) == frame.size() &&
+      std::fflush(f) == 0 && std::ferror(f) == 0;
+  std::fclose(f);
+  if (!ok) {
+    // Appends are an optimisation for the NEXT run; a full disk must not
+    // kill this one. The frame may be torn — replay drops it.
+    std::fprintf(stderr, "journal: short append to '%s' (record may be torn)\n",
+                 path_.c_str());
+  }
+}
+
+}  // namespace ppfr::runner

@@ -1,9 +1,12 @@
 #include "runner/run_cache.h"
 
 #include <bit>
+#include <cstdio>
 #include <chrono>
 #include <cmath>
 
+#include "common/fault_injection.h"
+#include "common/recoverable.h"
 #include "common/serialize.h"
 #include "core/snapshot.h"
 #include "influence/influence.h"
@@ -155,16 +158,57 @@ V RunCache::GetOrCompute(std::unordered_map<uint64_t, std::shared_future<V>>* ma
   // artifacts (the stats above stay claim-based either way: misses count
   // actual computes).
   if (was_hit != nullptr) *was_hit = ready_at_claim;
-  // compute() must not throw: this library is exception-free by design
-  // (failures abort via PPFR_CHECK — see common/check.h), and an exception
-  // here would leave a broken promise permanently mapped to the key.
-  if (computer) promise.set_value(compute());
+  if (computer) {
+    // The only thing compute() may throw is the sanctioned RecoverableError
+    // (a data-dependent stage failure or an injected fault — everything else
+    // still PPFR_CHECK-aborts). The key is unmapped FIRST so any requester
+    // arriving after the failure starts a fresh compute — i.e. a cell retry
+    // actually retries — and only then are the blocked waiters woken with
+    // the exception, which each of them rethrows from get() and handles as
+    // its own cell's failure. A failed compute therefore never wedges a key
+    // behind a broken promise.
+    try {
+      promise.set_value(compute());
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        map->erase(key);
+      }
+      promise.set_exception(std::current_exception());
+    }
+  }
   // A waiter only ever blocks on a key some RUNNING thread claimed above, so
   // a fixed-size scheduler cannot deadlock here.
   return future.get();
 }
 
 RunCache::RunCache(std::string persist_dir) : store_(std::move(persist_dir)) {}
+
+bool RunCache::LoadStage(const char* stage, uint64_t key, std::string* payload) const {
+  // The injected read fault models a disk read racing a concurrent writer or
+  // a transient I/O error: transient, so the cell retry loop recovers it.
+  if (store_.enabled() && fault::ShouldFail(fault::kCacheStoreRead)) {
+    throw RecoverableError(std::string("injected cache-store read fault (") +
+                               stage + " stage)",
+                           /*transient=*/true);
+  }
+  return store_.Load(stage, key, payload);
+}
+
+void RunCache::StoreStage(const char* stage, uint64_t key,
+                          const std::string& payload) const {
+  // A write fault degrades exactly like the real full-disk path in
+  // CacheStore::Store: the entry is simply not persisted (a later process
+  // recomputes it); the in-memory result is unaffected.
+  if (store_.enabled() && fault::ShouldFail(fault::kCacheStoreWrite)) {
+    std::fprintf(stderr,
+                 "run cache: injected cache-store write fault (%s stage, "
+                 "entry not persisted)\n",
+                 stage);
+    return;
+  }
+  store_.Store(stage, key, payload);
+}
 
 void RunCache::NoteDiskHit(StageStats* stats) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -187,7 +231,7 @@ std::shared_ptr<const RunCache::VanillaStage> RunCache::VanillaStageFor(
   return GetOrCompute<std::shared_ptr<const VanillaStage>>(
       &vanilla_, key, &stats_.vanilla, [&] {
         std::string payload;
-        if (store_.Load("vanilla", key, &payload)) {
+        if (LoadStage("vanilla", key, &payload)) {
           BinaryReader r(payload);
           auto stage = std::make_shared<VanillaStage>();
           stage->model = core::LoadModel(&r, kind, env, config.seed);
@@ -206,7 +250,7 @@ std::shared_ptr<const RunCache::VanillaStage> RunCache::VanillaStageFor(
           BinaryWriter w;
           core::SaveModel(&w, stage->model.get());
           core::SaveEval(&w, stage->eval);
-          store_.Store("vanilla", key, w.data());
+          StoreStage("vanilla", key, w.data());
         }
         return std::shared_ptr<const VanillaStage>(std::move(stage));
       });
@@ -236,7 +280,7 @@ std::shared_ptr<const nn::GraphContext> RunCache::ContextStage(
   return GetOrCompute<std::shared_ptr<const nn::GraphContext>>(
       map, key, stats, [&] {
         std::string payload;
-        if (store_.Load(stage, key, &payload)) {
+        if (LoadStage(stage, key, &payload)) {
           BinaryReader r(payload);
           auto ctx = std::make_shared<nn::GraphContext>();
           if (core::LoadGraphContext(&r, env.dataset.data.features, ctx.get()) &&
@@ -249,7 +293,7 @@ std::shared_ptr<const nn::GraphContext> RunCache::ContextStage(
         if (store_.enabled()) {
           BinaryWriter w;
           core::SaveGraphStructure(&w, ctx->graph);
-          store_.Store(stage, key, w.data());
+          StoreStage(stage, key, w.data());
         }
         return ctx;
       });
@@ -281,7 +325,7 @@ std::shared_ptr<const core::FrOutput> RunCache::FrWeights(
   return GetOrCompute<std::shared_ptr<const core::FrOutput>>(
       &fr_outputs_, key, &stats_.fr, [&] {
         std::string payload;
-        if (store_.Load("fr", key, &payload)) {
+        if (LoadStage("fr", key, &payload)) {
           BinaryReader r(payload);
           auto fr = std::make_shared<core::FrOutput>();
           if (core::LoadFrOutput(&r, fr.get()) && r.AtEnd()) {
@@ -295,7 +339,7 @@ std::shared_ptr<const core::FrOutput> RunCache::FrWeights(
         if (store_.enabled()) {
           BinaryWriter w;
           core::SaveFrOutput(&w, *fr);
-          store_.Store("fr", key, w.data());
+          StoreStage("fr", key, w.data());
         }
         return fr;
       });
@@ -307,9 +351,12 @@ std::shared_ptr<const core::MethodRun> RunCache::CellRun(
   return GetOrCompute<std::shared_ptr<const core::MethodRun>>(
       &cells_, key, &stats_.cell,
       [&] {
+        if (fault::ShouldFail(fault::kStageCell)) {
+          throw RecoverableError("injected stage.cell fault", /*transient=*/true);
+        }
         const core::MethodConfig config = cell.ResolvedConfig();
         std::string payload;
-        if (store_.Load("cell", key, &payload)) {
+        if (LoadStage("cell", key, &payload)) {
           BinaryReader r(payload);
           auto run = std::make_shared<core::MethodRun>();
           if (core::LoadMethodRun(&r, cell.model, env, config.seed, run.get()) &&
@@ -323,7 +370,7 @@ std::shared_ptr<const core::MethodRun> RunCache::CellRun(
         if (store_.enabled()) {
           BinaryWriter w;
           core::SaveMethodRun(&w, *run);
-          store_.Store("cell", key, w.data());
+          StoreStage("cell", key, w.data());
         }
         return std::shared_ptr<const core::MethodRun>(std::move(run));
       },

@@ -49,7 +49,10 @@ class KeyHasher {
 // Thread safety: all getters are callable from concurrent scheduler workers.
 // The first requester of a key computes the entry (outside the map lock);
 // concurrent requesters for the same key block on a shared_future until it
-// is ready. Entries are immutable once computed and never evicted. Because
+// is ready. Entries are immutable once computed and never evicted; a compute
+// that fails with the sanctioned RecoverableError (common/recoverable.h) is
+// unmapped again, so a retried cell recomputes instead of rethrowing a stale
+// failure, and its waiters rethrow from the shared future. Because
 // the computer is always a running thread — a waiter only ever waits on a
 // key some other running thread claimed — the latch cannot deadlock a
 // fixed-size scheduler.
@@ -146,6 +149,13 @@ class RunCache : public core::StageCache {
   // Counts a miss that was satisfied from disk (called from compute lambdas,
   // outside the map lock).
   void NoteDiskHit(StageStats* stats);
+
+  // CacheStore::Load/Store behind the fault-injection sites
+  // (fault::kCacheStoreRead throws a transient RecoverableError, modelling a
+  // read racing a writer; kCacheStoreWrite degrades to "entry not
+  // persisted"). Every stage's disk traffic routes through these.
+  bool LoadStage(const char* stage, uint64_t key, std::string* payload) const;
+  void StoreStage(const char* stage, uint64_t key, const std::string& payload) const;
 
   // Disk-backed compute shared by the DP/PP context stages.
   std::shared_ptr<const nn::GraphContext> ContextStage(

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <memory>
 #include <thread>
 
@@ -11,6 +13,7 @@
 #include "common/stopwatch.h"
 #include "la/backend.h"
 #include "nn/trainer.h"
+#include "runner/journal.h"
 
 namespace ppfr::runner {
 namespace {
@@ -64,6 +67,63 @@ bool IsUniformMetric(const std::string& name) {
     if (name == metric.name) return true;
   }
   return false;
+}
+
+core::EvalResult NanEval() {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  core::EvalResult eval;
+  eval.accuracy = eval.bias = eval.risk_auc = eval.delta_d = nan;
+  return eval;
+}
+
+core::DeltaMetrics NanDelta() {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  return {nan, nan, nan, nan};
+}
+
+// Placeholder for a failed cell: benches dereference cell.run->eval freely,
+// so a failed cell carries a model-less MethodRun whose metrics are NaN —
+// the artifact's *_finite markers flag them, and AggregateCells skips the
+// cell entirely.
+std::shared_ptr<const core::MethodRun> FailedRun() {
+  auto run = std::make_shared<core::MethodRun>();
+  run->eval = NanEval();
+  return run;
+}
+
+JournalRecord RecordOf(const CellResult& cell, uint64_t key) {
+  JournalRecord rec;
+  rec.cell_key = key;
+  rec.seed = cell.seed;
+  rec.failed = cell.failed;
+  rec.retries = cell.retries;
+  rec.cache_hit = cell.cache_hit;
+  rec.error = cell.error;
+  rec.eval = cell.run->eval;
+  rec.vanilla_eval = cell.vanilla_eval;
+  rec.delta = cell.delta;
+  rec.extra = cell.extra;
+  return rec;
+}
+
+// Rebuilds a CellResult from its journal record. The restored run carries
+// the recorded eval but NO model (restoring skips the compute entirely);
+// front-ends that post-process models re-run without --resume, or lean on
+// the disk run cache.
+void RestoreCell(const JournalRecord& rec, CellResult* out) {
+  out->seed = rec.seed;
+  out->failed = rec.failed;
+  out->retries = rec.retries;
+  out->cache_hit = rec.cache_hit;
+  out->error = rec.error;
+  auto run = std::make_shared<core::MethodRun>();
+  run->eval = rec.eval;
+  out->run = std::move(run);
+  out->vanilla_eval = rec.vanilla_eval;
+  out->delta = rec.delta;
+  out->extra = rec.extra;
+  out->seconds = 0.0;
+  out->resumed = true;
 }
 
 }  // namespace
@@ -131,57 +191,145 @@ SweepResult RunSweep(const Sweep& sweep, RunCache* cache,
   const int threads = ResolveCellThreads(options.threads, scheduled.size());
   result.threads = threads;
 
+  // Cell keys double as journal record keys — the same content hash the
+  // stage cache uses, and distinct per seed instance (the resolved seed is
+  // mixed in), so a record can only replay onto its exact configuration.
+  std::vector<uint64_t> keys(scheduled.size());
+  for (size_t i = 0; i < scheduled.size(); ++i) {
+    keys[i] = RunCache::CellKey(scheduled[i], options.env_seed);
+  }
+
+  std::unique_ptr<SweepJournal> journal;
+  if (!options.journal_path.empty()) {
+    journal = std::make_unique<SweepJournal>(options.journal_path, sweep.name,
+                                             options.env_seed, options.resume);
+  }
+  // Restore journaled cells; only the remainder is scheduled. Previously
+  // FAILED cells re-run — the resume is the natural second chance.
+  std::vector<size_t> pending;
+  pending.reserve(scheduled.size());
+  for (size_t i = 0; i < scheduled.size(); ++i) {
+    const JournalRecord* rec = nullptr;
+    if (journal != nullptr && options.resume) {
+      const auto it = journal->replayed().find(keys[i]);
+      if (it != journal->replayed().end() && !it->second.failed) rec = &it->second;
+    }
+    if (rec == nullptr) {
+      pending.push_back(i);
+      continue;
+    }
+    result.cells[i].scenario = scheduled[i];
+    RestoreCell(*rec, &result.cells[i]);
+    ++result.resumed_cells;
+  }
+  if (options.verbose && result.resumed_cells > 0) {
+    std::fprintf(stderr, "  %lld of %zu cells restored from journal %s\n",
+                 static_cast<long long>(result.resumed_cells), scheduled.size(),
+                 journal->path().c_str());
+  }
+
   const RunCache::Stats stats_before = cache->stats();
   const int64_t trains_before = nn::TrainInvocationCount();
   Stopwatch wall;
 
   const auto run_cell = [&](size_t i) {
     const Scenario& cell = scheduled[i];
-    // Environments are heavyweight and shared read-only by every cell of
-    // the same dataset; fetching inside the cell (instead of prebuilding
-    // them serially) lets parallel workers overlap env construction with
-    // cell work — the cache's once-latch already builds each one exactly
-    // once.
-    const std::shared_ptr<const core::ExperimentEnv> env_ptr =
-        cache->Env(cell.dataset, options.env_seed);
-    const core::ExperimentEnv& env = *env_ptr;
     CellResult& out = result.cells[i];
     out.scenario = cell;
     out.seed = cell.ResolvedConfig().seed;
     Stopwatch watch;
-    out.run = cache->CellRun(cell, env, &out.cache_hit);
-    if (cell.method != core::MethodKind::kVanilla) {
-      const core::EvalResult vanilla =
-          cache->VanillaEval(cell.model, env, cell.ResolvedConfig());
-      out.vanilla_eval = vanilla;
-      out.delta = core::ComputeDeltas(out.run->eval, vanilla);
-    } else {
-      out.vanilla_eval = out.run->eval;
-      out.delta = {};
+    // The whole cell body sits inside the retry loop: a CellError from ANY
+    // stage (training, contexts, FR solve, a cache read) surfaces here.
+    // Transient errors retry with bounded exponential backoff; the rest —
+    // and exhausted retries — mark this one cell failed and let the grid
+    // finish. Anything other than CellError still terminates the process:
+    // per-cell isolation is for data-dependent failures, not bugs.
+    for (int attempt = 0;; ++attempt) {
+      try {
+        // Environments are heavyweight and shared read-only by every cell of
+        // the same dataset; fetching inside the cell (instead of prebuilding
+        // them serially) lets parallel workers overlap env construction with
+        // cell work — the cache's once-latch already builds each one exactly
+        // once.
+        const std::shared_ptr<const core::ExperimentEnv> env_ptr =
+            cache->Env(cell.dataset, options.env_seed);
+        const core::ExperimentEnv& env = *env_ptr;
+        out.run = cache->CellRun(cell, env, &out.cache_hit);
+        if (cell.method != core::MethodKind::kVanilla) {
+          const core::EvalResult vanilla =
+              cache->VanillaEval(cell.model, env, cell.ResolvedConfig());
+          out.vanilla_eval = vanilla;
+          out.delta = core::ComputeDeltas(out.run->eval, vanilla);
+        } else {
+          out.vanilla_eval = out.run->eval;
+          out.delta = {};
+        }
+        if (cell.method == core::MethodKind::kDpFr ||
+            cell.method == core::MethodKind::kPpFr) {
+          // Surface the FR solve's block-CG convergence debt instead of
+          // silently using a partial solve (0 = every RHS met tolerance).
+          out.extra["cg_unconverged"] =
+              static_cast<double>(out.run->cg_unconverged);
+        }
+        break;
+      } catch (const CellError& e) {
+        if (e.transient() && attempt < options.max_cell_retries) {
+          ++out.retries;
+          const int backoff_ms = std::min(
+              options.retry_backoff_ms << std::min(attempt, 10), 250);
+          if (backoff_ms > 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+          }
+          continue;
+        }
+        out.failed = true;
+        out.error = e.what();
+        out.run = FailedRun();
+        out.vanilla_eval = NanEval();
+        out.delta = NanDelta();
+        break;
+      }
     }
     out.seconds = watch.ElapsedSeconds();
     if (options.verbose) {
-      std::fprintf(stderr, "  [%s/%s] %s done in %.1fs%s\n",
-                   data::DatasetName(cell.dataset).c_str(),
-                   nn::ModelKindName(cell.model).c_str(),
-                   cell.DisplayLabel().c_str(), out.seconds,
-                   out.cache_hit ? " (cached)" : "");
+      if (out.failed) {
+        std::fprintf(stderr, "  [%s/%s] %s FAILED after %.1fs (%d retries): %s\n",
+                     data::DatasetName(cell.dataset).c_str(),
+                     nn::ModelKindName(cell.model).c_str(),
+                     cell.DisplayLabel().c_str(), out.seconds, out.retries,
+                     out.error.c_str());
+      } else {
+        std::fprintf(stderr, "  [%s/%s] %s done in %.1fs%s\n",
+                     data::DatasetName(cell.dataset).c_str(),
+                     nn::ModelKindName(cell.model).c_str(),
+                     cell.DisplayLabel().c_str(), out.seconds,
+                     out.cache_hit ? " (cached)" : "");
+      }
     }
+    if (journal != nullptr) journal->Append(RecordOf(out, keys[i]));
   };
 
   // Stage collisions between concurrent cells (two cells needing one
   // vanilla model) are serialised by the cache's once-latch.
-  ParallelCells(scheduled.size(), threads, run_cell);
+  ParallelCells(pending.size(), threads,
+                [&](size_t j) { run_cell(pending[j]); });
 
   result.wall_seconds = wall.ElapsedSeconds();
   result.cache_stats = Delta(cache->stats(), stats_before);
   result.trainer_invocations = nn::TrainInvocationCount() - trains_before;
+  for (const CellResult& cell : result.cells) {
+    if (cell.failed) ++result.failed_cells;
+  }
   return result;
 }
 
 std::vector<CellAggregate> AggregateCells(const SweepResult& result) {
   std::vector<CellAggregate> groups;
   for (const CellResult& cell : result.cells) {
+    // A failed cell's placeholder metrics are NaN; including them would
+    // poison every mean. Its seed is omitted from the group's `seeds` too,
+    // so values stay aligned.
+    if (cell.failed) continue;
     CellAggregate* group = nullptr;
     for (CellAggregate& g : groups) {
       if (g.scenario.dataset == cell.scenario.dataset &&
@@ -234,7 +382,7 @@ std::string WriteArtifact(const SweepResult& result, const std::string& dir,
   const bool stable = options.stable;
   JsonWriter w;
   w.BeginObject();
-  w.Key("schema_version").Int(2);
+  w.Key("schema_version").Int(3);
   w.Key("sweep").String(result.name);
   w.Key("title").String(result.title);
   w.Key("backend").String(la::ActiveBackend().name());
@@ -247,6 +395,12 @@ std::string WriteArtifact(const SweepResult& result, const std::string& dir,
   w.Key("stable").Bool(stable);
   w.Key("wall_seconds").Number(stable ? 0.0 : result.wall_seconds);
   w.Key("trainer_invocations").Int(stable ? 0 : result.trainer_invocations);
+  // failed_cells stays REAL in stable mode: a failed cell already differs
+  // numerically (NaN metrics), and hiding the count would make a partially
+  // failed artifact read as clean. resumed_cells is run-provenance, not a
+  // result — zeroed so resumed-vs-uninterrupted runs compare bitwise.
+  w.Key("failed_cells").Int(result.failed_cells);
+  w.Key("resumed_cells").Int(stable ? 0 : result.resumed_cells);
 
   w.Key("cache").BeginObject();
   const RunCache::Stats cache_stats = stable ? RunCache::Stats{} : result.cache_stats;
@@ -268,6 +422,13 @@ std::string WriteArtifact(const SweepResult& result, const std::string& dir,
     w.Key("seed").Uint(cell.seed);
     w.Key("seconds").Number(stable ? 0.0 : cell.seconds);
     w.Key("cache_hit").Bool(stable ? false : cell.cache_hit);
+    w.Key("status").String(cell.failed ? "failed" : "ok");
+    w.Key("error").String(cell.error);
+    // Retry counts and the resumed marker vary with fault timing and run
+    // provenance, never with results — zeroed in stable mode like the cache
+    // counters.
+    w.Key("retries").Int(stable ? 0 : cell.retries);
+    w.Key("resumed").Bool(stable ? false : cell.resumed);
     w.Key("eval").BeginObject();
     JsonMetric(&w, "accuracy", cell.run->eval.accuracy);
     JsonMetric(&w, "bias", cell.run->eval.bias);

@@ -6,10 +6,18 @@
 #include <string>
 #include <vector>
 
+#include "common/recoverable.h"
 #include "runner/run_cache.h"
 #include "runner/scenario.h"
 
 namespace ppfr::runner {
+
+// The exception a pipeline stage raises on a DATA-DEPENDENT, recoverable
+// failure (non-finite loss, block-CG collapse after fallback, a disk-cache
+// read race, an injected fault). RunSweep catches it at the cell boundary:
+// transient errors retry with bounded backoff, the rest mark the one cell
+// `failed` while the grid completes. See common/recoverable.h.
+using CellError = ppfr::RecoverableError;
 
 struct RunnerOptions {
   // Concurrent cells. 1 = serial on the calling thread with the process-wide
@@ -21,6 +29,20 @@ struct RunnerOptions {
   int threads = 1;
   uint64_t env_seed = core::kDefaultEnvSeed;
   bool verbose = true;  // per-cell progress lines on stderr
+  // Extra attempts for a cell that failed with a TRANSIENT CellError (cache
+  // read races, injected faults). Deterministic failures never retry.
+  int max_cell_retries = 2;
+  // Backoff before retry r (0-based) is retry_backoff_ms << r, capped at
+  // 250ms. 0 disables sleeping (tests).
+  int retry_backoff_ms = 10;
+  // Non-empty enables the crash-safety journal (runner/journal.h): every
+  // finished or failed cell appends a checksummed record to this file.
+  std::string journal_path;
+  // Replay journal_path before running: cells with a valid completed record
+  // are restored from it (marked `resumed`, zero recompute) and only the
+  // rest are scheduled. Previously FAILED cells re-run — a resume is the
+  // natural moment to give them another chance. Requires journal_path.
+  bool resume = false;
 };
 
 struct CellResult {
@@ -31,6 +53,13 @@ struct CellResult {
   uint64_t seed = 0;       // resolved method seed this instance ran with
   double seconds = 0.0;
   bool cache_hit = false;  // the whole cell came out of the run cache
+  // The cell failed with a CellError after retries; `run` holds the NaN
+  // placeholder (no model), `error` the reason. Failed cells are excluded
+  // from AggregateCells and emitted with status "failed" in the artifact.
+  bool failed = false;
+  std::string error;
+  int retries = 0;      // transient-failure attempts burned on this cell
+  bool resumed = false;  // restored from the sweep journal, not computed
   // Bench-specific scalar metrics merged into the JSON artifact (e.g.
   // table2's Pearson r); keyed by metric name.
   std::map<std::string, double> extra;
@@ -49,6 +78,8 @@ struct SweepResult {
   uint64_t env_seed = 0;
   RunCache::Stats cache_stats;      // cache state delta over this sweep
   int64_t trainer_invocations = 0;  // nn::Train calls during this sweep
+  int64_t failed_cells = 0;         // cells that ended in `failed` state
+  int64_t resumed_cells = 0;        // cells restored from the journal
 };
 
 // Mean / stddev / per-seed values of one metric across the seed instances of
@@ -70,9 +101,11 @@ struct CellAggregate {
 };
 
 // Groups the result's cells by (dataset, model, method, label) in first-
-// appearance order and aggregates every metric across seeds. Called by
-// WriteArtifact at emission time so bench-attached `extra` metrics are
-// included; exposed for tests and bespoke bench tables.
+// appearance order and aggregates every metric across seeds. Failed cells
+// are skipped entirely — their NaN placeholders would poison every mean —
+// so a group's `seeds` lists only the instances that actually finished.
+// Called by WriteArtifact at emission time so bench-attached `extra` metrics
+// are included; exposed for tests and bespoke bench tables.
 std::vector<CellAggregate> AggregateCells(const SweepResult& result);
 
 // Runs every cell of the sweep through the cache, serially or across the
@@ -98,14 +131,18 @@ void ParallelCells(size_t n, int threads, const std::function<void(size_t)>& fn)
 struct ArtifactOptions {
   // Stable mode zeroes the fields that legitimately vary between otherwise
   // identical runs — wall/cell seconds, cache hit/miss/disk counters,
-  // trainer invocations, per-cell cache_hit — so two runs of the same sweep
-  // (e.g. cold vs warm --run_cache_dir) produce bitwise-identical files iff
-  // their numeric results are bitwise identical. The schema is unchanged.
+  // trainer invocations, per-cell cache_hit, retry counts and the
+  // resumed markers — so two runs of the same sweep (e.g. cold vs warm
+  // --run_cache_dir, or interrupted-then-resumed vs uninterrupted) produce
+  // bitwise-identical files iff their numeric results are bitwise
+  // identical. The schema is unchanged.
   bool stable = false;
 };
 
-// Writes the uniform BENCH_<name>.json artifact (schema_version 2: per-cell
-// seeds + per-metric mean/stddev aggregates); returns its path.
+// Writes the uniform BENCH_<name>.json artifact (schema_version 3: per-cell
+// status/error/retries/resumed and sweep-level failed/resumed counts on top
+// of v2's per-cell seeds + per-metric mean/stddev aggregates); returns its
+// path.
 std::string WriteArtifact(const SweepResult& result, const std::string& dir = ".",
                           const ArtifactOptions& options = {});
 

@@ -1,0 +1,269 @@
+// Tests for the crash-safety sweep journal (runner/journal) and --resume
+// semantics: full-journal resume recomputes nothing and reproduces the
+// stable artifact bitwise; torn tails, corrupt/foreign headers and failed
+// records all recover per the file contract.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/fault_injection.h"
+#include "nn/trainer.h"
+#include "runner/journal.h"
+#include "runner/run_cache.h"
+#include "runner/runner.h"
+
+namespace ppfr::runner {
+namespace {
+
+constexpr uint64_t kEnvSeed = 7;
+
+Scenario Cell(data::DatasetId dataset, nn::ModelKind model, core::MethodKind method,
+              int epochs) {
+  Scenario cell{dataset, model, method, {}, ""};
+  cell.overrides.epochs = epochs;
+  return cell;
+}
+
+Sweep MiniSuiteSweep(int epochs) {
+  Sweep sweep;
+  sweep.name = "journal_mini";
+  for (core::MethodKind method :
+       {core::MethodKind::kVanilla, core::MethodKind::kDpFr,
+        core::MethodKind::kPpFr}) {
+    sweep.cells.push_back(
+        Cell(data::DatasetId::kEnzymesLike, nn::ModelKind::kGcn, method, epochs));
+  }
+  return sweep;
+}
+
+RunnerOptions JournalOptions(const std::string& journal_path, bool resume) {
+  RunnerOptions opts;
+  opts.threads = 1;
+  opts.env_seed = kEnvSeed;
+  opts.verbose = false;
+  opts.retry_backoff_ms = 0;
+  opts.journal_path = journal_path;
+  opts.resume = resume;
+  return opts;
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Stable artifacts of two results, as bytes — the "did resume reproduce the
+// interrupted run" oracle.
+std::string StableArtifactBytes(const SweepResult& result, const std::string& dir) {
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  ArtifactOptions stable;
+  stable.stable = true;
+  return ReadFileOrDie(WriteArtifact(result, dir, stable));
+}
+
+TEST(JournalTest, RoundTripsRecordsThroughReopen) {
+  const std::string path = ::testing::TempDir() + "/journal_roundtrip.journal";
+  std::remove(path.c_str());
+
+  JournalRecord rec;
+  rec.cell_key = 0xabcdef12345ULL;
+  rec.seed = 11;
+  rec.retries = 1;
+  rec.cache_hit = true;
+  rec.eval.accuracy = 0.75;
+  rec.eval.bias = 1e-4;
+  rec.eval.risk_auc = 0.62;
+  rec.eval.delta_d = 0.01;
+  rec.vanilla_eval.accuracy = 0.70;
+  rec.delta.d_acc = 5.0;
+  rec.delta.combined = -0.25;
+  rec.extra["cg_unconverged"] = 2.0;
+
+  JournalRecord failed;
+  failed.cell_key = 99;
+  failed.failed = true;
+  failed.error = "non-finite training loss at epoch 3";
+
+  {
+    SweepJournal journal(path, "probe", kEnvSeed, /*resume=*/false);
+    journal.Append(rec);
+    journal.Append(failed);
+  }
+  SweepJournal reopened(path, "probe", kEnvSeed, /*resume=*/true);
+  ASSERT_EQ(reopened.replayed().size(), 2u);
+  const JournalRecord& got = reopened.replayed().at(rec.cell_key);
+  EXPECT_EQ(got.seed, 11u);
+  EXPECT_EQ(got.retries, 1);
+  EXPECT_TRUE(got.cache_hit);
+  EXPECT_FALSE(got.failed);
+  EXPECT_EQ(got.eval.accuracy, 0.75);
+  EXPECT_EQ(got.eval.delta_d, 0.01);
+  EXPECT_EQ(got.vanilla_eval.accuracy, 0.70);
+  EXPECT_EQ(got.delta.d_acc, 5.0);
+  EXPECT_EQ(got.delta.combined, -0.25);
+  EXPECT_EQ(got.extra.at("cg_unconverged"), 2.0);
+  const JournalRecord& got_failed = reopened.replayed().at(99);
+  EXPECT_TRUE(got_failed.failed);
+  EXPECT_EQ(got_failed.error, "non-finite training loss at epoch 3");
+
+  // Identity mismatches replay nothing: wrong sweep name, wrong env seed,
+  // and resume=false (fresh) all start empty.
+  EXPECT_TRUE(
+      SweepJournal(path, "other_sweep", kEnvSeed, /*resume=*/true).replayed().empty());
+  // The failed open above rewrote the file with ITS OWN header, so later
+  // identities see a foreign journal — exactly the fresh-start contract.
+  EXPECT_TRUE(
+      SweepJournal(path, "probe", kEnvSeed, /*resume=*/true).replayed().empty());
+}
+
+TEST(JournalTest, DuplicateKeysReplayLastWins) {
+  const std::string path = ::testing::TempDir() + "/journal_dupes.journal";
+  std::remove(path.c_str());
+  JournalRecord first;
+  first.cell_key = 5;
+  first.failed = true;
+  first.error = "crashed attempt";
+  JournalRecord second;
+  second.cell_key = 5;
+  second.eval.accuracy = 0.5;
+  {
+    SweepJournal journal(path, "dupes", kEnvSeed, /*resume=*/false);
+    journal.Append(first);
+    journal.Append(second);
+  }
+  SweepJournal reopened(path, "dupes", kEnvSeed, /*resume=*/true);
+  ASSERT_EQ(reopened.replayed().size(), 1u);
+  EXPECT_FALSE(reopened.replayed().at(5).failed);
+  EXPECT_EQ(reopened.replayed().at(5).eval.accuracy, 0.5);
+}
+
+// The headline resume contract: a journal holding every cell restores the
+// whole sweep with ZERO recomputation, bitwise-equal stable artifact.
+TEST(JournalResumeTest, FullJournalResumesWithoutRetraining) {
+  const std::string path = ::testing::TempDir() + "/journal_full.journal";
+  std::remove(path.c_str());
+  const Sweep sweep = MiniSuiteSweep(6);
+
+  RunCache first_cache;
+  const SweepResult first =
+      RunSweep(sweep, &first_cache, JournalOptions(path, /*resume=*/false));
+  ASSERT_EQ(first.failed_cells, 0);
+
+  // Fresh in-memory cache = nothing carries over except the journal file.
+  RunCache second_cache;
+  const int64_t trains_before = nn::TrainInvocationCount();
+  const SweepResult second =
+      RunSweep(sweep, &second_cache, JournalOptions(path, /*resume=*/true));
+  EXPECT_EQ(nn::TrainInvocationCount(), trains_before)
+      << "a fully journaled sweep must not retrain anything";
+  EXPECT_EQ(second.resumed_cells, static_cast<int64_t>(sweep.cells.size()));
+  EXPECT_EQ(second.failed_cells, 0);
+  for (const CellResult& cell : second.cells) {
+    EXPECT_TRUE(cell.resumed);
+    EXPECT_EQ(cell.run->model, nullptr)
+        << "journal-restored cells carry metrics, not models";
+  }
+
+  EXPECT_EQ(StableArtifactBytes(first, ::testing::TempDir() + "/journal_full_a"),
+            StableArtifactBytes(second, ::testing::TempDir() + "/journal_full_b"))
+      << "resume must reproduce the stable artifact bitwise";
+}
+
+// A SIGKILL mid-append leaves a torn tail frame: the resume drops exactly
+// the torn record, recomputes that cell, and still matches bitwise.
+TEST(JournalResumeTest, TornTailRecomputesOnlyAffectedCells) {
+  const std::string path = ::testing::TempDir() + "/journal_torn.journal";
+  std::remove(path.c_str());
+  const Sweep sweep = MiniSuiteSweep(6);
+
+  RunCache first_cache;
+  const SweepResult first =
+      RunSweep(sweep, &first_cache, JournalOptions(path, /*resume=*/false));
+
+  // Tear the last frame mid-body, as a crash during Append would.
+  const uintmax_t size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 5);
+
+  RunCache second_cache;
+  const SweepResult second =
+      RunSweep(sweep, &second_cache, JournalOptions(path, /*resume=*/true));
+  EXPECT_EQ(second.resumed_cells, static_cast<int64_t>(sweep.cells.size()) - 1);
+  EXPECT_EQ(second.failed_cells, 0);
+
+  EXPECT_EQ(StableArtifactBytes(first, ::testing::TempDir() + "/journal_torn_a"),
+            StableArtifactBytes(second, ::testing::TempDir() + "/journal_torn_b"));
+}
+
+// A corrupt header (or a journal from another sweep/format) replays nothing
+// and the sweep recomputes from scratch — never crashes, never trusts bytes
+// that fail the checksum.
+TEST(JournalResumeTest, CorruptHeaderStartsFresh) {
+  const std::string path = ::testing::TempDir() + "/journal_corrupt.journal";
+  std::remove(path.c_str());
+  const Sweep sweep = MiniSuiteSweep(6);
+
+  RunCache first_cache;
+  const SweepResult first =
+      RunSweep(sweep, &first_cache, JournalOptions(path, /*resume=*/false));
+
+  std::string bytes = ReadFileOrDie(path);
+  ASSERT_GT(bytes.size(), 16u);
+  bytes[14] ^= 0x5a;  // inside the header body → checksum mismatch
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  RunCache second_cache;
+  const SweepResult second =
+      RunSweep(sweep, &second_cache, JournalOptions(path, /*resume=*/true));
+  EXPECT_EQ(second.resumed_cells, 0);
+  EXPECT_EQ(second.failed_cells, 0);
+
+  EXPECT_EQ(StableArtifactBytes(first, ::testing::TempDir() + "/journal_corrupt_a"),
+            StableArtifactBytes(second, ::testing::TempDir() + "/journal_corrupt_b"));
+}
+
+// Failed cells journal their failure but re-run on resume — the resume is
+// the natural second chance, and with the fault gone they now succeed.
+TEST(JournalResumeTest, FailedRecordsRerunOnResume) {
+  const std::string path = ::testing::TempDir() + "/journal_failed.journal";
+  std::remove(path.c_str());
+  const Sweep sweep = MiniSuiteSweep(4);
+
+  {
+    fault::ConfigureForTest("stage.cell:1");
+    RunnerOptions opts = JournalOptions(path, /*resume=*/false);
+    opts.max_cell_retries = 0;
+    RunCache cache;
+    const SweepResult crashed = RunSweep(sweep, &cache, opts);
+    fault::ConfigureForTest("");
+    ASSERT_EQ(crashed.failed_cells, static_cast<int64_t>(sweep.cells.size()));
+  }
+
+  RunCache cache;
+  const SweepResult resumed =
+      RunSweep(sweep, &cache, JournalOptions(path, /*resume=*/true));
+  EXPECT_EQ(resumed.resumed_cells, 0)
+      << "failed records must not restore as finished cells";
+  EXPECT_EQ(resumed.failed_cells, 0) << "re-run cells succeed once the fault is gone";
+
+  // The re-run run's artifact matches a clean never-failed run.
+  RunCache clean_cache;
+  RunnerOptions clean_opts = JournalOptions("", /*resume=*/false);
+  clean_opts.journal_path.clear();
+  const SweepResult clean = RunSweep(sweep, &clean_cache, clean_opts);
+  EXPECT_EQ(StableArtifactBytes(clean, ::testing::TempDir() + "/journal_failed_a"),
+            StableArtifactBytes(resumed, ::testing::TempDir() + "/journal_failed_b"));
+}
+
+}  // namespace
+}  // namespace ppfr::runner

@@ -682,13 +682,15 @@ TEST(ArtifactTest, WritesUniformSchemaGolden) {
   // The uniform schema every sweep artifact shares (CI diffs the same list
   // against bench/golden/artifact_schema.txt).
   for (const char* key :
-       {"\"schema_version\": 2", "\"sweep\"", "\"title\"", "\"backend\"",
+       {"\"schema_version\": 3", "\"sweep\"", "\"title\"", "\"backend\"",
         "\"backend_threads\"", "\"runner_threads\"", "\"env_seed\"",
         "\"seeds\"", "\"stable\"", "\"wall_seconds\"", "\"trainer_invocations\"",
+        "\"failed_cells\"", "\"resumed_cells\"",
         "\"cache\"", "\"env\"", "\"vanilla\"", "\"dp_context\"", "\"pp_context\"",
         "\"fr\"", "\"cell\"", "\"hits\"", "\"misses\"", "\"disk_hits\"",
         "\"cells\"", "\"dataset\"", "\"model\"", "\"method\"", "\"label\"",
-        "\"seed\"", "\"seconds\"", "\"cache_hit\"", "\"eval\"", "\"accuracy\"",
+        "\"seed\"", "\"seconds\"", "\"cache_hit\"", "\"status\"", "\"error\"",
+        "\"retries\"", "\"resumed\"", "\"eval\"", "\"accuracy\"",
         "\"bias\"", "\"risk_auc\"", "\"delta_d\"", "\"delta\"", "\"d_acc\"",
         "\"d_bias\"", "\"d_risk\"", "\"combined\"", "\"extra\"",
         "\"probe_metric\"", "\"aggregates\"", "\"metrics\"", "\"mean\"",
