@@ -25,6 +25,12 @@
 //     block algebra GFLOP/s, and parity against the k=1 oracle; the headline
 //     `cg_block_speedup` is per-RHS k=1 over k=8.
 //
+// The fused-replay columns sit on top of the pipeline sweep: the same
+// cg_block sweep with --replay_lanes=1 (one tape replay per probe point)
+// versus the fused width, gated BITWISE — plus a direct per-width {1,2,8}
+// probe-gradient parity check and a warm-pool reuse pass (cell-scoped
+// ReplayCache) asserting the second calculator's allocation counts.
+//
 // Emits BENCH_influence.json for the cross-PR perf trajectory (schema pinned
 // by bench/golden/artifact_schema.txt, section "influence").
 //
@@ -145,6 +151,11 @@ PipelineBlockRun TimeNodeLossSweep(nn::GnnModel* model, const nn::GraphContext& 
                                    influence::InfluenceConfig config, int block,
                                    const std::vector<int>& targets, int reps) {
   config.cg_block = block;
+  // The damping must put the solve in the PD regime: an UNDERTRAINED model's
+  // Hessian carries negative curvature past any fixed damping, both solvers
+  // then truncate on different Krylov spaces, and the parity gate would
+  // compare two unconverged answers — so smoke-sized runs of this bench need
+  // enough epochs (~30) to be near a minimum, not more damping.
   config.cg.damping = 1.0;
   config.cg.tolerance = 1e-8;
   config.cg.max_iterations = 200;
@@ -316,7 +327,8 @@ int Main(int argc, char** argv) {
   Flags flags(argc, argv);
   bench::RejectUnknownFlags(flags, {"nodes", "degree", "train", "lanes", "epochs",
                                     "reps", "json", "la_backend", "la_threads",
-                                    "cg_block", "cg_targets", "cg_dim"});
+                                    "cg_block", "cg_targets", "cg_dim",
+                                    "replay_lanes"});
   la::ConfigureBackendFromFlags(flags);
   // Default to the acceptance configuration — parallel backend, 4 threads,
   // 4 tape-pool lanes — unless the caller pinned a thread count.
@@ -333,6 +345,9 @@ int Main(int argc, char** argv) {
   const int cg_block = flags.GetInt("cg_block", 8);
   const int cg_targets = flags.GetInt("cg_targets", 16);
   const int cg_dim = flags.GetInt("cg_dim", 1280);
+  // 0 = auto (PPFR_REPLAY_LANES, else 8) — the fused tape-replay width.
+  const int replay_lanes =
+      influence::ResolveReplayLanes(flags.GetInt("replay_lanes", 0));
 
   data::SbmConfig sbm;
   sbm.name = "bench-influence";
@@ -363,6 +378,7 @@ int Main(int argc, char** argv) {
 
   influence::InfluenceConfig after;
   after.tape_pool_lanes = lanes;
+  after.replay_lanes = replay_lanes;
 
   const PathResult serial = TimePerNodeGrads(model.get(), ctx, split.train,
                                              data.labels, before, reps);
@@ -405,20 +421,105 @@ int Main(int argc, char** argv) {
   // load-bearing result here. ---
   const int num_targets = std::min(static_cast<int>(split.train.size()), cg_targets);
   const std::vector<int> targets(split.train.begin(), split.train.begin() + num_targets);
-  PipelineBlockRun pipe_single, pipe_block;
+  PipelineBlockRun pipe_single, pipe_block, pipe_block_serial;
   {
     la::ScopedBackend scoped(la::BackendKind::kSimd, la::ActiveBackend().num_threads());
-    pipe_single = TimeNodeLossSweep(model.get(), ctx, split.train, data.labels, after,
-                                    /*block=*/1, targets, reps);
+    influence::InfluenceConfig serial_replay = after;
+    serial_replay.replay_lanes = 1;
+    // Baseline = the legacy engine exactly as it shipped before lane fusion:
+    // single-RHS CG with one tape replay per probe point.
+    pipe_single = TimeNodeLossSweep(model.get(), ctx, split.train, data.labels,
+                                    serial_replay, /*block=*/1, targets, reps);
     pipe_block = TimeNodeLossSweep(model.get(), ctx, split.train, data.labels, after,
                                    cg_block, targets, reps);
+    // The SAME block sweep with fusion off (one replay per probe point) —
+    // isolates the lane-fused replay's contribution, and its result must be
+    // BITWISE identical to the fused run's: every fused lane's arithmetic is
+    // the serial graph's.
+    pipe_block_serial = TimeNodeLossSweep(model.get(), ctx, split.train, data.labels,
+                                          serial_replay, cg_block, targets, reps);
   }
   const double pipe_parity = MaxRowRelErr(pipe_block.influence, pipe_single.influence);
   const bool pipe_parity_ok = pipe_parity < 1e-3;
   const double pipe_speedup = pipe_single.seconds / pipe_block.seconds;
+  const bool fused_bitwise =
+      BitwiseEqual(pipe_block.influence, pipe_block_serial.influence);
+  const double fused_replay_speedup = pipe_block_serial.seconds / pipe_block.seconds;
   std::printf("node-loss sweep, cg_block=%d vs single-RHS oracle: %.2fx per-RHS, "
               "max rel err %.2e (%s)\n",
               cg_block, pipe_speedup, pipe_parity, pipe_parity_ok ? "OK" : "FAIL");
+  std::printf("fused replay (width %d) vs serial replay at cg_block=%d: %.2fx, "
+              "bitwise %s\n",
+              replay_lanes, cg_block, fused_replay_speedup,
+              fused_bitwise ? "OK" : "FAIL");
+
+  // --- Per-lane-width parity: the probe-gradient engine itself, driven
+  // directly at widths {1, 2, 8} on one fixed probe batch — every width must
+  // reproduce the width-1 gradients bit for bit. ---
+  bool fused_lane_parity_ok = true;
+  {
+    la::ScopedBackend scoped(la::BackendKind::kSimd, la::ActiveBackend().num_threads());
+    const std::vector<double> theta0 = influence::FlattenValues(model->Params());
+    constexpr int kProbePoints = 5;
+    Rng probe_rng(417);
+    std::vector<std::vector<double>> points(kProbePoints, theta0);
+    for (auto& p : points) {
+      for (double& v : p) v += 1e-3 * probe_rng.Normal();
+    }
+    std::vector<std::vector<double>> want;
+    for (const int w : {1, 2, 8}) {
+      influence::InfluenceConfig cfg = after;
+      cfg.replay_lanes = w;
+      influence::InfluenceCalculator calc(model.get(), ctx, split.train,
+                                          data.labels, cfg);
+      const auto grads = calc.BatchTrainGrad()(points);
+      if (w == 1) {
+        want = grads;
+      } else {
+        const bool same = BitwiseEqual(grads, want);
+        fused_lane_parity_ok = fused_lane_parity_ok && same;
+        std::printf("fused replay width %d vs width 1: bitwise %s\n", w,
+                    same ? "OK" : "FAIL");
+      }
+    }
+  }
+
+  // --- Warm-pool reuse across calculators (cell-scoped ReplayCache): the
+  // second calculator re-acquires the recorded forward tape (re-warmed by an
+  // allocation-free replay) and the fused lane pool (no refresh needed), so
+  // its sweep allocates strictly less than the cold one and the lane-pool
+  // acquisition allocates nothing at all. ---
+  int64_t cold_calc_allocs = 0, warm_calc_allocs = 0, warm_lane_allocs = 0;
+  bool warm_reuse_ok = false;
+  {
+    influence::ReplayCache replay_cache;
+    influence::InfluenceConfig warm_cfg = after;
+    warm_cfg.replay_cache = &replay_cache;
+    std::vector<std::vector<double>> cold_grads, warm_grads;
+    {
+      influence::InfluenceCalculator calc(model.get(), ctx, split.train,
+                                          data.labels, warm_cfg);
+      const int64_t a0 = la::MatrixAllocCount();
+      cold_grads = calc.PerNodeLossGrads();
+      cold_calc_allocs = la::MatrixAllocCount() - a0;
+      calc.BatchTrainGrad();  // populate the lane pool in the cache
+    }
+    influence::InfluenceCalculator calc(model.get(), ctx, split.train,
+                                        data.labels, warm_cfg);
+    const int64_t a0 = la::MatrixAllocCount();
+    warm_grads = calc.PerNodeLossGrads();
+    warm_calc_allocs = la::MatrixAllocCount() - a0;
+    const int64_t b0 = la::MatrixAllocCount();
+    calc.BatchTrainGrad();  // cache hit: no clone, no re-record
+    warm_lane_allocs = la::MatrixAllocCount() - b0;
+    warm_reuse_ok = warm_calc_allocs < cold_calc_allocs && warm_lane_allocs == 0 &&
+                    BitwiseEqual(cold_grads, warm_grads);
+    std::printf("warm-pool reuse: cold %lld allocs, warm %lld, lane acquire %lld (%s)\n",
+                static_cast<long long>(cold_calc_allocs),
+                static_cast<long long>(warm_calc_allocs),
+                static_cast<long long>(warm_lane_allocs),
+                warm_reuse_ok ? "OK" : "FAIL");
+  }
 
   // --- Block sweep on the synthetic GEMM-batched operator (SimdBackend):
   // k=1 is the oracle row; every other k must agree with it per RHS. ---
@@ -487,12 +588,13 @@ int Main(int argc, char** argv) {
 
   JsonWriter json;
   json.BeginObject();
-  json.Key("schema_version").Int(3);
+  json.Key("schema_version").Int(4);
   json.Key("nodes").Int(nodes);
   json.Key("train").Int(train_count);
   json.Key("backend").String(la::ActiveBackend().name());
   json.Key("threads").Int(la::ActiveBackend().num_threads());
   json.Key("lanes").Int(lanes);
+  json.Key("replay_lanes").Int(replay_lanes);
   json.Key("per_node_grads_ms_serial").Number(serial.seconds * 1e3);
   json.Key("per_node_grads_ms_pooled").Number(pooled.seconds * 1e3);
   json.Key("per_node_throughput_serial").Number(tput_serial);
@@ -525,6 +627,15 @@ int Main(int argc, char** argv) {
   json.Key("pipeline_block_iterations").Int(pipe_block.stats.block_iterations);
   json.Key("pipeline_grad_evals_single").Int(pipe_single.stats.grad_evals);
   json.Key("pipeline_grad_evals_block").Int(pipe_block.stats.grad_evals);
+  // Lane-fused tape replay: fused vs one-replay-per-probe at the same block
+  // width, plus the bitwise gates and warm-pool reuse counters.
+  json.Key("fused_replay_speedup").Number(fused_replay_speedup);
+  json.Key("fused_bitwise_identical").Bool(fused_bitwise);
+  json.Key("fused_lane_parity_ok").Bool(fused_lane_parity_ok);
+  json.Key("warm_calc_allocs").Int(warm_calc_allocs);
+  json.Key("cold_calc_allocs").Int(cold_calc_allocs);
+  json.Key("warm_lane_allocs").Int(warm_lane_allocs);
+  json.Key("warm_reuse_ok").Bool(warm_reuse_ok);
   json.Key("block_sweep_dim").Int(cg_dim);
   json.Key("block_sweep_rhs").Int(kSweepRhs);
   json.Key("block_sweep").BeginArray();
@@ -548,7 +659,10 @@ int Main(int argc, char** argv) {
   WriteFileOrDie(json_path, json.ToString());
   std::printf("wrote %s\n", json_path.c_str());
 
-  return bitwise && simd_bitwise && pipe_parity_ok && sweep_parity_ok ? 0 : 1;
+  return bitwise && simd_bitwise && pipe_parity_ok && sweep_parity_ok &&
+                 fused_bitwise && fused_lane_parity_ok && warm_reuse_ok
+             ? 0
+             : 1;
 }
 
 }  // namespace ppfr

@@ -38,6 +38,43 @@ Var MatMul(Var a, Var b);
 // Sparse-dense product sp @ x.
 Var SpMM(const std::shared_ptr<const SparseOperand>& sp, Var x);
 
+// ---- Lane-blocked ops (fused multi-point tape replay) ----
+//
+// A lane-wide tensor of base width w stores replay lane l in columns
+// [l·w, (l+1)·w). The lane ops below run `lanes` independent copies of the
+// narrow op in one pass; per-lane column windows never mix, and each lane's
+// forward/backward is bitwise identical to the narrow op applied to that
+// lane's windows (the la::Backend::GemmLanes* contract). SpMM, elementwise
+// ops, AddRowVec, ConcatCols and GatherRows are column-count-invariant per
+// element, so the lane-wide graph reuses them UNCHANGED — only ops that
+// contract over columns (GEMM) or mix a row's columns (softmax, NLL picks)
+// need lane-aware variants.
+
+// Lane-blocked dense product. `a` is lane-shared when a.cols() == b.rows()
+// (e.g. the feature matrix under a lane-wide weight; must not need grad for
+// lanes > 1 — a shared operand's gradient would sum over lanes, which no
+// fused-replay consumer needs), otherwise lane-wide. lanes == 1 is exactly
+// MatMul.
+Var MatMulLanes(Var a, Var b, int lanes);
+
+// Lane-blocked row-wise log-softmax: an independent stable log-softmax over
+// every lane window of each row. lanes == 1 is exactly LogSoftmaxRows.
+Var LogSoftmaxRowsLanes(Var logits, int lanes);
+
+// Lane-blocked weighted NLL: the scalar output is the SUM over lanes of the
+// narrow WeightedNll loss evaluated on that lane's window. Backward writes
+// each lane's picked entries with the same per-entry arithmetic as the
+// narrow op under a unit seed, so lane gradients are bitwise identical to
+// `lanes` serial replays. lanes == 1 is exactly WeightedNll.
+Var WeightedNllLanes(Var logp, const std::vector<int>& rows,
+                     const std::vector<int>& labels,
+                     const std::vector<double>& weights, double denom, int lanes);
+
+// Copies columns [col0, col0 + width) of `a` into a new node (the lane
+// extraction primitive for ops that stay per-lane, e.g. GAT attention).
+// Backward adds the gradient back into the parent window, support-aware.
+Var SliceCols(Var a, int col0, int width);
+
 // ---- Elementwise / broadcast ----
 
 Var Add(Var a, Var b);

@@ -195,12 +195,18 @@ la::Matrix& Tape::GradRefPartial(Var v, const std::vector<int>& rows) {
     arena.dirty_.push_back(v.id);
     g.rows_known = true;
     g.rows.assign(rows.begin(), rows.end());
-    std::sort(g.rows.begin(), g.rows.end());
+    // Supports usually arrive already sorted (CSR adjacency walks, presorted
+    // seed lists) — skip the O(n log n) pass when a linear scan confirms it.
+    if (!std::is_sorted(g.rows.begin(), g.rows.end())) {
+      std::sort(g.rows.begin(), g.rows.end());
+    }
     g.rows.erase(std::unique(g.rows.begin(), g.rows.end()), g.rows.end());
   } else if (g.rows_known) {
     // Union the new rows into the existing sorted support.
     std::vector<int> incoming(rows.begin(), rows.end());
-    std::sort(incoming.begin(), incoming.end());
+    if (!std::is_sorted(incoming.begin(), incoming.end())) {
+      std::sort(incoming.begin(), incoming.end());
+    }
     incoming.erase(std::unique(incoming.begin(), incoming.end()), incoming.end());
     std::vector<int> merged;
     merged.reserve(g.rows.size() + incoming.size());
@@ -360,6 +366,14 @@ void Tape::BeginReplay() {
   ZeroDirtyNodeGrads();
   replaying_ = true;
   replay_cursor_ = 0;
+}
+
+void Tape::EndReplay() {
+  PPFR_CHECK(replaying_) << "EndReplay without a replay in progress";
+  PPFR_CHECK_EQ(replay_cursor_, static_cast<int>(nodes_.size()))
+      << "replay rebuilt fewer nodes than were recorded";
+  PPFR_CHECK(!value_pending_);
+  replaying_ = false;
 }
 
 }  // namespace ppfr::ag

@@ -222,6 +222,11 @@ class Tape {
   // previous pass are cleared. Backward/BackwardWithSeed verify that the
   // replay consumed every recorded node and switch back to record mode.
   void BeginReplay();
+  // Closes a completed replay without running a backward pass — for callers
+  // that replay a forward purely to refresh values (TapePool::Rewarm) and
+  // will consume the tape from other threads afterwards. CHECKs that the
+  // replay consumed every recorded node.
+  void EndReplay();
   bool replaying() const { return replaying_; }
 
   // Logical node count (the replay cursor while replaying).

@@ -11,8 +11,14 @@ FrOutput ComputeFairnessWeights(nn::GnnModel* model, const nn::GraphContext& ctx
                                 const std::vector<int>& labels,
                                 const std::shared_ptr<const la::CsrMatrix>& laplacian,
                                 const FrConfig& config) {
+  // Cell-scoped warm-pool cache: every influence consumer in this FR compute
+  // (the shared-forward TapePool, the fused probe GradLanePool) shares one
+  // set of warm pools instead of rebuilding them per use-site.
+  influence::ReplayCache replay_cache;
+  influence::InfluenceConfig influence_config = config.influence;
+  influence_config.replay_cache = &replay_cache;
   influence::InfluenceCalculator calculator(model, ctx, train_nodes, labels,
-                                            config.influence);
+                                            influence_config);
   FrOutput out;
   // Bias and utility influences share one 2-RHS block inverse-HVP solve (and
   // the batched -SᵀG contraction) instead of two independent CG chains; with

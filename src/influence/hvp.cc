@@ -278,7 +278,14 @@ BlockCgResult BlockConjugateGradientSolve(const std::vector<ag::Parameter*>& par
   MultiVector x_act(dim, static_cast<int>(active.size()));  // zeros
   MultiVector r_act = b.SelectColumns(active);
   MultiVector p_act = r_act;
-  std::vector<double> res_norms_sq = ColumnNormsSq(r_act);
+  // R starts as the selected B columns, whose squared norms were already
+  // computed bitwise in the pre-pass — copy them instead of re-running the
+  // dot pass (which would also recompute norms for columns the dedup screen
+  // already retired).
+  std::vector<double> res_norms_sq(active.size());
+  for (size_t j = 0; j < active.size(); ++j) {
+    res_norms_sq[j] = b_norms_sq[static_cast<size_t>(active[j])];
+  }
   std::vector<double> p_norms_sq = res_norms_sq;  // P = R initially
   std::vector<double> b_norm_of(static_cast<size_t>(k), 1e-30);
   for (int j : unique) {

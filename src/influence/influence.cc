@@ -1,7 +1,10 @@
 #include "influence/influence.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdlib>
+#include <limits>
+#include <string>
 #include <utility>
 
 #include "fairness/bias_metric.h"
@@ -40,8 +43,21 @@ int ResolveCgBlock(int configured) {
   return 8;
 }
 
+int ResolveReplayLanes(int configured) {
+  if (configured > 0) return configured;
+  if (const char* env = std::getenv("PPFR_REPLAY_LANES")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 8;
+}
+
 int InfluenceCalculator::ResolvedCgBlock() const {
   return ResolveCgBlock(config_.cg_block);
+}
+
+int InfluenceCalculator::ResolvedReplayLanes() const {
+  return ResolveReplayLanes(config_.replay_lanes);
 }
 
 int InfluenceCalculator::ResolvedLanes(int num_items) const {
@@ -92,18 +108,39 @@ const std::vector<std::vector<double>>& InfluenceCalculator::PerNodeLossGrads() 
   return per_node_grads_;
 }
 
+TapePool* InfluenceCalculator::SharedForwardPool() {
+  if (forward_pool_ != nullptr) return forward_pool_;
+  // Lane count saturates at the backend's thread budget; PerSeedGrads clamps
+  // to the seed count per call, and results are lane-count-invariant bit for
+  // bit, so one pool serves sweeps of every size.
+  const int lanes = ResolvedLanes(std::numeric_limits<int>::max());
+  // The builder captures the model and context by pointer (never `this`): a
+  // cache-owned pool outlives this calculator and rewarms against the same
+  // model object from a later one.
+  nn::GnnModel* model = model_;
+  const nn::GraphContext* ctx = &ctx_;
+  const TapePool::Builder builder = [model, ctx](ag::Tape& tape) {
+    ag::Var logits = model->Forward(tape, *ctx, nn::ForwardOptions{});
+    return ag::LogSoftmaxRows(logits);
+  };
+  if (config_.replay_cache != nullptr) {
+    const std::string key =
+        "fwd:" + std::to_string(reinterpret_cast<std::uintptr_t>(model_)) + ":" +
+        std::to_string(lanes);
+    forward_pool_ = config_.replay_cache->GetOrCreateTapePool(
+        key, [&] { return std::make_unique<TapePool>(builder, params_, lanes); });
+  } else {
+    owned_forward_pool_ = std::make_unique<TapePool>(builder, params_, lanes);
+    forward_pool_ = owned_forward_pool_.get();
+  }
+  return forward_pool_;
+}
+
 std::vector<std::vector<double>> InfluenceCalculator::PerNodeLossGradsPooled() {
-  const int lanes = ResolvedLanes(static_cast<int>(train_nodes_.size()));
-  TapePool pool(
-      [this](ag::Tape& tape) {
-        ag::Var logits = model_->Forward(tape, ctx_, nn::ForwardOptions{});
-        return ag::LogSoftmaxRows(logits);
-      },
-      params_, lanes);
   // Seed dL_v/dlogp = -1 at (v, label_v) — exactly the gradient the serial
   // reference's single-node WeightedNll writes, so the paths stay bitwise
   // identical without materialising a loss node per seed.
-  return pool.PerSeedGrads(
+  return SharedForwardPool()->PerSeedGrads(
       static_cast<int>(train_nodes_.size()),
       [this](int k, std::vector<int>* rows, std::vector<int>* cols,
              std::vector<double>* values) {
@@ -138,29 +175,65 @@ InfluenceCalculator::PerNodeLossGradsSerialReference() {
 
 BatchGradFn InfluenceCalculator::BatchTrainGrad() {
   if (grad_lane_pool_ == nullptr) {
-    // Every lane owns a full model clone, so probe-point evaluation never
-    // touches the real parameters. Lane count follows tape_pool_lanes; the
-    // per-point gradients are lane-count-invariant bit for bit.
-    const int lanes = ResolvedLanes(2 * ResolvedCgBlock());
-    grad_lane_pool_ = std::make_unique<GradLanePool>(
-        [this]() {
+    // Every lane owns a full model clone, WIDENED to `width` parameter-column
+    // blocks: one replay of its lane-wide loss graph evaluates the gradient
+    // at `width` probe points through wide BLAS-3 passes. Probe evaluation
+    // never touches the real parameters. Thread-lane count follows
+    // tape_pool_lanes over the CHUNK count (a chunk = one fused replay); the
+    // per-point gradients are invariant bit for bit to both the thread-lane
+    // count and the fused width (each fused lane's arithmetic IS the serial
+    // graph's — see autograd/ops.cc lane ops).
+    // Central differencing never produces more than 2·cg_block probes per
+    // call, so a wider pool would only ever run pad lanes: clamp the fused
+    // width to the probe budget (replay_lanes = 8 at cg_block = 1 → width 2).
+    const int width =
+        std::min(ResolvedReplayLanes(), std::max(1, 2 * ResolvedCgBlock()));
+    const int chunks =
+        std::max(1, (2 * ResolvedCgBlock() + width - 1) / width);
+    // A wide clone's tapes are `width`× a narrow clone's, so chunk workers
+    // beyond the backend's thread budget buy no concurrency and multiply the
+    // working set past cache — clamp to the threads that actually exist.
+    // Results are lane-count invariant bit for bit, so this only moves time.
+    const int lanes = std::max(
+        1, std::min(ResolvedLanes(chunks), la::ActiveBackend().num_threads()));
+    // Captures are by value / stable pointer (never `this`): a cache-owned
+    // pool outlives this calculator.
+    nn::GnnModel* model = model_;
+    const nn::GraphContext* ctx = &ctx_;
+    const GradLanePool::WideLaneFactory factory =
+        [model, ctx, nodes = train_nodes_, node_labels = train_labels_](int w) {
           GradLane lane;
-          std::unique_ptr<nn::GnnModel> clone = model_->Clone();
+          std::unique_ptr<nn::GnnModel> clone = model->Clone();
           nn::GnnModel* m = clone.get();
+          nn::WidenModelParams(m, w);
+          lane.width = w;
           lane.params = m->Params();
           lane.graph = std::make_unique<ReusableLossGraph>(
-              [this, m](ag::Tape& tape) {
-                ag::Var logits = m->Forward(tape, ctx_, nn::ForwardOptions{});
-                ag::Var logp = ag::LogSoftmaxRows(logits);
-                const std::vector<double> ones(train_nodes_.size(), 1.0);
-                return ag::WeightedNll(logp, train_nodes_, train_labels_, ones,
-                                       static_cast<double>(train_nodes_.size()));
+              [m, ctx, nodes, node_labels, w](ag::Tape& tape) {
+                nn::ForwardOptions options;
+                options.replay_lanes = w;
+                ag::Var logits = m->Forward(tape, *ctx, options);
+                ag::Var logp = ag::LogSoftmaxRowsLanes(logits, w);
+                const std::vector<double> ones(nodes.size(), 1.0);
+                return ag::WeightedNllLanes(logp, nodes, node_labels, ones,
+                                            static_cast<double>(nodes.size()), w);
               },
               lane.params);
           lane.owner = std::shared_ptr<void>(std::move(clone));
           return lane;
-        },
-        lanes);
+        };
+    if (config_.replay_cache != nullptr) {
+      const std::string key =
+          "lanes:" + std::to_string(reinterpret_cast<std::uintptr_t>(model_)) +
+          ":" + std::to_string(lanes) + "x" + std::to_string(width);
+      grad_lane_pool_ = config_.replay_cache->GetOrCreateGradLanes(key, [&] {
+        return std::make_unique<GradLanePool>(factory, lanes, width);
+      });
+    } else {
+      owned_grad_lane_pool_ =
+          std::make_unique<GradLanePool>(factory, lanes, width);
+      grad_lane_pool_ = owned_grad_lane_pool_.get();
+    }
   }
   return [this](const std::vector<std::vector<double>>& points) {
     return grad_lane_pool_->GradsAt(points);
@@ -225,15 +298,10 @@ std::vector<std::vector<double>> InfluenceCalculator::InfluenceOnNodeLosses(
     PPFR_CHECK_GE(t, 0);
     PPFR_CHECK_LT(t, static_cast<int>(labels_.size()));
   }
-  // All target-node loss gradients ∇θL_t from ONE shared forward pass, the
-  // same seeded-backward machinery as the per-train-node sweep.
-  TapePool pool(
-      [this](ag::Tape& tape) {
-        ag::Var logits = model_->Forward(tape, ctx_, nn::ForwardOptions{});
-        return ag::LogSoftmaxRows(logits);
-      },
-      params_, ResolvedLanes(static_cast<int>(target_nodes.size())));
-  const std::vector<std::vector<double>> rhs = pool.PerSeedGrads(
+  // All target-node loss gradients ∇θL_t from the SAME shared forward pass
+  // (and pool) as the per-train-node sweep — previously a second identical
+  // TapePool was built and warmed here.
+  const std::vector<std::vector<double>> rhs = SharedForwardPool()->PerSeedGrads(
       static_cast<int>(target_nodes.size()),
       [this, &target_nodes](int k, std::vector<int>* rows, std::vector<int>* cols,
                             std::vector<double>* values) {

@@ -43,6 +43,22 @@ struct InfluenceConfig {
   // fixed RHS set is deterministic: the same block width always produces the
   // same bits regardless of thread or lane counts.
   int cg_block = 0;
+
+  // Fused replay width for batched probe-gradient evaluation (BatchTrainGrad):
+  // each tape replay evaluates this many parameter points at once through a
+  // lane-widened loss graph, turning the probe sweep's GEMMs into wide BLAS-3
+  // passes. 0 — the default — resolves from PPFR_REPLAY_LANES, else 8; 1
+  // disables fusion (the pre-fusion one-replay-per-point path). Results are
+  // bitwise identical at every width: each fused lane's arithmetic IS the
+  // width-1 graph's (see autograd/ops.cc lane ops).
+  int replay_lanes = 0;
+
+  // Optional cell-scoped warm-pool cache (non-owning). When set, the
+  // calculator's shared-forward TapePool and probe GradLanePool are acquired
+  // from — and survive in — this cache instead of being rebuilt per
+  // calculator and per use-site. The cache must outlive the calculator and
+  // must not outlive the model/context (see ReplayCache).
+  ReplayCache* replay_cache = nullptr;
 };
 
 // The block width a configured cg_block value resolves to at runtime
@@ -50,6 +66,14 @@ struct InfluenceConfig {
 // Cache keys over FR results mix THIS value, not the raw config field, so
 // runs under different environments never share an entry.
 int ResolveCgBlock(int configured);
+
+// The fused replay width a configured replay_lanes value resolves to at
+// runtime (configured if > 0, else the PPFR_REPLAY_LANES environment
+// variable, else 8). Like ResolveCgBlock, FR cache keys mix THIS value: the
+// fused path is bitwise-identical to serial by design, but keying the
+// resolved width keeps any regression attributable instead of silently
+// shared across environments.
+int ResolveReplayLanes(int configured);
 
 // Aggregate instrumentation over the block solves an InfluenceCalculator has
 // issued since construction (or the last Reset) — surfaced into
@@ -129,6 +153,10 @@ class InfluenceCalculator {
   // (config.cg_block, else PPFR_CG_BLOCK, else 8).
   int ResolvedCgBlock() const;
 
+  // The fused replay width BatchTrainGrad will use (config.replay_lanes,
+  // else PPFR_REPLAY_LANES, else 8).
+  int ResolvedReplayLanes() const;
+
   // Instrumentation over every block solve issued so far.
   const BlockSolveStats& block_stats() const { return block_stats_; }
   void ResetBlockStats() { block_stats_.Reset(); }
@@ -155,6 +183,10 @@ class InfluenceCalculator {
   std::vector<std::vector<double>> PerNodeLossGradsSerialReference();
   // Lanes for pooled per-seed backward / batched probe gradients.
   int ResolvedLanes(int num_items) const;
+  // The shared-forward TapePool behind the per-node and per-target gradient
+  // sweeps — one pool per calculator (previously one per use-site), acquired
+  // from config_.replay_cache when a cell-scoped cache is installed.
+  TapePool* SharedForwardPool();
   // Solves (H + λI) S = B in blocks of ResolvedCgBlock() columns,
   // accumulating block_stats_; returns S with one column per RHS column.
   MultiVector SolveRhsBlock(const MultiVector& b);
@@ -171,7 +203,12 @@ class InfluenceCalculator {
   std::vector<ag::Parameter*> params_;
   std::vector<std::vector<double>> per_node_grads_;       // lazily filled cache
   std::unique_ptr<ReusableLossGraph> train_grad_graph_;  // lazily recorded
-  std::unique_ptr<GradLanePool> grad_lane_pool_;         // lazily built
+  // Replay pools: raw pointers name the live pool (cache-owned when a
+  // ReplayCache is installed, else the owned_ member).
+  GradLanePool* grad_lane_pool_ = nullptr;               // lazily built
+  std::unique_ptr<GradLanePool> owned_grad_lane_pool_;
+  TapePool* forward_pool_ = nullptr;                     // lazily built
+  std::unique_ptr<TapePool> owned_forward_pool_;
   BlockSolveStats block_stats_;
 };
 

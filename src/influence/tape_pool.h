@@ -2,7 +2,9 @@
 #define PPFR_INFLUENCE_TAPE_POOL_H_
 
 #include <functional>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "autograd/tape.h"
@@ -44,12 +46,21 @@ class TapePool {
   // Flat ∇θ(loss_k) for every seed k in [0, num_seeds).
   std::vector<std::vector<double>> PerSeedGrads(int num_seeds, const SeedFn& seed_fn);
 
+  // Replays the shared forward with the parameters' CURRENT values, reusing
+  // the recorded tape storage and the worker pool (no per-node matrix
+  // allocations). The values produced are bitwise what a fresh construction
+  // would compute — the replay runs on the active backend, like the original
+  // forward. Only valid with the same parameter set the pool was built over
+  // (leaf identity is CHECKed by the tape).
+  void Rewarm();
+
   int num_lanes() const { return num_lanes_; }
 
  private:
   void RunLane(int seed_begin, int seed_end, const SeedFn& seed_fn,
                std::vector<std::vector<double>>* grads);
 
+  Builder builder_;  // retained for Rewarm
   std::vector<ag::Parameter*> params_;
   ag::Tape tape_;
   ag::Var output_;
@@ -88,6 +99,11 @@ struct GradLane {
   std::vector<ag::Parameter*> params;
   std::unique_ptr<ReusableLossGraph> graph;
   std::shared_ptr<void> owner;
+  // Fused lane width: how many parameter points this lane's graph evaluates
+  // per replay. Width w > 1 means every parameter is WIDENED to w column
+  // blocks (see nn::WidenModelParams) and the recorded graph is the lane-wide
+  // loss graph, whose per-lane arithmetic is bitwise the width-1 graph.
+  int width = 1;
 };
 
 // Evaluates the loss gradient at many ABSOLUTE parameter points, fanned
@@ -100,22 +116,70 @@ struct GradLane {
 class GradLanePool {
  public:
   using LaneFactory = std::function<GradLane()>;
+  // Factory for fused lanes: builds a lane whose graph evaluates `width`
+  // points per replay (parameters widened to `width` column blocks).
+  using WideLaneFactory = std::function<GradLane(int width)>;
 
   GradLanePool(const LaneFactory& factory, int num_lanes);
+
+  // Fused construction: points are processed in chunks of `width` per
+  // replay. The chunk grid is FIXED by width alone — chunk c always covers
+  // points [c·width, (c+1)·width) — and thread lanes take contiguous chunk
+  // ranges, so results are bitwise invariant to the lane count. A short
+  // final chunk is padded by replicating its last point; lanes are
+  // arithmetically independent, so pad lanes never touch a real result.
+  GradLanePool(const WideLaneFactory& factory, int num_lanes, int width);
 
   // Flat loss gradient at each point, in point order.
   std::vector<std::vector<double>> GradsAt(
       const std::vector<std::vector<double>>& points);
 
   int num_lanes() const { return static_cast<int>(lanes_.size()); }
+  int width() const { return width_; }
 
  private:
   void RunLane(int lane, int begin, int end,
                const std::vector<std::vector<double>>& points,
                std::vector<std::vector<double>>* grads);
+  // Fused path: [chunk_begin, chunk_end) on the fixed width_-point grid.
+  // `kernel_threads` sizes the worker's private backend (threads left over by
+  // having fewer chunk workers than cores).
+  void RunLaneFused(int lane, int chunk_begin, int chunk_end, int kernel_threads,
+                    const std::vector<std::vector<double>>& points,
+                    std::vector<std::vector<double>>* grads);
 
   std::vector<GradLane> lanes_;
+  int width_ = 1;
   std::unique_ptr<ThreadPool> pool_;  // only when num_lanes > 1
+};
+
+// Cell-scoped cache of warm replay pools. The expensive state behind an
+// influence solve — recorded forward tapes, per-lane model clones, worker
+// threads — depends only on the cell's (model, graph, training set), yet it
+// was previously rebuilt per InfluenceCalculator AND per use-site within a
+// calculator. Hoisting ownership here lets every consumer in the same cell
+// reuse the warm pools: a TapePool is re-warmed (forward replayed at the
+// model's current values, allocation-free) on each reacquisition, and a
+// GradLanePool needs no refresh at all (it evaluates ABSOLUTE points, so its
+// clones' resident values are irrelevant).
+//
+// Keys name the model object and pool geometry; the cache must therefore not
+// outlive the models/contexts its entries were warmed against — its intended
+// lifetime is one cell (see core::ComputeFairnessWeights) or one bench
+// scenario.
+class ReplayCache {
+ public:
+  TapePool* GetOrCreateTapePool(
+      const std::string& key,
+      const std::function<std::unique_ptr<TapePool>()>& make);
+
+  GradLanePool* GetOrCreateGradLanes(
+      const std::string& key,
+      const std::function<std::unique_ptr<GradLanePool>()>& make);
+
+ private:
+  std::map<std::string, std::unique_ptr<TapePool>> tape_pools_;
+  std::map<std::string, std::unique_ptr<GradLanePool>> grad_lane_pools_;
 };
 
 }  // namespace ppfr::influence

@@ -299,6 +299,48 @@ double XpayDot(double beta, const double* x, double* y, int64_t n) {
 }
 
 PPFR_TARGET_AVX2
+void SpmmRow(const double* vals, const int* cols, int64_t nnz, double alpha,
+             const double* x, int64_t x_stride, double* out_row, int64_t n) {
+  // Column-register-blocked CSR row accumulate. Each 8-wide output block
+  // lives in two ymm across the WHOLE nonzero list (load once, store once);
+  // per element the k loop applies exactly the fma chain repeated VAxpy
+  // calls would (alpha·vals[k] is the same double product every time it is
+  // recomputed, and std::fma in the tail matches the fmadd lanes), so the
+  // kernel is bitwise the per-nonzero axpy sequence.
+  int64_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    __m256d y0 = _mm256_loadu_pd(out_row + j);
+    __m256d y1 = _mm256_loadu_pd(out_row + j + 4);
+    for (int64_t k = 0; k < nnz; ++k) {
+      const __m256d w = _mm256_set1_pd(alpha * vals[k]);
+      const double* x_row = x + static_cast<size_t>(cols[k]) * x_stride;
+      y0 = _mm256_fmadd_pd(w, _mm256_loadu_pd(x_row + j), y0);
+      y1 = _mm256_fmadd_pd(w, _mm256_loadu_pd(x_row + j + 4), y1);
+    }
+    _mm256_storeu_pd(out_row + j, y0);
+    _mm256_storeu_pd(out_row + j + 4, y1);
+  }
+  if (j + 4 <= n) {
+    __m256d y0 = _mm256_loadu_pd(out_row + j);
+    for (int64_t k = 0; k < nnz; ++k) {
+      const __m256d w = _mm256_set1_pd(alpha * vals[k]);
+      const double* x_row = x + static_cast<size_t>(cols[k]) * x_stride;
+      y0 = _mm256_fmadd_pd(w, _mm256_loadu_pd(x_row + j), y0);
+    }
+    _mm256_storeu_pd(out_row + j, y0);
+    j += 4;
+  }
+  for (; j < n; ++j) {
+    double acc = out_row[j];
+    for (int64_t k = 0; k < nnz; ++k) {
+      acc = std::fma(alpha * vals[k],
+                     x[static_cast<size_t>(cols[k]) * x_stride + j], acc);
+    }
+    out_row[j] = acc;
+  }
+}
+
+PPFR_TARGET_AVX2
 void VScale(double alpha, double* x, int64_t n) {
   const __m256d va = _mm256_set1_pd(alpha);
   int64_t i = 0;
@@ -344,6 +386,10 @@ double AxpyDot(double, const double*, double*, int64_t) {
 double XpayDot(double, const double*, double*, int64_t) {
   PPFR_CHECK(false) << "SIMD kernels are not compiled into this build";
   return 0.0;
+}
+void SpmmRow(const double*, const int*, int64_t, double, const double*, int64_t,
+             double*, int64_t) {
+  PPFR_CHECK(false) << "SIMD kernels are not compiled into this build";
 }
 void VScale(double, double*, int64_t) {
   PPFR_CHECK(false) << "SIMD kernels are not compiled into this build";

@@ -81,6 +81,19 @@ void Hadamard(const double* a, const double* b, double* out, int64_t n);
 double AxpyDot(double alpha, const double* x, double* y, int64_t n);
 double XpayDot(double beta, const double* x, double* y, int64_t n);
 
+// Multi-column CSR row kernel: out_row[j] += Σ_k (alpha·vals[k])·x(cols[k], j)
+// over one output row's nonzero list (k in CSR order), x row-major with the
+// given stride. Bitwise contract: per element this is the fma chain that
+// repeated VAxpy calls over the nonzeros produce (fmadd lanes, std::fma
+// tail — one fma per (element, k), k ascending), so routing a row through
+// this kernel instead of per-nonzero VAxpy never changes a bit. The win is
+// register blocking over columns: each 8-wide output block is loaded and
+// stored ONCE for the whole nonzero list instead of once per nonzero, which
+// turns the x-row gathers into the only memory traffic — and widens with the
+// fused-replay lane count.
+void SpmmRow(const double* vals, const int* cols, int64_t nnz, double alpha,
+             const double* x, int64_t x_stride, double* out_row, int64_t n);
+
 }  // namespace ppfr::la::simd
 
 #endif  // PPFR_LA_SIMD_KERNELS_H_

@@ -22,38 +22,74 @@ GatConv::GatConv(int in_dim, int out_dim, int heads, bool concat, uint64_t seed)
   }
 }
 
-ag::Var GatConv::Forward(ag::Tape& tape, const GraphContext& ctx, ag::Var x) {
-  // Per-head projections H_h and attention scores, then one fused
-  // softmax-aggregate over all heads.
+ag::Var GatConv::Forward(ag::Tape& tape, const GraphContext& ctx, ag::Var x,
+                         int lanes) {
+  // Per-head projections H_h and attention scores (lane-wide when lanes > 1),
+  // then one fused softmax-aggregate over all heads per lane.
   std::vector<ag::Var> head_features;
   std::vector<ag::Var> left_scores;
   std::vector<ag::Var> right_scores;
   head_features.reserve(heads_);
   for (int h = 0; h < heads_; ++h) {
     ag::Var w = tape.Leaf(&weights_[h]);
-    ag::Var hh = ag::MatMul(x, w);  // n x out_dim
+    ag::Var hh = ag::MatMulLanes(x, w, lanes);  // n x out_dim·L
     head_features.push_back(hh);
-    left_scores.push_back(ag::MatMul(hh, tape.Leaf(&attn_left_[h])));    // n x 1
-    right_scores.push_back(ag::MatMul(hh, tape.Leaf(&attn_right_[h])));  // n x 1
+    left_scores.push_back(
+        ag::MatMulLanes(hh, tape.Leaf(&attn_left_[h]), lanes));  // n x L
+    right_scores.push_back(
+        ag::MatMulLanes(hh, tape.Leaf(&attn_right_[h]), lanes));  // n x L
   }
-  ag::Var h_all = heads_ == 1 ? head_features[0] : ag::ConcatCols(head_features);
-  ag::Var sl = heads_ == 1 ? left_scores[0] : ag::ConcatCols(left_scores);
-  ag::Var sr = heads_ == 1 ? right_scores[0] : ag::ConcatCols(right_scores);
 
-  ag::Var out = ag::EdgeSoftmaxAggregate(h_all, sl, sr, ctx.edges_with_self, heads_,
-                                         kLeakySlope);
-  if (concat_ || heads_ == 1) return out;
+  // Concat heads + softmax-aggregate + (optionally) average heads, for one
+  // lane's narrow feature/score windows.
+  auto aggregate_heads = [&](std::vector<ag::Var> hf, std::vector<ag::Var> ls,
+                             std::vector<ag::Var> rs) {
+    ag::Var h_all = heads_ == 1 ? hf[0] : ag::ConcatCols(hf);
+    ag::Var sl = heads_ == 1 ? ls[0] : ag::ConcatCols(ls);
+    ag::Var sr = heads_ == 1 ? rs[0] : ag::ConcatCols(rs);
+    ag::Var out = ag::EdgeSoftmaxAggregate(h_all, sl, sr, ctx.edges_with_self, heads_,
+                                           kLeakySlope);
+    if (concat_ || heads_ == 1) return out;
 
-  // Average heads: out is n x (heads*out_dim); sum the head blocks.
-  ag::Var acc{};
-  for (int h = 0; h < heads_; ++h) {
-    // Slice head block h via a constant selector matrix (heads*out x out).
-    la::Matrix selector(heads_ * out_dim_, out_dim_);
-    for (int c = 0; c < out_dim_; ++c) selector(h * out_dim_ + c, c) = 1.0;
-    ag::Var block = ag::MatMul(out, tape.Constant(std::move(selector)));
-    acc = h == 0 ? block : ag::Add(acc, block);
+    // Average heads: out is n x (heads*out_dim); sum the head blocks.
+    ag::Var acc{};
+    for (int h = 0; h < heads_; ++h) {
+      // Slice head block h via a constant selector matrix (heads*out x out).
+      la::Matrix selector(heads_ * out_dim_, out_dim_);
+      for (int c = 0; c < out_dim_; ++c) selector(h * out_dim_ + c, c) = 1.0;
+      ag::Var block = ag::MatMul(out, tape.Constant(std::move(selector)));
+      acc = h == 0 ? block : ag::Add(acc, block);
+    }
+    return ag::Scale(acc, 1.0 / heads_);
+  };
+
+  if (lanes == 1) {
+    return aggregate_heads(std::move(head_features), std::move(left_scores),
+                           std::move(right_scores));
   }
-  return ag::Scale(acc, 1.0 / heads_);
+
+  // The edge softmax normalises over a destination's neighbours per head —
+  // its per-row arithmetic depends on every head column, so unlike the GEMMs
+  // it cannot run lane-wide. Slice each lane's windows out of the wide
+  // projections, aggregate per lane with the narrow op (bitwise the serial
+  // path: a slice is a copy), and concatenate lane outputs back into the
+  // lane-major wide layout.
+  std::vector<ag::Var> lane_outputs;
+  lane_outputs.reserve(lanes);
+  for (int l = 0; l < lanes; ++l) {
+    std::vector<ag::Var> hf;
+    std::vector<ag::Var> ls;
+    std::vector<ag::Var> rs;
+    hf.reserve(heads_);
+    for (int h = 0; h < heads_; ++h) {
+      hf.push_back(ag::SliceCols(head_features[h], l * out_dim_, out_dim_));
+      ls.push_back(ag::SliceCols(left_scores[h], l, 1));
+      rs.push_back(ag::SliceCols(right_scores[h], l, 1));
+    }
+    lane_outputs.push_back(
+        aggregate_heads(std::move(hf), std::move(ls), std::move(rs)));
+  }
+  return ag::ConcatCols(lane_outputs);
 }
 
 std::vector<ag::Parameter*> GatConv::Params() {

@@ -21,7 +21,12 @@ class GatConv {
   GatConv(const GatConv&) = default;
   GatConv& operator=(const GatConv&) = default;
 
-  ag::Var Forward(ag::Tape& tape, const GraphContext& ctx, ag::Var x);
+  // `lanes` > 1 runs the fused-replay lane-wide graph (see GcnConv::Forward):
+  // the per-head projections and attention-score GEMMs run lane-wide, then
+  // the edge softmax-aggregate — whose per-row softmax would mix lanes — runs
+  // per lane on sliced windows, and the lane outputs concatenate back into
+  // the lane-major wide layout.
+  ag::Var Forward(ag::Tape& tape, const GraphContext& ctx, ag::Var x, int lanes = 1);
 
   std::vector<ag::Parameter*> Params();
 

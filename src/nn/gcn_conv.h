@@ -19,7 +19,11 @@ class GcnConv {
   GcnConv(const GcnConv&) = default;
   GcnConv& operator=(const GcnConv&) = default;
 
-  ag::Var Forward(ag::Tape& tape, const GraphContext& ctx, ag::Var x);
+  // `lanes` > 1 runs the fused-replay lane-wide graph: weight/bias must be
+  // column-widened (nn::WidenModelParams) and `x` is lane-shared (layer 1
+  // features) or lane-wide (a previous lane-wide layer's output). lanes == 1
+  // is the ordinary narrow layer.
+  ag::Var Forward(ag::Tape& tape, const GraphContext& ctx, ag::Var x, int lanes = 1);
 
   std::vector<ag::Parameter*> Params();
 

@@ -37,10 +37,9 @@ Gcn::Gcn(int in_dim, int hidden_dim, int num_classes, uint64_t seed)
 
 ag::Var Gcn::Forward(ag::Tape& tape, const GraphContext& ctx,
                      const ForwardOptions& options) {
-  (void)options;
   ag::Var x = tape.StaticConstant(ctx.features);
-  ag::Var h = ag::Relu(conv1_.Forward(tape, ctx, x));
-  return conv2_.Forward(tape, ctx, h);
+  ag::Var h = ag::Relu(conv1_.Forward(tape, ctx, x, options.replay_lanes));
+  return conv2_.Forward(tape, ctx, h, options.replay_lanes);
 }
 
 std::vector<ag::Parameter*> Gcn::Params() {
@@ -59,10 +58,9 @@ Gat::Gat(int in_dim, int hidden_dim, int num_classes, int heads, uint64_t seed)
 
 ag::Var Gat::Forward(ag::Tape& tape, const GraphContext& ctx,
                      const ForwardOptions& options) {
-  (void)options;
   ag::Var x = tape.StaticConstant(ctx.features);
-  ag::Var h = ag::Elu(conv1_.Forward(tape, ctx, x));
-  return conv2_.Forward(tape, ctx, h);
+  ag::Var h = ag::Elu(conv1_.Forward(tape, ctx, x, options.replay_lanes));
+  return conv2_.Forward(tape, ctx, h, options.replay_lanes);
 }
 
 std::vector<ag::Parameter*> Gat::Params() {
@@ -81,8 +79,9 @@ GraphSage::GraphSage(int in_dim, int hidden_dim, int num_classes, uint64_t seed)
 ag::Var GraphSage::Forward(ag::Tape& tape, const GraphContext& ctx,
                            const ForwardOptions& options) {
   ag::Var x = tape.StaticConstant(ctx.features);
-  ag::Var h = ag::Relu(conv1_.Forward(tape, ctx, x, options.sage_aggregator));
-  return conv2_.Forward(tape, ctx, h, options.sage_aggregator);
+  ag::Var h = ag::Relu(
+      conv1_.Forward(tape, ctx, x, options.sage_aggregator, options.replay_lanes));
+  return conv2_.Forward(tape, ctx, h, options.sage_aggregator, options.replay_lanes);
 }
 
 std::vector<ag::Parameter*> GraphSage::Params() {
@@ -107,6 +106,15 @@ std::unique_ptr<GnnModel> MakeModel(ModelKind kind, int in_dim, int num_classes,
   }
   PPFR_CHECK(false) << "unknown model kind";
   return nullptr;
+}
+
+void WidenModelParams(GnnModel* model, int lanes) {
+  PPFR_CHECK_GE(lanes, 1);
+  if (lanes == 1) return;
+  for (ag::Parameter* p : model->Params()) {
+    p->value = la::Matrix(p->value.rows(), p->value.cols() * lanes);
+    p->grad = la::Matrix(p->grad.rows(), p->grad.cols() * lanes);
+  }
 }
 
 }  // namespace ppfr::nn

@@ -18,9 +18,15 @@ enum class ModelKind { kGcn, kGat, kGraphSage };
 std::string ModelKindName(ModelKind kind);
 
 // Per-forward options. `sage_aggregator` carries the per-epoch sampled
-// neighbour mean for GraphSAGE training passes.
+// neighbour mean for GraphSAGE training passes. `replay_lanes` > 1 builds the
+// lane-wide graph of the fused multi-point tape replay: every parameter must
+// have been widened to `lanes` column blocks (WidenModelParams), the logits
+// come out (n x classes·lanes) with lane l in columns [l·classes, (l+1)·classes),
+// and each lane is bitwise identical to a replay_lanes == 1 forward at that
+// lane's parameter point.
 struct ForwardOptions {
   std::shared_ptr<const ag::SparseOperand> sage_aggregator;
+  int replay_lanes = 1;
 };
 
 // A node-classification GNN. Forward returns raw logits (n x classes); the
@@ -96,6 +102,14 @@ class GraphSage final : public GnnModel {
 // Factory with per-kind default hyperparameters (hidden width, heads).
 std::unique_ptr<GnnModel> MakeModel(ModelKind kind, int in_dim, int num_classes,
                                     uint64_t seed);
+
+// Reshapes every parameter of `model` (value and grad) from (r x c) to
+// (r x c·lanes) zeros, the column-blocked layout that a
+// ForwardOptions::replay_lanes == lanes forward consumes. The widened values
+// are meaningless until the caller scatters per-lane parameter points into
+// the column blocks (influence::GradLanePool does this per replay chunk) —
+// widening is a layout change, not a broadcast.
+void WidenModelParams(GnnModel* model, int lanes);
 
 }  // namespace ppfr::nn
 

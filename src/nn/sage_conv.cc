@@ -17,11 +17,14 @@ SageConv::SageConv(int in_dim, int out_dim, uint64_t seed)
       bias_("sage.bias", Zeros(1, out_dim)) {}
 
 ag::Var SageConv::Forward(ag::Tape& tape, const GraphContext& ctx, ag::Var x,
-                          const std::shared_ptr<const ag::SparseOperand>& aggregator) {
+                          const std::shared_ptr<const ag::SparseOperand>& aggregator,
+                          int lanes) {
   const auto& agg = aggregator != nullptr ? aggregator : ctx.mean_adj;
-  ag::Var self_term = ag::MatMul(x, tape.Leaf(&weight_self_));
+  // Only the weight GEMMs contract over columns; SpMM, Add and the bias
+  // broadcast pass lane-wide activations through unchanged.
+  ag::Var self_term = ag::MatMulLanes(x, tape.Leaf(&weight_self_), lanes);
   ag::Var neigh_mean = ag::SpMM(agg, x);
-  ag::Var neigh_term = ag::MatMul(neigh_mean, tape.Leaf(&weight_neigh_));
+  ag::Var neigh_term = ag::MatMulLanes(neigh_mean, tape.Leaf(&weight_neigh_), lanes);
   return ag::AddRowVec(ag::Add(self_term, neigh_term), tape.Leaf(&bias_));
 }
 

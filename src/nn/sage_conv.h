@@ -22,9 +22,11 @@ class SageConv {
   SageConv& operator=(const SageConv&) = default;
 
   // `aggregator` overrides the context's full-graph neighbour mean when
-  // non-null (used for sampled training passes).
+  // non-null (used for sampled training passes). `lanes` > 1 runs the
+  // fused-replay lane-wide graph (see GcnConv::Forward).
   ag::Var Forward(ag::Tape& tape, const GraphContext& ctx, ag::Var x,
-                  const std::shared_ptr<const ag::SparseOperand>& aggregator);
+                  const std::shared_ptr<const ag::SparseOperand>& aggregator,
+                  int lanes = 1);
 
   std::vector<ag::Parameter*> Params();
 

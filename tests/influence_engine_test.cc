@@ -9,6 +9,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -591,6 +593,157 @@ TEST(BlockInfluenceTest, FixedBlockIsBitwiseInvariantAcrossLaneCounts) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, BlockCgBackend,
+                         ::testing::Values(la::BackendKind::kReference,
+                                           la::BackendKind::kParallel,
+                                           la::BackendKind::kSimd),
+                         [](const ::testing::TestParamInfo<la::BackendKind>& info) {
+                           return la::BackendKindName(info.param);
+                         });
+
+// ---- Lane-fused tape replay: the batched probe-gradient engine ----
+
+// Deterministic probe points around the trained parameters: small absolute
+// perturbations so every point stays in the model's smooth regime.
+std::vector<std::vector<double>> ProbePoints(const std::vector<double>& theta0,
+                                             int count, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> normal(0.0, 1e-3);
+  std::vector<std::vector<double>> points(static_cast<size_t>(count), theta0);
+  for (auto& p : points) {
+    for (double& v : p) v += normal(rng);
+  }
+  return points;
+}
+
+std::vector<std::vector<double>> FusedGradsAt(
+    EngineFixture& fx, int replay_lanes, int pool_lanes,
+    const std::vector<std::vector<double>>& points) {
+  InfluenceConfig cfg;
+  cfg.replay_lanes = replay_lanes;
+  cfg.tape_pool_lanes = pool_lanes;
+  // cg_block bounds the fused width (probe budget clamp); keep it wide
+  // enough that replay_lanes is the binding knob in these tests.
+  cfg.cg_block = 8;
+  InfluenceCalculator calc(fx.model.get(), fx.ctx, fx.split.train, fx.data.labels,
+                           cfg);
+  return calc.BatchTrainGrad()(points);
+}
+
+class FusedReplayBitwise : public ::testing::TestWithParam<la::BackendKind> {};
+
+TEST_P(FusedReplayBitwise, FusedWidthsReproduceSerialReplayBitwise) {
+  // The load-bearing fusion contract: for every lane width, chunk-worker
+  // count, and thread count, the fused wide replay returns the width-1
+  // serial replay's gradients bit for bit.
+  la::ScopedBackend scoped(GetParam(), 4);
+  EngineFixture fx(nn::ModelKind::kGcn, /*seed=*/47);
+  const auto points =
+      ProbePoints(FlattenValues(fx.model->Params()), /*count=*/5, /*seed=*/417);
+
+  const auto want = FusedGradsAt(fx, /*replay_lanes=*/1, /*pool_lanes=*/1, points);
+  ASSERT_EQ(want.size(), points.size());
+  for (const int width : {2, 8}) {
+    for (const int pool_lanes : {1, 3}) {
+      SCOPED_TRACE("width=" + std::to_string(width) +
+                   " pool_lanes=" + std::to_string(pool_lanes));
+      ExpectBitwiseEqual(want, FusedGradsAt(fx, width, pool_lanes, points));
+    }
+  }
+  {
+    // Thread-count invariance: the same fused width under a single-threaded
+    // backend of the same kind.
+    la::ScopedBackend single(GetParam(), 1);
+    SCOPED_TRACE("width=8 threads=1");
+    ExpectBitwiseEqual(want, FusedGradsAt(fx, 8, 1, points));
+  }
+}
+
+TEST_P(FusedReplayBitwise, WidthOneMatchesDirectSerialReplayBitwise) {
+  // replay_lanes = 1 must reproduce the pre-fusion engine exactly: a plain
+  // ReusableLossGraph over a model clone, evaluated one point at a time.
+  la::ScopedBackend scoped(GetParam(), 2);
+  EngineFixture fx(nn::ModelKind::kGcn, /*seed=*/53);
+  const auto points =
+      ProbePoints(FlattenValues(fx.model->Params()), /*count=*/3, /*seed=*/31);
+
+  std::unique_ptr<nn::GnnModel> clone = fx.model->Clone();
+  nn::GnnModel* m = clone.get();
+  const nn::GraphContext* ctx = &fx.ctx;
+  const std::vector<int>& nodes = fx.split.train;
+  std::vector<int> labels;
+  for (int v : nodes) labels.push_back(fx.data.labels[static_cast<size_t>(v)]);
+  const std::vector<double> ones(nodes.size(), 1.0);
+  ReusableLossGraph graph(
+      [m, ctx, &nodes, &labels, &ones](ag::Tape& tape) {
+        ag::Var logits = m->Forward(tape, *ctx, nn::ForwardOptions{});
+        return ag::WeightedNll(ag::LogSoftmaxRows(logits), nodes, labels, ones,
+                               static_cast<double>(nodes.size()));
+      },
+      m->Params());
+  std::vector<std::vector<double>> want;
+  for (const auto& p : points) {
+    SetValues(m->Params(), p);
+    want.push_back(graph.Grad());
+  }
+
+  ExpectBitwiseEqual(want, FusedGradsAt(fx, /*replay_lanes=*/1,
+                                        /*pool_lanes=*/1, points));
+}
+
+TEST(FusedReplayTest, FusedGradsMatchCentralDifferencesOfTheLoss) {
+  // Gradient correctness, not just parity: at each probe point the fused
+  // width-8 gradient must reproduce directional central differences of the
+  // training loss evaluated from scratch.
+  la::ScopedBackend scoped(la::BackendKind::kSimd, 2);
+  EngineFixture fx(nn::ModelKind::kGcn, /*seed=*/59);
+  const std::vector<double> theta0 = FlattenValues(fx.model->Params());
+  const auto points = ProbePoints(theta0, /*count=*/3, /*seed=*/73);
+  const auto grads = FusedGradsAt(fx, /*replay_lanes=*/8, /*pool_lanes=*/1, points);
+
+  std::unique_ptr<nn::GnnModel> clone = fx.model->Clone();
+  nn::GnnModel* m = clone.get();
+  std::vector<int> labels;
+  for (int v : fx.split.train) {
+    labels.push_back(fx.data.labels[static_cast<size_t>(v)]);
+  }
+  const std::vector<double> ones(fx.split.train.size(), 1.0);
+  auto loss_at = [&](const std::vector<double>& p) {
+    SetValues(m->Params(), p);
+    ag::Tape tape;
+    ag::Var logits = m->Forward(tape, fx.ctx, nn::ForwardOptions{});
+    ag::Var loss =
+        ag::WeightedNll(ag::LogSoftmaxRows(logits), fx.split.train, labels, ones,
+                        static_cast<double>(fx.split.train.size()));
+    return loss.scalar();
+  };
+
+  std::mt19937_64 rng(97);
+  std::normal_distribution<double> normal(0.0, 1.0);
+  const double eps = 1e-5;
+  for (size_t i = 0; i < points.size(); ++i) {
+    std::vector<double> dir(theta0.size());
+    double norm = 0.0;
+    for (double& d : dir) {
+      d = normal(rng);
+      norm += d * d;
+    }
+    norm = std::sqrt(norm);
+    std::vector<double> plus = points[i];
+    std::vector<double> minus = points[i];
+    double want_dot = 0.0;
+    for (size_t j = 0; j < dir.size(); ++j) {
+      dir[j] /= norm;
+      plus[j] += eps * dir[j];
+      minus[j] -= eps * dir[j];
+      want_dot += grads[i][j] * dir[j];
+    }
+    const double fd = (loss_at(plus) - loss_at(minus)) / (2.0 * eps);
+    EXPECT_NEAR(fd, want_dot, 1e-6 * std::max(1.0, std::fabs(fd)))
+        << "probe point " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, FusedReplayBitwise,
                          ::testing::Values(la::BackendKind::kReference,
                                            la::BackendKind::kParallel,
                                            la::BackendKind::kSimd),

@@ -52,6 +52,7 @@ core::MethodConfig PinnedConfig() {
   cfg.fr.influence.cg.tolerance = 1e-6;
   cfg.fr.influence.cg.hvp_step = 1e-4;
   cfg.fr.influence.cg_block = 8;  // pinned: 0 would resolve from PPFR_CG_BLOCK
+  cfg.fr.influence.replay_lanes = 8;  // pinned: 0 would resolve from PPFR_REPLAY_LANES
   cfg.seed = 11;
   return cfg;
 }
@@ -97,7 +98,9 @@ TEST(KeyHasherTest, GoldenValuesStableAcrossProcesses) {
             0x6b4731a3f0028329ULL);
   EXPECT_EQ(RunCache::DpKey(env, cfg), 0xdc379259979ac35fULL);
   EXPECT_EQ(RunCache::PpKey(nn::ModelKind::kGcn, env, cfg), 0x0cea453f034b7143ULL);
-  EXPECT_EQ(RunCache::FrKey(nn::ModelKind::kGcn, env, cfg), 0xf6ed48839d1de780ULL);
+  // FrKey changed when the fused-replay width joined the key recipe (the
+  // resolved replay_lanes is mixed like the resolved cg_block).
+  EXPECT_EQ(RunCache::FrKey(nn::ModelKind::kGcn, env, cfg), 0x12671a205dc02888ULL);
 
   // The namespace tags must actually namespace: stages whose remaining
   // fields coincide still get distinct keys (guards the const char* → bool
