@@ -8,7 +8,10 @@
 // through the shared stage cache, renders its bespoke table, and emits the
 // uniform BENCH_<name>.json artifact.
 
+#include <signal.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -23,8 +26,18 @@
 #include "core/methods.h"
 #include "la/backend.h"
 #include "runner/runner.h"
+#include "runner/shard_merge.h"
 
 namespace ppfr::bench {
+
+// Exit-code contract of the runner-driven binaries. 0 = clean completion
+// (including a COMPLETE merge); 2 = usage error (the long-standing repo
+// convention); the fleet codes are distinct so a driver script can tell
+// "re-run the missing shard and merge again" from "a signal stopped this
+// shard, resume it" without parsing output.
+inline constexpr int kExitUsage = 2;
+inline constexpr int kExitDegradedMerge = 3;  // merge wrote a partial artifact
+inline constexpr int kExitInterrupted = 4;    // SIGTERM/SIGINT stopped the sweep
 
 // Flags every runner-driven bench binary understands.
 inline std::vector<std::string> CommonFlagNames() {
@@ -78,6 +91,72 @@ inline void RequireKnownFlags(const Flags& flags,
   RejectUnknownFlags(flags, known);
 }
 
+// Parsed --shard=i/N + --shard_dir=DIR (bench_runner only). count == 1 means
+// unsharded. A sharded run's journal is ALWAYS the canonical
+// DIR/shard-<i>of<N>.journal — an explicit --journal is rejected, because
+// the merge discovers shards purely by that naming contract and a renamed
+// journal would silently drop its shard from every future merge.
+struct ShardSpec {
+  int index = 0;
+  int count = 1;
+  std::string dir;
+};
+
+inline ShardSpec ShardFromFlags(const Flags& flags) {
+  ShardSpec spec;
+  if (!flags.Has("shard")) {
+    if (flags.Has("shard_dir")) {
+      std::fprintf(stderr, "--shard_dir only makes sense with --shard=i/N\n");
+      std::exit(kExitUsage);
+    }
+    return spec;
+  }
+  const std::string raw = flags.GetString("shard", "");
+  char tail = '\0';
+  if (std::sscanf(raw.c_str(), "%d/%d%c", &spec.index, &spec.count, &tail) != 2 ||
+      spec.count < 1 || spec.index < 0 || spec.index >= spec.count) {
+    std::fprintf(stderr,
+                 "--shard wants i/N with 0 <= i < N (e.g. --shard=0/3), got "
+                 "'%s'\n",
+                 raw.c_str());
+    std::exit(kExitUsage);
+  }
+  spec.dir = flags.GetString("shard_dir", "");
+  if (spec.dir.empty() || spec.dir == "true") {
+    std::fprintf(stderr,
+                 "--shard=i/N needs --shard_dir=DIR (where the shard journals "
+                 "and per-shard artifacts live)\n");
+    std::exit(kExitUsage);
+  }
+  if (flags.Has("journal")) {
+    std::fprintf(stderr,
+                 "--journal cannot be combined with --shard: a shard's journal "
+                 "is always <shard_dir>/%s so --merge can discover it\n",
+                 runner::ShardJournalFilename(spec.index, spec.count).c_str());
+    std::exit(kExitUsage);
+  }
+  return spec;
+}
+
+// Installs SIGTERM/SIGINT handlers for a graceful sweep stop and returns the
+// flag to hand to RunnerOptions::stop: the first signal sets the flag (cells
+// not yet started are skipped, in-flight cells finish and journal, the
+// binary writes an `interrupted:true` artifact and exits kExitInterrupted);
+// SA_RESETHAND restores the default disposition, so a SECOND signal kills
+// the process immediately — an operator double-Ctrl-C must never be argued
+// with. Async-signal-safe: the handler only stores to a lock-free atomic.
+inline const std::atomic<bool>* InstallGracefulStop() {
+  static std::atomic<bool> stop{false};
+  static_assert(std::atomic<bool>::is_always_lock_free);
+  struct sigaction action = {};
+  action.sa_handler = [](int) { stop.store(true, std::memory_order_relaxed); };
+  action.sa_flags = SA_RESETHAND;
+  sigemptyset(&action.sa_mask);
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+  return &stop;
+}
+
 inline runner::RunnerOptions RunnerOptionsFromFlags(const Flags& flags) {
   runner::RunnerOptions opts;
   opts.threads = flags.GetInt("runner_threads", 1);
@@ -97,9 +176,13 @@ inline runner::RunnerOptions RunnerOptionsFromFlags(const Flags& flags) {
     opts.journal_path = path;
   }
   opts.resume = flags.GetBool("resume", false);
-  if (opts.resume && opts.journal_path.empty()) {
-    std::fprintf(stderr, "--resume needs --journal=<path> to replay from\n");
-    std::exit(2);
+  // A sharded run's journal path is derived from --shard_dir AFTER this
+  // parse (see ShardFromFlags), so --resume is valid there too.
+  if (opts.resume && opts.journal_path.empty() && !flags.Has("shard")) {
+    std::fprintf(stderr,
+                 "--resume needs --journal=<path> (or --shard=i/N "
+                 "--shard_dir=DIR) to replay from\n");
+    std::exit(kExitUsage);
   }
   return opts;
 }
@@ -130,6 +213,32 @@ inline void PreflightOutputPaths(const Flags& flags) {
         std::filesystem::path(flags.GetString("journal", "")).parent_path();
     probe_dir(parent.empty() ? "." : parent.string(), "--journal directory");
   }
+  // The shard dir receives this shard's journal AND its per-shard artifact;
+  // the merge dir must at least exist before we bother resolving the sweep.
+  if (flags.Has("shard_dir")) {
+    const std::string dir = flags.GetString("shard_dir", "");
+    if (!dir.empty() && dir != "true") probe_dir(dir, "--shard_dir");
+  }
+  if (flags.Has("merge")) {
+    const std::string dir = flags.GetString("merge", "");
+    std::error_code ec;
+    if (!dir.empty() && dir != "true" && !std::filesystem::is_directory(dir, ec)) {
+      std::fprintf(stderr, "--merge directory '%s' does not exist\n", dir.c_str());
+      std::exit(kExitUsage);
+    }
+  }
+  // A GC request writes the cache index file into the cache dir at sweep
+  // end; an unwritable index must die NOW, not after the training finished.
+  if (flags.Has("cache_gc_bytes") || flags.Has("cache_gc_age_s")) {
+    const std::string cache_dir = RunCacheDir(flags);
+    if (cache_dir.empty()) {
+      std::fprintf(stderr,
+                   "--cache_gc_bytes/--cache_gc_age_s need --run_cache_dir "
+                   "(there is no disk cache to collect)\n");
+      std::exit(kExitUsage);
+    }
+    probe_dir(cache_dir, "--run_cache_dir (cache GC index)");
+  }
 }
 
 // Resolves the binary's registered sweep, applying --datasets/--models
@@ -151,9 +260,11 @@ inline runner::Sweep BenchSweep(const Flags& flags, const std::string& name) {
 // files). Every bench that writes an artifact must come through here so the
 // flag is never silently ignored.
 inline std::string EmitArtifact(const Flags& flags,
-                                const runner::SweepResult& result) {
+                                const runner::SweepResult& result,
+                                const std::string& filename_suffix = "") {
   runner::ArtifactOptions artifact;
   artifact.stable = flags.GetBool("stable_artifact", false);
+  artifact.filename_suffix = filename_suffix;
   const std::string path =
       runner::WriteArtifact(result, flags.GetString("json_dir", "."), artifact);
   std::printf("wrote %s\n", path.c_str());
@@ -181,6 +292,26 @@ inline runner::SweepResult RunAndEmit(const Flags& flags, const runner::Sweep& s
       runner::RunSweep(sweep, cache, RunnerOptionsFromFlags(flags));
   EmitArtifact(flags, result);
   return result;
+}
+
+// Runs the size/age-bounded cache GC when --cache_gc_bytes / --cache_gc_age_s
+// were given (after the sweep, so this run's own entries carry fresh access
+// stamps and survive an LRU pass that evicts genuinely cold entries).
+// Misuse (no disk cache configured) already died in PreflightOutputPaths.
+inline void MaybeRunCacheGc(const Flags& flags, const runner::RunCache& cache) {
+  if (!flags.Has("cache_gc_bytes") && !flags.Has("cache_gc_age_s")) return;
+  runner::CacheStore::GcOptions gc;
+  gc.max_bytes = static_cast<int64_t>(flags.GetUint64("cache_gc_bytes", 0));
+  gc.max_age_seconds = static_cast<int64_t>(flags.GetUint64("cache_gc_age_s", 0));
+  const runner::CacheStore::GcResult r = cache.store().GarbageCollect(gc);
+  std::printf(
+      "cache gc: %lld of %lld entries evicted (%lld of %lld bytes), "
+      "%lld spared by live claims\n",
+      static_cast<long long>(r.evicted_entries),
+      static_cast<long long>(r.entries_before),
+      static_cast<long long>(r.evicted_bytes),
+      static_cast<long long>(r.bytes_before),
+      static_cast<long long>(r.kept_claimed));
 }
 
 // Distinct values of a Scenario field in first-appearance cell order.

@@ -10,8 +10,9 @@
 namespace ppfr::fault {
 namespace {
 
-constexpr const char* kKnownSites[] = {kCacheStoreRead, kCacheStoreWrite,
-                                       kStageCell, kJournalAppend, kTestSite};
+constexpr const char* kKnownSites[] = {
+    kCacheStoreRead, kCacheStoreWrite, kCacheStoreClaim, kShardMergeRead,
+    kJournalReplay,  kStageCell,       kJournalAppend,   kTestSite};
 
 bool IsKnownSite(const std::string& name) {
   for (const char* site : kKnownSites) {

@@ -23,6 +23,14 @@ namespace ppfr::fault {
 // non-throwing sites degrade (a skipped persist, a dropped journal record).
 inline constexpr const char* kCacheStoreRead = "cache_store.read";    // throws
 inline constexpr const char* kCacheStoreWrite = "cache_store.write";  // skips persist
+// Cross-process sites (the sharded-fleet hardening): a spuriously failing
+// claim-file create (the O_EXCL loses although nobody holds the claim — the
+// claimer re-enters its bounded poll loop), an unreadable shard journal
+// during --merge (the shard degrades to missing), and a journal record that
+// fails replay validation (that record and the tail after it recompute).
+inline constexpr const char* kCacheStoreClaim = "cache_store.claim";  // claim denied
+inline constexpr const char* kShardMergeRead = "shard.merge_read";    // shard skipped
+inline constexpr const char* kJournalReplay = "journal.replay";       // truncates replay
 inline constexpr const char* kStageCell = "stage.cell";               // throws
 inline constexpr const char* kJournalAppend = "journal.append";       // drops record
 inline constexpr const char* kTestSite = "test.site";  // tests only, no prod caller

@@ -104,7 +104,64 @@ std::string HeaderBody(const std::string& sweep_name, uint64_t env_seed) {
   return w.data();
 }
 
+struct ParsedJournal {
+  bool header_ok = false;
+  size_t valid_end = 0;  // bytes of the valid prefix (header frame included)
+  bool torn = false;
+  std::unordered_map<uint64_t, JournalRecord> records;
+};
+
+// The one replay loop, shared by the owning SweepJournal constructor (which
+// then rewrites the valid prefix) and the read-only ReplayJournalFile (which
+// must not). The first torn, corrupt or fault-truncated frame ends the valid
+// prefix; duplicate keys replay last-wins.
+ParsedJournal ParseJournal(const std::string& bytes, const std::string& header) {
+  ParsedJournal out;
+  size_t pos = 0;
+  std::string body;
+  if (!ReadFrame(bytes, &pos, &body) || body != header) return out;
+  out.header_ok = true;
+  out.valid_end = pos;
+  while (ReadFrame(bytes, &pos, &body)) {
+    // The injected replay fault models a record that fails validation: it
+    // and the tail after it read as never-finished, so those cells
+    // recompute (or report missing in a merge) instead of replaying junk.
+    if (fault::ShouldFail(fault::kJournalReplay)) {
+      std::fprintf(stderr,
+                   "journal: injected replay fault (truncating replay; the "
+                   "remaining records read as unfinished)\n");
+      break;
+    }
+    JournalRecord rec;
+    if (!LoadRecord(body, &rec)) break;
+    out.records[rec.cell_key] = std::move(rec);  // last record wins
+    out.valid_end = pos;
+  }
+  out.torn = out.valid_end < bytes.size();
+  return out;
+}
+
 }  // namespace
+
+bool RecordsEquivalent(const JournalRecord& a, const JournalRecord& b) {
+  BinaryWriter wa, wb;
+  SaveRecord(&wa, a);
+  SaveRecord(&wb, b);
+  return wa.data() == wb.data();
+}
+
+JournalReplay ReplayJournalFile(const std::string& path,
+                                const std::string& sweep_name,
+                                uint64_t env_seed) {
+  JournalReplay out;
+  std::string bytes;
+  if (!ReadFileToString(path, &bytes)) return out;
+  ParsedJournal parsed = ParseJournal(bytes, HeaderBody(sweep_name, env_seed));
+  out.header_ok = parsed.header_ok;
+  out.torn = parsed.torn;
+  out.records = std::move(parsed.records);
+  return out;
+}
 
 SweepJournal::SweepJournal(std::string path, std::string sweep_name,
                            uint64_t env_seed, bool resume)
@@ -115,34 +172,26 @@ SweepJournal::SweepJournal(std::string path, std::string sweep_name,
   std::string valid_prefix;
   std::string bytes;
   if (resume && ReadFileToString(path_, &bytes)) {
-    size_t pos = 0;
-    std::string body;
-    if (ReadFrame(bytes, &pos, &body) && body == header) {
-      // Header matches this run's identity bit for bit (magic, version,
-      // fingerprint, sweep, env seed — HeaderBody is canonical). Replay
-      // every intact record; the first torn or corrupt frame ends the valid
-      // prefix and discards the tail.
-      size_t valid_end = pos;
-      while (ReadFrame(bytes, &pos, &body)) {
-        JournalRecord rec;
-        if (!LoadRecord(body, &rec)) break;
-        replayed_[rec.cell_key] = std::move(rec);  // last record wins
-        valid_end = pos;
-      }
-      if (valid_end < bytes.size()) {
+    // Header must match this run's identity bit for bit (magic, version,
+    // fingerprint, sweep, env seed — HeaderBody is canonical); then every
+    // intact record replays and the first torn or corrupt frame ends the
+    // valid prefix, discarding the tail.
+    ParsedJournal parsed = ParseJournal(bytes, header);
+    if (parsed.header_ok) {
+      replayed_ = std::move(parsed.records);
+      if (parsed.torn) {
         std::fprintf(stderr,
                      "journal: dropping torn tail of '%s' (%zu of %zu bytes "
                      "valid; the affected cells recompute)\n",
-                     path_.c_str(), valid_end, bytes.size());
+                     path_.c_str(), parsed.valid_end, bytes.size());
       }
-      valid_prefix = bytes.substr(0, valid_end);
+      valid_prefix = bytes.substr(0, parsed.valid_end);
     } else {
       std::fprintf(stderr,
                    "journal: '%s' is corrupt or belongs to another "
                    "sweep/format/backend — starting fresh (all cells "
                    "recompute)\n",
                    path_.c_str());
-      replayed_.clear();
     }
   }
   if (valid_prefix.empty()) valid_prefix = Frame(header);

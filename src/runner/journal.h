@@ -58,6 +58,30 @@ struct JournalRecord {
 //    unjournaled would forfeit exactly the crash-safety that was asked for.
 //    Append failures after open only warn — a full disk must not kill a
 //    sweep that can still finish.
+// Read-only replay of a journal file for the (sweep_name, env_seed)
+// identity. Unlike constructing a SweepJournal, this never rewrites or
+// truncates the file — it is what `--merge` uses to read SHARD journals it
+// does not own (a merge must never mutate a shard's crash-recovery state; the
+// shard may still be running or about to resume). header_ok=false covers
+// both "no such file" and "foreign identity" — the caller treats either as
+// the whole journal missing. The fault::kJournalReplay site fires per record
+// and truncates the replay at that record (it and everything after it read
+// as never-finished), modelling a record that fails validation in the field.
+struct JournalReplay {
+  bool header_ok = false;  // file exists and the header matches the identity
+  bool torn = false;       // a torn/corrupt/fault-truncated tail was dropped
+  std::unordered_map<uint64_t, JournalRecord> records;
+};
+JournalReplay ReplayJournalFile(const std::string& path,
+                                const std::string& sweep_name,
+                                uint64_t env_seed);
+
+// Bitwise equivalence under the canonical record serialization (doubles
+// compare by bit pattern, so 0.0 != -0.0 and NaN == NaN exactly like the
+// artifact bytes would). This is how the merge decides whether two shards'
+// records for the same cell key agree or conflict.
+bool RecordsEquivalent(const JournalRecord& a, const JournalRecord& b);
+
 class SweepJournal {
  public:
   // Opens `path` for the (sweep_name, env_seed) identity. resume=false

@@ -1,9 +1,11 @@
 #include "runner/run_cache.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstdio>
 #include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "common/fault_injection.h"
 #include "common/recoverable.h"
@@ -216,6 +218,41 @@ void RunCache::NoteDiskHit(StageStats* stats) {
   ++stats->disk_hits;
 }
 
+void RunCache::ClaimedCompute(const char* stage, uint64_t key,
+                              const std::function<bool(bool)>& try_load,
+                              const std::function<void()>& compute) const {
+  if (try_load(/*faulted=*/true)) return;
+  if (!store_.enabled()) {
+    compute();
+    return;
+  }
+  int64_t backoff_ms = 2;
+  for (;;) {
+    if (store_.TryClaim(stage, key)) {
+      CacheStore::ClaimGuard guard(&store_, stage, key);
+      // Double-check under the claim: the previous claimant may have
+      // persisted the entry between our miss and our win.
+      if (try_load(/*faulted=*/false)) return;
+      compute();
+      return;
+      // ~guard releases the claim — including when compute() unwinds with a
+      // RecoverableError, so a failed compute never wedges the key for other
+      // processes until the staleness bound.
+    }
+    // Lost the claim race: the winner is computing this exact deterministic
+    // entry. Poll for it instead of double-training.
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min<int64_t>(backoff_ms * 2, 50);
+    if (try_load(/*faulted=*/false)) return;
+    // No entry yet. A live claim means keep waiting; a stale one (dead pid,
+    // over the age bound) or none at all (claimant released without
+    // persisting — failed compute or failed write) means re-contend.
+    if (store_.ProbeClaim(stage, key) == CacheStore::ClaimState::kStale) {
+      store_.BreakClaim(stage, key);
+    }
+  }
+}
+
 std::shared_ptr<const core::ExperimentEnv> RunCache::Env(data::DatasetId id,
                                                          uint64_t env_seed) {
   return GetOrCompute<std::shared_ptr<const core::ExperimentEnv>>(
@@ -231,29 +268,40 @@ std::shared_ptr<const RunCache::VanillaStage> RunCache::VanillaStageFor(
   const uint64_t key = VanillaKey(kind, env, config);
   return GetOrCompute<std::shared_ptr<const VanillaStage>>(
       &vanilla_, key, &stats_.vanilla, [&] {
-        std::string payload;
-        if (LoadStage("vanilla", key, &payload)) {
+        std::shared_ptr<const VanillaStage> result;
+        const auto try_load = [&](bool faulted) {
+          std::string payload;
+          if (!(faulted ? LoadStage("vanilla", key, &payload)
+                        : store_.Load("vanilla", key, &payload))) {
+            return false;
+          }
           BinaryReader r(payload);
           auto stage = std::make_shared<VanillaStage>();
           stage->model = core::LoadModel(&r, kind, env, config.seed);
           if (stage->model != nullptr && core::LoadEval(&r, &stage->eval) &&
               r.AtEnd()) {
             NoteDiskHit(&stats_.vanilla);
-            return std::shared_ptr<const VanillaStage>(std::move(stage));
+            result = std::move(stage);
+            return true;
           }
           // Architecture/shape drift inside a checksum-valid entry: fall
           // through to the recompute, which overwrites it.
-        }
-        auto stage = std::make_shared<VanillaStage>();
-        stage->model = core::TrainFresh(kind, env, env.ctx, config, /*lambda=*/0.0);
-        stage->eval = core::EvaluateModel(stage->model.get(), env.Eval());
-        if (store_.enabled()) {
-          BinaryWriter w;
-          core::SaveModel(&w, stage->model.get());
-          core::SaveEval(&w, stage->eval);
-          StoreStage("vanilla", key, w.data());
-        }
-        return std::shared_ptr<const VanillaStage>(std::move(stage));
+          return false;
+        };
+        ClaimedCompute("vanilla", key, try_load, [&] {
+          auto stage = std::make_shared<VanillaStage>();
+          stage->model =
+              core::TrainFresh(kind, env, env.ctx, config, /*lambda=*/0.0);
+          stage->eval = core::EvaluateModel(stage->model.get(), env.Eval());
+          if (store_.enabled()) {
+            BinaryWriter w;
+            core::SaveModel(&w, stage->model.get());
+            core::SaveEval(&w, stage->eval);
+            StoreStage("vanilla", key, w.data());
+          }
+          result = std::move(stage);
+        });
+        return result;
       });
 }
 
@@ -280,23 +328,33 @@ std::shared_ptr<const nn::GraphContext> RunCache::ContextStage(
     const std::function<nn::GraphContext()>& compute) {
   return GetOrCompute<std::shared_ptr<const nn::GraphContext>>(
       map, key, stats, [&] {
-        std::string payload;
-        if (LoadStage(stage, key, &payload)) {
+        std::shared_ptr<const nn::GraphContext> result;
+        const auto try_load = [&](bool faulted) {
+          std::string payload;
+          if (!(faulted ? LoadStage(stage, key, &payload)
+                        : store_.Load(stage, key, &payload))) {
+            return false;
+          }
           BinaryReader r(payload);
           auto ctx = std::make_shared<nn::GraphContext>();
           if (core::LoadGraphContext(&r, env.dataset.data.features, ctx.get()) &&
               r.AtEnd()) {
             NoteDiskHit(stats);
-            return std::shared_ptr<const nn::GraphContext>(std::move(ctx));
+            result = std::move(ctx);
+            return true;
           }
-        }
-        auto ctx = std::make_shared<const nn::GraphContext>(compute());
-        if (store_.enabled()) {
-          BinaryWriter w;
-          core::SaveGraphStructure(&w, ctx->graph);
-          StoreStage(stage, key, w.data());
-        }
-        return ctx;
+          return false;
+        };
+        ClaimedCompute(stage, key, try_load, [&] {
+          auto ctx = std::make_shared<const nn::GraphContext>(compute());
+          if (store_.enabled()) {
+            BinaryWriter w;
+            core::SaveGraphStructure(&w, ctx->graph);
+            StoreStage(stage, key, w.data());
+          }
+          result = std::move(ctx);
+        });
+        return result;
       });
 }
 
@@ -325,24 +383,35 @@ std::shared_ptr<const core::FrOutput> RunCache::FrWeights(
   const uint64_t key = FrKey(kind, env, config);
   return GetOrCompute<std::shared_ptr<const core::FrOutput>>(
       &fr_outputs_, key, &stats_.fr, [&] {
-        std::string payload;
-        if (LoadStage("fr", key, &payload)) {
+        std::shared_ptr<const core::FrOutput> result;
+        const auto try_load = [&](bool faulted) {
+          std::string payload;
+          if (!(faulted ? LoadStage("fr", key, &payload)
+                        : store_.Load("fr", key, &payload))) {
+            return false;
+          }
           BinaryReader r(payload);
           auto fr = std::make_shared<core::FrOutput>();
           if (core::LoadFrOutput(&r, fr.get()) && r.AtEnd()) {
             NoteDiskHit(&stats_.fr);
-            return std::shared_ptr<const core::FrOutput>(std::move(fr));
+            result = std::move(fr);
+            return true;
           }
-        }
-        const std::unique_ptr<nn::GnnModel> model = VanillaModel(kind, env, config);
-        auto fr = std::make_shared<const core::FrOutput>(
-            core::ComputeFr(model.get(), env, config));
-        if (store_.enabled()) {
-          BinaryWriter w;
-          core::SaveFrOutput(&w, *fr);
-          StoreStage("fr", key, w.data());
-        }
-        return fr;
+          return false;
+        };
+        ClaimedCompute("fr", key, try_load, [&] {
+          const std::unique_ptr<nn::GnnModel> model =
+              VanillaModel(kind, env, config);
+          auto fr = std::make_shared<const core::FrOutput>(
+              core::ComputeFr(model.get(), env, config));
+          if (store_.enabled()) {
+            BinaryWriter w;
+            core::SaveFrOutput(&w, *fr);
+            StoreStage("fr", key, w.data());
+          }
+          result = std::move(fr);
+        });
+        return result;
       });
 }
 
@@ -356,24 +425,34 @@ std::shared_ptr<const core::MethodRun> RunCache::CellRun(
           throw RecoverableError("injected stage.cell fault", /*transient=*/true);
         }
         const core::MethodConfig config = cell.ResolvedConfig();
-        std::string payload;
-        if (LoadStage("cell", key, &payload)) {
+        std::shared_ptr<const core::MethodRun> result;
+        const auto try_load = [&](bool faulted) {
+          std::string payload;
+          if (!(faulted ? LoadStage("cell", key, &payload)
+                        : store_.Load("cell", key, &payload))) {
+            return false;
+          }
           BinaryReader r(payload);
           auto run = std::make_shared<core::MethodRun>();
           if (core::LoadMethodRun(&r, cell.model, env, config.seed, run.get()) &&
               r.AtEnd()) {
             NoteDiskHit(&stats_.cell);
-            return std::shared_ptr<const core::MethodRun>(std::move(run));
+            result = std::move(run);
+            return true;
           }
-        }
-        auto run = std::make_shared<core::MethodRun>(
-            core::RunMethod(cell.method, cell.model, env, config, this));
-        if (store_.enabled()) {
-          BinaryWriter w;
-          core::SaveMethodRun(&w, *run);
-          StoreStage("cell", key, w.data());
-        }
-        return std::shared_ptr<const core::MethodRun>(std::move(run));
+          return false;
+        };
+        ClaimedCompute("cell", key, try_load, [&] {
+          auto run = std::make_shared<core::MethodRun>(
+              core::RunMethod(cell.method, cell.model, env, config, this));
+          if (store_.enabled()) {
+            BinaryWriter w;
+            core::SaveMethodRun(&w, *run);
+            StoreStage("cell", key, w.data());
+          }
+          result = std::move(run);
+        });
+        return result;
       },
       cache_hit);
 }

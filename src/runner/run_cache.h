@@ -61,7 +61,11 @@ class KeyHasher {
 // first try a disk load — so a SECOND PROCESS running the same sweep resumes
 // every trained model, DP/PP context, FR solve and whole cell from disk
 // (zero nn::Train calls, bitwise-identical artifacts; gated in
-// tests/runner_test.cc and the CI warm-cache leg).
+// tests/runner_test.cc and the CI warm-cache leg). CONCURRENT processes
+// sharing one dir (sharded sweeps) additionally coordinate through
+// CacheStore claim files via ClaimedCompute, so a shared stage trains in
+// exactly one process fleet-wide while the rest wait for the entry (gated in
+// tests/cache_contention_test.cc).
 class RunCache : public core::StageCache {
  public:
   struct StageStats {
@@ -156,6 +160,27 @@ class RunCache : public core::StageCache {
   // persisted"). Every stage's disk traffic routes through these.
   bool LoadStage(const char* stage, uint64_t key, std::string* payload) const;
   void StoreStage(const char* stage, uint64_t key, const std::string& payload) const;
+
+  // Cross-process claim protocol around a disk-backed stage compute (see the
+  // CacheStore contention contract). try_load(faulted) attempts the disk
+  // load and reports whether the caller's result is now set; only the FIRST
+  // attempt routes through the kCacheStoreRead fault site (faulted=true) —
+  // the post-claim double-check and the waiter polls read raw, so the claim
+  // machinery never perturbs the deterministic fault cadences the PR 7 tests
+  // pin. compute() trains/solves and persists. The in-process GetOrCompute
+  // latch already guarantees one caller per key per process, so everything
+  // here is about OTHER processes sharing the cache dir:
+  //   miss -> TryClaim -> won:  double-check load (claimant may have just
+  //                             finished), else compute, release via RAII
+  //                     lost:  poll the entry under bounded backoff
+  //                            (2 ms doubling, 50 ms cap); a stale claim
+  //                            (dead pid / age bound) is broken and the
+  //                            create re-contended.
+  // With the store disabled this degenerates to compute() exactly like the
+  // pre-claim code path.
+  void ClaimedCompute(const char* stage, uint64_t key,
+                      const std::function<bool(bool faulted)>& try_load,
+                      const std::function<void()>& compute) const;
 
   // Disk-backed compute shared by the DP/PP context stages.
   std::shared_ptr<const nn::GraphContext> ContextStage(

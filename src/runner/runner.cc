@@ -9,6 +9,7 @@
 #include <memory>
 #include <thread>
 
+#include "common/check.h"
 #include "common/json_writer.h"
 #include "common/stopwatch.h"
 #include "la/backend.h"
@@ -69,28 +70,6 @@ bool IsUniformMetric(const std::string& name) {
   return false;
 }
 
-core::EvalResult NanEval() {
-  const double nan = std::numeric_limits<double>::quiet_NaN();
-  core::EvalResult eval;
-  eval.accuracy = eval.bias = eval.risk_auc = eval.delta_d = nan;
-  return eval;
-}
-
-core::DeltaMetrics NanDelta() {
-  const double nan = std::numeric_limits<double>::quiet_NaN();
-  return {nan, nan, nan, nan};
-}
-
-// Placeholder for a failed cell: benches dereference cell.run->eval freely,
-// so a failed cell carries a model-less MethodRun whose metrics are NaN —
-// the artifact's *_finite markers flag them, and AggregateCells skips the
-// cell entirely.
-std::shared_ptr<const core::MethodRun> FailedRun() {
-  auto run = std::make_shared<core::MethodRun>();
-  run->eval = NanEval();
-  return run;
-}
-
 JournalRecord RecordOf(const CellResult& cell, uint64_t key) {
   JournalRecord rec;
   rec.cell_key = key;
@@ -106,10 +85,26 @@ JournalRecord RecordOf(const CellResult& cell, uint64_t key) {
   return rec;
 }
 
-// Rebuilds a CellResult from its journal record. The restored run carries
-// the recorded eval but NO model (restoring skips the compute entirely);
-// front-ends that post-process models re-run without --resume, or lean on
-// the disk run cache.
+}  // namespace
+
+core::EvalResult NanEvalResult() {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  core::EvalResult eval;
+  eval.accuracy = eval.bias = eval.risk_auc = eval.delta_d = nan;
+  return eval;
+}
+
+core::DeltaMetrics NanDeltaMetrics() {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  return {nan, nan, nan, nan};
+}
+
+std::shared_ptr<const core::MethodRun> PlaceholderRun() {
+  auto run = std::make_shared<core::MethodRun>();
+  run->eval = NanEvalResult();
+  return run;
+}
+
 void RestoreCell(const JournalRecord& rec, CellResult* out) {
   out->seed = rec.seed;
   out->failed = rec.failed;
@@ -125,8 +120,6 @@ void RestoreCell(const JournalRecord& rec, CellResult* out) {
   out->seconds = 0.0;
   out->resumed = true;
 }
-
-}  // namespace
 
 int ResolveCellThreads(int threads, size_t n) {
   if (threads <= 0) threads = la::ActiveBackend().num_threads();
@@ -171,19 +164,28 @@ SweepResult RunSweep(const Sweep& sweep, RunCache* cache,
   result.env_seed = options.env_seed;
   result.seeds = sweep.seeds;
 
-  // Multi-seed expansion, seed-major: every seed block repeats the sweep's
-  // cell order (vanilla-first per model), so a serial warm-up populates the
-  // stage cache the same way it does for a single-seed run.
+  PPFR_CHECK(options.shard_count >= 1 && options.shard_index >= 0 &&
+             options.shard_index < options.shard_count)
+      << "shard " << options.shard_index << "/" << options.shard_count
+      << " is not a valid partition (need 0 <= index < count)";
+
+  // The canonical seed-major grid (ExpandCells order). A sharded run owns
+  // the expanded instances k with k % shard_count == shard_index — a pure
+  // function of the grid, so every shard, resume and merge agrees on the
+  // partition — and schedules ONLY those (in grid order, which interleaves
+  // seeds round-robin across shards and so spreads each seed block's
+  // vanilla-first warm-up over the fleet).
+  const std::vector<Scenario> expanded = ExpandCells(sweep);
   std::vector<Scenario> scheduled;
-  if (sweep.seeds.empty()) {
-    scheduled = sweep.cells;
+  if (options.shard_count == 1) {
+    scheduled = expanded;
   } else {
-    scheduled.reserve(sweep.cells.size() * sweep.seeds.size());
-    for (uint64_t seed : sweep.seeds) {
-      for (Scenario cell : sweep.cells) {
-        cell.overrides.seed = seed;
-        scheduled.push_back(std::move(cell));
-      }
+    result.shard = std::to_string(options.shard_index) + "/" +
+                   std::to_string(options.shard_count);
+    scheduled.reserve(expanded.size() / options.shard_count + 1);
+    for (size_t k = options.shard_index; k < expanded.size();
+         k += options.shard_count) {
+      scheduled.push_back(expanded[k]);
     }
   }
   result.cells.resize(scheduled.size());
@@ -237,6 +239,17 @@ SweepResult RunSweep(const Sweep& sweep, RunCache* cache,
     CellResult& out = result.cells[i];
     out.scenario = cell;
     out.seed = cell.ResolvedConfig().seed;
+    // Graceful interrupt: cells not yet started are skipped (NaN
+    // placeholder, NOT journaled — a resume recomputes them) while the
+    // cells already in flight below finish and journal their frames
+    // normally, so no completed work is lost to the signal.
+    if (options.stop != nullptr && options.stop->load(std::memory_order_relaxed)) {
+      out.skipped = true;
+      out.run = PlaceholderRun();
+      out.vanilla_eval = NanEvalResult();
+      out.delta = NanDeltaMetrics();
+      return;
+    }
     Stopwatch watch;
     // The whole cell body sits inside the retry loop: a CellError from ANY
     // stage (training, contexts, FR solve, a cache read) surfaces here.
@@ -284,9 +297,9 @@ SweepResult RunSweep(const Sweep& sweep, RunCache* cache,
         }
         out.failed = true;
         out.error = e.what();
-        out.run = FailedRun();
-        out.vanilla_eval = NanEval();
-        out.delta = NanDelta();
+        out.run = PlaceholderRun();
+        out.vanilla_eval = NanEvalResult();
+        out.delta = NanDeltaMetrics();
         break;
       }
     }
@@ -319,6 +332,16 @@ SweepResult RunSweep(const Sweep& sweep, RunCache* cache,
   result.trainer_invocations = nn::TrainInvocationCount() - trains_before;
   for (const CellResult& cell : result.cells) {
     if (cell.failed) ++result.failed_cells;
+    if (cell.skipped) ++result.skipped_cells;
+  }
+  result.interrupted =
+      options.stop != nullptr && options.stop->load(std::memory_order_relaxed);
+  if (result.interrupted && options.verbose) {
+    std::fprintf(stderr,
+                 "  sweep interrupted: %lld of %zu cells skipped (in-flight "
+                 "cells finished and journaled)\n",
+                 static_cast<long long>(result.skipped_cells),
+                 result.cells.size());
   }
   return result;
 }
@@ -326,10 +349,12 @@ SweepResult RunSweep(const Sweep& sweep, RunCache* cache,
 std::vector<CellAggregate> AggregateCells(const SweepResult& result) {
   std::vector<CellAggregate> groups;
   for (const CellResult& cell : result.cells) {
-    // A failed cell's placeholder metrics are NaN; including them would
-    // poison every mean. Its seed is omitted from the group's `seeds` too,
-    // so values stay aligned.
-    if (cell.failed) continue;
+    // A failed/skipped/missing cell's placeholder metrics are NaN; including
+    // them would poison every mean. Its seed is omitted from the group's
+    // `seeds` too, so values stay aligned — aggregates always cover exactly
+    // the instances that actually finished (ISSUE wording: "aggregates
+    // computed over what arrived").
+    if (cell.failed || cell.skipped || cell.missing) continue;
     CellAggregate* group = nullptr;
     for (CellAggregate& g : groups) {
       if (g.scenario.dataset == cell.scenario.dataset &&
@@ -382,7 +407,7 @@ std::string WriteArtifact(const SweepResult& result, const std::string& dir,
   const bool stable = options.stable;
   JsonWriter w;
   w.BeginObject();
-  w.Key("schema_version").Int(3);
+  w.Key("schema_version").Int(4);
   w.Key("sweep").String(result.name);
   w.Key("title").String(result.title);
   w.Key("backend").String(la::ActiveBackend().name());
@@ -401,6 +426,19 @@ std::string WriteArtifact(const SweepResult& result, const std::string& dir,
   // result — zeroed so resumed-vs-uninterrupted runs compare bitwise.
   w.Key("failed_cells").Int(result.failed_cells);
   w.Key("resumed_cells").Int(stable ? 0 : result.resumed_cells);
+  // The fleet fields stay REAL in stable mode, like failed_cells: the shard
+  // tag says the file covers a PARTIAL grid, and interrupted/skipped/missing/
+  // conflicting state is degradation a stable artifact must never launder
+  // into a clean-looking file. A COMPLETE merge has shard="" and zeros here,
+  // which is exactly the unsharded artifact bit for bit.
+  w.Key("shard").String(result.shard);
+  w.Key("interrupted").Bool(result.interrupted);
+  w.Key("skipped_cells").Int(result.skipped_cells);
+  w.Key("missing_cells").Int(result.missing_cells);
+  w.Key("missing_shards").BeginArray();
+  for (int s : result.missing_shards) w.Int(s);
+  w.EndArray();
+  w.Key("conflicting_cells").Int(result.conflicting_cells);
 
   w.Key("cache").BeginObject();
   const RunCache::Stats cache_stats = stable ? RunCache::Stats{} : result.cache_stats;
@@ -422,7 +460,10 @@ std::string WriteArtifact(const SweepResult& result, const std::string& dir,
     w.Key("seed").Uint(cell.seed);
     w.Key("seconds").Number(stable ? 0.0 : cell.seconds);
     w.Key("cache_hit").Bool(stable ? false : cell.cache_hit);
-    w.Key("status").String(cell.failed ? "failed" : "ok");
+    w.Key("status").String(cell.failed    ? "failed"
+                           : cell.skipped ? "skipped"
+                           : cell.missing ? "missing"
+                                          : "ok");
     w.Key("error").String(cell.error);
     // Retry counts and the resumed marker vary with fault timing and run
     // provenance, never with results — zeroed in stable mode like the cache
@@ -512,7 +553,8 @@ std::string WriteArtifact(const SweepResult& result, const std::string& dir,
   w.EndArray();
   w.EndObject();
 
-  const std::string path = dir + "/BENCH_" + result.name + ".json";
+  const std::string path =
+      dir + "/BENCH_" + result.name + options.filename_suffix + ".json";
   WriteFileOrDie(path, w.ToString());
   return path;
 }

@@ -406,6 +406,23 @@ void ApplyFilters(const Flags& flags, Sweep* sweep) {
   }
 }
 
+std::vector<Scenario> ExpandCells(const Sweep& sweep) {
+  // Seed-major: every seed block repeats the sweep's cell order
+  // (vanilla-first per model), so a serial warm-up populates the stage cache
+  // the same way it does for a single-seed run. This order is canonical —
+  // see the header contract.
+  if (sweep.seeds.empty()) return sweep.cells;
+  std::vector<Scenario> expanded;
+  expanded.reserve(sweep.cells.size() * sweep.seeds.size());
+  for (uint64_t seed : sweep.seeds) {
+    for (Scenario cell : sweep.cells) {
+      cell.overrides.seed = seed;
+      expanded.push_back(std::move(cell));
+    }
+  }
+  return expanded;
+}
+
 void ApplyCommonOverrides(const Flags& flags, Sweep* sweep) {
   if (flags.Has("seed") && flags.Has("seeds")) {
     std::fprintf(stderr,

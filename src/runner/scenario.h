@@ -54,6 +54,15 @@ struct Sweep {
   std::vector<uint64_t> seeds;
 };
 
+// The sweep's fully expanded (cell × seed) schedule, seed-major:
+// expanded[s * cells.size() + i] is base cell i with overrides.seed =
+// seeds[s] (an empty seed list schedules the cells as-is). This one function
+// defines the canonical grid order everything downstream leans on — the
+// scheduler, journal replay, the `--shard=i/N` ownership rule (expanded
+// index k belongs to shard k % N) and the merge's cell reassembly — so the
+// partition is stable across processes, resumes and merges by construction.
+std::vector<Scenario> ExpandCells(const Sweep& sweep);
+
 // ---- Exact-match name parsing -------------------------------------------
 //
 // All parsers match full names (case-sensitive, as printed by DatasetName /

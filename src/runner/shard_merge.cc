@@ -1,0 +1,160 @@
+#include "runner/shard_merge.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/check.h"
+#include "common/fault_injection.h"
+#include "runner/journal.h"
+#include "runner/run_cache.h"
+
+namespace ppfr::runner {
+namespace {
+
+// shard-<i>of<N>.journal -> (i, N); false for any other filename.
+bool ParseShardJournalName(const std::string& name, int* index, int* count) {
+  int i = -1, n = -1;
+  char tail = '\0';
+  // %c after the suffix rejects trailing junk (sscanf would otherwise accept
+  // "shard-0of3.journal.bak").
+  if (std::sscanf(name.c_str(), "shard-%dof%d.journal%c", &i, &n, &tail) != 2) {
+    return false;
+  }
+  *index = i;
+  *count = n;
+  return true;
+}
+
+}  // namespace
+
+std::string ShardJournalFilename(int shard_index, int shard_count) {
+  return "shard-" + std::to_string(shard_index) + "of" +
+         std::to_string(shard_count) + ".journal";
+}
+
+SweepResult MergeShards(const Sweep& sweep, const ShardMergeOptions& options,
+                        ShardMergeReport* report) {
+  // Discover the fleet width from the journal filenames. Every journal in
+  // the directory must agree on N: a mix means two different fleet layouts'
+  // leftovers share the directory, and merging across them would silently
+  // mispartition the grid.
+  int shard_count = 0;
+  std::error_code ec;
+  PPFR_CHECK(std::filesystem::is_directory(options.shard_dir, ec))
+      << "--merge directory '" << options.shard_dir << "' does not exist";
+  for (const auto& it : std::filesystem::directory_iterator(options.shard_dir, ec)) {
+    int index = 0, count = 0;
+    if (!ParseShardJournalName(it.path().filename().string(), &index, &count)) {
+      continue;
+    }
+    PPFR_CHECK(count >= 1 && index >= 0 && index < count)
+        << "shard journal '" << it.path().string() << "' names an impossible "
+        << "partition (" << index << "/" << count << ")";
+    PPFR_CHECK(shard_count == 0 || shard_count == count)
+        << "shard journals in '" << options.shard_dir << "' disagree on the "
+        << "fleet width (" << shard_count << " vs " << count
+        << ") — two different sharded runs must not merge into one artifact";
+    shard_count = count;
+  }
+  PPFR_CHECK(shard_count >= 1)
+      << "no shard-<i>of<N>.journal files in '" << options.shard_dir
+      << "' — nothing to merge";
+
+  SweepResult result;
+  result.name = sweep.name;
+  result.title = sweep.title;
+  result.seeds = sweep.seeds;
+  result.env_seed = options.env_seed;
+  result.threads = 1;
+
+  // Read-only replay of every shard journal. An absent, injected-unreadable
+  // or identity-mismatched journal degrades its whole shard to missing; a
+  // torn tail degrades just the unfinished cells (they read as missing
+  // below). ReplayJournalFile never rewrites — the shard may still resume.
+  std::vector<std::unordered_map<uint64_t, JournalRecord>> shard_records(
+      shard_count);
+  std::vector<int> present;
+  for (int s = 0; s < shard_count; ++s) {
+    const std::string path = options.shard_dir + "/" +
+                             ShardJournalFilename(s, shard_count);
+    if (!std::filesystem::exists(path, ec)) {
+      result.missing_shards.push_back(s);
+      continue;
+    }
+    if (fault::ShouldFail(fault::kShardMergeRead)) {
+      std::fprintf(stderr,
+                   "merge: injected read fault on '%s' (shard %d degrades to "
+                   "missing)\n",
+                   path.c_str(), s);
+      result.missing_shards.push_back(s);
+      continue;
+    }
+    JournalReplay replay =
+        ReplayJournalFile(path, sweep.name, options.env_seed);
+    if (!replay.header_ok) {
+      std::fprintf(stderr,
+                   "merge: '%s' is unreadable or belongs to another "
+                   "sweep/format/backend (shard %d degrades to missing)\n",
+                   path.c_str(), s);
+      result.missing_shards.push_back(s);
+      continue;
+    }
+    if (replay.torn) {
+      std::fprintf(stderr,
+                   "merge: '%s' has a torn tail (shard %d's unfinished cells "
+                   "report missing)\n",
+                   path.c_str(), s);
+    }
+    shard_records[s] = std::move(replay.records);
+    present.push_back(s);
+  }
+
+  // Reassemble the canonical grid. Any shard may deliver any cell (a resume
+  // after repartitioning, an operator's manual rerun), so every journal is
+  // consulted for every key; the partition only predicts where the record
+  // SHOULD be. Lowest shard index wins on duplicates, deterministically;
+  // non-identical duplicates additionally count as conflicts.
+  const std::vector<Scenario> expanded = ExpandCells(sweep);
+  result.cells.resize(expanded.size());
+  for (size_t k = 0; k < expanded.size(); ++k) {
+    const uint64_t key = RunCache::CellKey(expanded[k], result.env_seed);
+    CellResult& out = result.cells[k];
+    out.scenario = expanded[k];
+    out.seed = expanded[k].ResolvedConfig().seed;
+    const JournalRecord* winner = nullptr;
+    bool conflict = false;
+    for (int s = 0; s < shard_count; ++s) {
+      const auto it = shard_records[s].find(key);
+      if (it == shard_records[s].end()) continue;
+      if (winner == nullptr) {
+        winner = &it->second;
+      } else if (!RecordsEquivalent(*winner, it->second)) {
+        conflict = true;
+      }
+    }
+    if (winner == nullptr) {
+      out.missing = true;
+      out.run = PlaceholderRun();
+      out.vanilla_eval = NanEvalResult();
+      out.delta = NanDeltaMetrics();
+      ++result.missing_cells;
+      continue;
+    }
+    if (conflict) ++result.conflicting_cells;
+    RestoreCell(*winner, &out);
+    if (out.failed) ++result.failed_cells;
+    ++result.resumed_cells;
+  }
+
+  if (report != nullptr) {
+    report->shard_count = shard_count;
+    report->present_shards = present;
+    report->complete = result.missing_shards.empty() &&
+                       result.missing_cells == 0 &&
+                       result.conflicting_cells == 0;
+  }
+  return result;
+}
+
+}  // namespace ppfr::runner

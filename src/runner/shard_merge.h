@@ -1,0 +1,66 @@
+#ifndef PPFR_RUNNER_SHARD_MERGE_H_
+#define PPFR_RUNNER_SHARD_MERGE_H_
+
+#include <string>
+#include <vector>
+
+#include "runner/runner.h"
+
+namespace ppfr::runner {
+
+// Reassembly of a sharded sweep (`bench_runner --shard=i/N --shard_dir=DIR`)
+// into the full-grid SweepResult, from the per-shard journals alone — no
+// shard process needs to be alive, and the merge never mutates the shard
+// files (read-only replay; a crashed shard's journal stays exactly as its
+// resume expects it).
+//
+// Guarantees:
+//  * COMPLETE fleet (every shard journal present, every grid cell delivered,
+//    no conflicts): the merged result, written with ArtifactOptions.stable,
+//    is bitwise identical to the unsharded stable artifact of the same
+//    sweep — same cell order (the canonical ExpandCells grid), same record
+//    deserialization (RestoreCell), same writer. CI `cmp`s this.
+//  * DEGRADED fleet: graceful degradation, never failure. An absent or
+//    unreadable shard journal lands its index in `missing_shards` (its cells
+//    report status "missing"); a cell no shard finished is "missing";
+//    duplicate records for one cell (a cell recomputed after a stale-claim
+//    takeover, an operator re-running a shard) are compared bitwise — equal
+//    duplicates are benign, differing ones count into `conflicting_cells`
+//    and the LOWEST shard index wins, deterministically. Aggregates cover
+//    exactly the cells that arrived.
+//
+// Malformed dirs die loudly via PPFR_CHECK: no shard journals at all, or
+// journals disagreeing on the fleet width N (two different sweeps' leftovers
+// in one directory must not silently merge into nonsense).
+
+// The canonical shard journal filename inside the shard dir. Both the shard
+// processes (writing) and the merge (discovering) go through this, so the
+// naming contract lives in one place.
+std::string ShardJournalFilename(int shard_index, int shard_count);
+
+struct ShardMergeOptions {
+  std::string shard_dir;  // directory holding shard-<i>of<N>.journal files
+  uint64_t env_seed = 0;  // must match the journals' header identity
+};
+
+struct ShardMergeReport {
+  int shard_count = 0;            // N discovered from the journal filenames
+  std::vector<int> present_shards;
+  // True iff nothing degraded: all N journals replayed, every cell
+  // delivered, zero conflicts. The caller maps this to its exit code.
+  bool complete = false;
+};
+
+// Merges DIR's shard journals for `sweep` into result (full grid order).
+// The degradation counters live on the returned SweepResult
+// (missing_shards / missing_cells / conflicting_cells), ready for
+// WriteArtifact; `report` (optional) adds the fleet bookkeeping.
+// The fault::kShardMergeRead site fires once per discovered journal and
+// degrades that shard to missing — the injected analogue of an unreadable
+// file on a dead machine.
+SweepResult MergeShards(const Sweep& sweep, const ShardMergeOptions& options,
+                        ShardMergeReport* report = nullptr);
+
+}  // namespace ppfr::runner
+
+#endif  // PPFR_RUNNER_SHARD_MERGE_H_

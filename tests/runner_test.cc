@@ -685,10 +685,12 @@ TEST(ArtifactTest, WritesUniformSchemaGolden) {
   // The uniform schema every sweep artifact shares (CI diffs the same list
   // against bench/golden/artifact_schema.txt).
   for (const char* key :
-       {"\"schema_version\": 3", "\"sweep\"", "\"title\"", "\"backend\"",
+       {"\"schema_version\": 4", "\"sweep\"", "\"title\"", "\"backend\"",
         "\"backend_threads\"", "\"runner_threads\"", "\"env_seed\"",
-        "\"seeds\"", "\"stable\"", "\"wall_seconds\"", "\"trainer_invocations\"",
-        "\"failed_cells\"", "\"resumed_cells\"",
+        "\"seeds\"", "\"shard\"", "\"stable\"", "\"wall_seconds\"",
+        "\"trainer_invocations\"", "\"failed_cells\"", "\"interrupted\"",
+        "\"resumed_cells\"", "\"skipped_cells\"", "\"missing_cells\"",
+        "\"missing_shards\"", "\"conflicting_cells\"",
         "\"cache\"", "\"env\"", "\"vanilla\"", "\"dp_context\"", "\"pp_context\"",
         "\"fr\"", "\"cell\"", "\"hits\"", "\"misses\"", "\"disk_hits\"",
         "\"cells\"", "\"dataset\"", "\"model\"", "\"method\"", "\"label\"",

@@ -1,0 +1,410 @@
+// Tests for the sharded-fleet layer: the canonical seed-major grid
+// expansion, the k % N shard partition, read-only journal merge
+// (runner/shard_merge) with graceful degradation, and the multi-seed
+// kill/resume contract the fleet protocol builds on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "runner/journal.h"
+#include "runner/run_cache.h"
+#include "runner/runner.h"
+#include "runner/shard_merge.h"
+
+namespace ppfr::runner {
+namespace {
+
+constexpr uint64_t kEnvSeed = 7;
+
+Scenario Cell(data::DatasetId dataset, nn::ModelKind model, core::MethodKind method,
+              int epochs) {
+  Scenario cell{dataset, model, method, {}, ""};
+  cell.overrides.epochs = epochs;
+  return cell;
+}
+
+// Two cells expanded over three method seeds: 6 grid instances, small enough
+// to train in-test but wide enough that a 3-way partition leaves every shard
+// with work and a seed block spans a shard boundary.
+Sweep MultiSeedSweep(int epochs) {
+  Sweep sweep;
+  sweep.name = "shard_mini";
+  sweep.cells.push_back(Cell(data::DatasetId::kEnzymesLike, nn::ModelKind::kGcn,
+                             core::MethodKind::kVanilla, epochs));
+  sweep.cells.push_back(Cell(data::DatasetId::kEnzymesLike, nn::ModelKind::kGcn,
+                             core::MethodKind::kPpFr, epochs));
+  sweep.seeds = {0, 1, 2};
+  return sweep;
+}
+
+RunnerOptions QuietOptions() {
+  RunnerOptions opts;
+  opts.threads = 1;
+  opts.env_seed = kEnvSeed;
+  opts.verbose = false;
+  opts.retry_backoff_ms = 0;
+  return opts;
+}
+
+RunnerOptions ShardOptions(const std::string& dir, int index, int count) {
+  RunnerOptions opts = QuietOptions();
+  opts.shard_index = index;
+  opts.shard_count = count;
+  opts.journal_path = dir + "/" + ShardJournalFilename(index, count);
+  return opts;
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string StableArtifactBytes(const SweepResult& result, const std::string& dir) {
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  ArtifactOptions stable;
+  stable.stable = true;
+  return ReadFileOrDie(WriteArtifact(result, dir, stable));
+}
+
+// Runs every shard of an N-way fleet serially (each with its own in-memory
+// cache, like separate processes without a shared --run_cache_dir) so the
+// shard dir ends up holding a complete set of journals.
+void RunFleet(const Sweep& sweep, const std::string& dir, int count) {
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  for (int i = 0; i < count; ++i) {
+    RunCache cache;
+    const SweepResult result = RunSweep(sweep, &cache, ShardOptions(dir, i, count));
+    ASSERT_EQ(result.failed_cells, 0) << "shard " << i;
+  }
+}
+
+struct FaultScope {
+  explicit FaultScope(const std::string& spec) { fault::ConfigureForTest(spec); }
+  ~FaultScope() { fault::ConfigureForTest(""); }
+};
+
+TEST(ExpandCellsTest, SeedMajorOrderIsCanonical) {
+  const Sweep sweep = MultiSeedSweep(4);
+  const std::vector<Scenario> expanded = ExpandCells(sweep);
+  ASSERT_EQ(expanded.size(), sweep.cells.size() * sweep.seeds.size());
+  for (size_t s = 0; s < sweep.seeds.size(); ++s) {
+    for (size_t i = 0; i < sweep.cells.size(); ++i) {
+      const Scenario& cell = expanded[s * sweep.cells.size() + i];
+      EXPECT_EQ(cell.method, sweep.cells[i].method);
+      EXPECT_EQ(cell.ResolvedConfig().seed, sweep.seeds[s]);
+    }
+  }
+  // A seedless sweep expands to its cells verbatim.
+  Sweep plain = sweep;
+  plain.seeds.clear();
+  EXPECT_EQ(ExpandCells(plain).size(), plain.cells.size());
+}
+
+TEST(ShardPartitionTest, ShardsAreDisjointAndCoverTheGrid) {
+  const Sweep sweep = MultiSeedSweep(4);
+  const std::vector<Scenario> expanded = ExpandCells(sweep);
+  const int count = 3;
+
+  std::set<uint64_t> seen;
+  for (int i = 0; i < count; ++i) {
+    RunCache cache;
+    RunnerOptions opts = QuietOptions();
+    opts.shard_index = i;
+    opts.shard_count = count;
+    const SweepResult result = RunSweep(sweep, &cache, opts);
+    EXPECT_EQ(result.shard, std::to_string(i) + "/" + std::to_string(count));
+    // Shard i owns exactly the expanded indices k with k % count == i, in
+    // grid order.
+    size_t k = static_cast<size_t>(i);
+    for (const CellResult& cell : result.cells) {
+      ASSERT_LT(k, expanded.size());
+      const uint64_t key = RunCache::CellKey(expanded[k], kEnvSeed);
+      EXPECT_EQ(RunCache::CellKey(cell.scenario, kEnvSeed), key);
+      EXPECT_TRUE(seen.insert(key).second) << "cell owned by two shards";
+      k += count;
+    }
+  }
+  EXPECT_EQ(seen.size(), expanded.size()) << "shards must cover the whole grid";
+}
+
+// The headline merge contract: a complete fleet's merge is bitwise identical
+// (stable artifact) to the unsharded run of the same sweep.
+TEST(ShardMergeTest, CompleteMergeIsBitwiseIdenticalToUnsharded) {
+  const std::string dir = ::testing::TempDir() + "/merge_complete";
+  const Sweep sweep = MultiSeedSweep(5);
+  RunFleet(sweep, dir, 3);
+
+  RunCache cache;
+  const SweepResult unsharded = RunSweep(sweep, &cache, QuietOptions());
+
+  ShardMergeOptions options;
+  options.shard_dir = dir;
+  options.env_seed = kEnvSeed;
+  ShardMergeReport report;
+  const SweepResult merged = MergeShards(sweep, options, &report);
+
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.shard_count, 3);
+  EXPECT_EQ(report.present_shards.size(), 3u);
+  EXPECT_TRUE(merged.missing_shards.empty());
+  EXPECT_EQ(merged.missing_cells, 0);
+  EXPECT_EQ(merged.conflicting_cells, 0);
+  EXPECT_EQ(merged.shard, "") << "a complete merge is indistinguishable from "
+                                 "an unsharded run";
+  EXPECT_EQ(merged.cells.size(), ExpandCells(sweep).size());
+
+  EXPECT_EQ(StableArtifactBytes(unsharded, ::testing::TempDir() + "/merge_a"),
+            StableArtifactBytes(merged, ::testing::TempDir() + "/merge_b"))
+      << "complete merge must reproduce the unsharded stable artifact bitwise";
+}
+
+TEST(ShardMergeTest, MissingShardDegradesGracefully) {
+  const std::string dir = ::testing::TempDir() + "/merge_missing";
+  const Sweep sweep = MultiSeedSweep(5);
+  RunFleet(sweep, dir, 3);
+  ASSERT_TRUE(std::filesystem::remove(dir + "/" + ShardJournalFilename(1, 3)));
+
+  ShardMergeOptions options;
+  options.shard_dir = dir;
+  options.env_seed = kEnvSeed;
+  ShardMergeReport report;
+  const SweepResult merged = MergeShards(sweep, options, &report);
+
+  EXPECT_FALSE(report.complete);
+  EXPECT_EQ(merged.missing_shards, std::vector<int>{1});
+  // Exactly shard 1's cells (expanded indices k % 3 == 1) report missing.
+  const std::vector<Scenario> expanded = ExpandCells(sweep);
+  int64_t missing = 0;
+  for (size_t k = 0; k < merged.cells.size(); ++k) {
+    EXPECT_EQ(merged.cells[k].missing, k % 3 == 1) << "cell " << k;
+    missing += merged.cells[k].missing ? 1 : 0;
+  }
+  EXPECT_EQ(merged.missing_cells, missing);
+
+  // Aggregates cover exactly what arrived: the missing cells' NaN
+  // placeholders stay out (their seeds simply contribute fewer values).
+  for (const CellAggregate& agg : AggregateCells(merged)) {
+    for (const auto& [name, summary] : agg.metrics) {
+      EXPECT_LT(summary.values.size(), sweep.seeds.size() + 1) << name;
+      for (double v : summary.values) EXPECT_FALSE(std::isnan(v)) << name;
+    }
+  }
+
+  // The degradation is visible in the artifact, even in stable mode (the
+  // writer renders arrays multi-line, so check the slice between brackets).
+  const std::string json =
+      StableArtifactBytes(merged, ::testing::TempDir() + "/merge_missing_art");
+  const size_t open = json.find("\"missing_shards\": [");
+  ASSERT_NE(open, std::string::npos);
+  const size_t close = json.find(']', open);
+  ASSERT_NE(close, std::string::npos);
+  EXPECT_NE(json.substr(open, close - open).find('1'), std::string::npos);
+  EXPECT_NE(json.find("\"status\": \"missing\""), std::string::npos);
+}
+
+// Duplicate records across shards (a repartitioned resume, an operator's
+// manual rerun) are benign when identical; differing duplicates count as
+// conflicts and the lowest shard index wins deterministically.
+TEST(ShardMergeTest, DuplicatesAreBenignUnlessTheyDiffer) {
+  const std::string dir = ::testing::TempDir() + "/merge_dupes";
+  const Sweep sweep = MultiSeedSweep(5);
+  RunFleet(sweep, dir, 3);
+
+  // Grab shard 0's first record and append it verbatim to shard 2's journal:
+  // an identical duplicate.
+  const std::string path0 = dir + "/" + ShardJournalFilename(0, 3);
+  const std::string path2 = dir + "/" + ShardJournalFilename(2, 3);
+  JournalReplay replay0 = ReplayJournalFile(path0, sweep.name, kEnvSeed);
+  ASSERT_TRUE(replay0.header_ok);
+  ASSERT_FALSE(replay0.records.empty());
+  const JournalRecord original = replay0.records.begin()->second;
+  {
+    SweepJournal journal(path2, sweep.name, kEnvSeed, /*resume=*/true);
+    journal.Append(original);
+  }
+
+  ShardMergeOptions options;
+  options.shard_dir = dir;
+  options.env_seed = kEnvSeed;
+  ShardMergeReport report;
+  SweepResult merged = MergeShards(sweep, options, &report);
+  EXPECT_TRUE(report.complete) << "identical duplicates must not degrade";
+  EXPECT_EQ(merged.conflicting_cells, 0);
+
+  // Now a DIFFERING duplicate of the same cell: the conflict is counted and
+  // shard 0's (lowest index) record still wins.
+  JournalRecord tampered = original;
+  tampered.eval.accuracy = original.eval.accuracy + 0.125;
+  {
+    SweepJournal journal(path2, sweep.name, kEnvSeed, /*resume=*/true);
+    journal.Append(tampered);
+  }
+  merged = MergeShards(sweep, options, &report);
+  EXPECT_FALSE(report.complete);
+  EXPECT_EQ(merged.conflicting_cells, 1);
+  bool found = false;
+  for (const CellResult& cell : merged.cells) {
+    if (RunCache::CellKey(cell.scenario, kEnvSeed) != original.cell_key) continue;
+    found = true;
+    EXPECT_EQ(cell.run->eval.accuracy, original.eval.accuracy)
+        << "lowest shard index must win the conflict";
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ShardMergeTest, InjectedReadFaultDegradesShardToMissing) {
+  const std::string dir = ::testing::TempDir() + "/merge_fault";
+  const Sweep sweep = MultiSeedSweep(5);
+  RunFleet(sweep, dir, 3);
+
+  // The site fires once per discovered journal, in shard order: every 3rd
+  // read fails, so shard 2 degrades to missing while 0 and 1 replay.
+  FaultScope scope("shard.merge_read:3");
+  ShardMergeOptions options;
+  options.shard_dir = dir;
+  options.env_seed = kEnvSeed;
+  ShardMergeReport report;
+  const SweepResult merged = MergeShards(sweep, options, &report);
+  EXPECT_FALSE(report.complete);
+  EXPECT_EQ(merged.missing_shards, std::vector<int>{2});
+  EXPECT_EQ(report.present_shards, (std::vector<int>{0, 1}));
+  EXPECT_GT(merged.missing_cells, 0);
+}
+
+TEST(ShardMergeDeathTest, MalformedShardDirsDieLoudly) {
+  const std::string base = ::testing::TempDir() + "/merge_death";
+  std::filesystem::remove_all(base);
+  std::filesystem::create_directories(base + "/mixed");
+  std::filesystem::create_directories(base + "/empty");
+  std::filesystem::create_directories(base + "/impossible");
+  { std::ofstream(base + "/mixed/shard-0of2.journal") << ""; }
+  { std::ofstream(base + "/mixed/shard-0of3.journal") << ""; }
+  { std::ofstream(base + "/impossible/shard-5of3.journal") << ""; }
+
+  const Sweep sweep = MultiSeedSweep(4);
+  const auto merge_dir = [&](const std::string& dir) {
+    ShardMergeOptions options;
+    options.shard_dir = dir;
+    options.env_seed = kEnvSeed;
+    MergeShards(sweep, options);
+  };
+  EXPECT_DEATH(merge_dir(base + "/mixed"), "disagree on the fleet width");
+  EXPECT_DEATH(merge_dir(base + "/empty"), "nothing to merge");
+  EXPECT_DEATH(merge_dir(base + "/impossible"), "impossible");
+  EXPECT_DEATH(merge_dir(base + "/no_such_dir"), "does not exist");
+}
+
+// The multi-seed crash/resume contract (and the seed-major order pin): a
+// sweep over --seeds={0,1,2} killed mid-seed-block resumes from its journal
+// replaying exactly the completed prefix of the canonical grid, recomputes
+// the rest, and reproduces the uninterrupted stable artifact bitwise.
+TEST(ShardResumeTest, MidSeedBlockKillResumesSeedMajorBitwise) {
+  const std::string path = ::testing::TempDir() + "/shard_midseed.journal";
+  std::remove(path.c_str());
+  const Sweep sweep = MultiSeedSweep(5);
+  const std::vector<Scenario> expanded = ExpandCells(sweep);
+  ASSERT_EQ(expanded.size(), 6u);
+
+  RunnerOptions opts = QuietOptions();
+  opts.journal_path = path;
+  RunCache full_cache;
+  const SweepResult full = RunSweep(sweep, &full_cache, opts);
+  ASSERT_EQ(full.failed_cells, 0);
+
+  // Rebuild the journal as a SIGKILL mid-seed-block would leave it: only the
+  // first 3 grid instances' records — all of seed block 0 (2 cells) plus the
+  // first cell of seed block 1.
+  const JournalReplay replay = ReplayJournalFile(path, sweep.name, kEnvSeed);
+  ASSERT_TRUE(replay.header_ok);
+  ASSERT_EQ(replay.records.size(), expanded.size());
+  std::remove(path.c_str());
+  {
+    SweepJournal truncated(path, sweep.name, kEnvSeed, /*resume=*/false);
+    for (size_t k = 0; k < 3; ++k) {
+      truncated.Append(replay.records.at(RunCache::CellKey(expanded[k], kEnvSeed)));
+    }
+  }
+
+  opts.resume = true;
+  RunCache resumed_cache;  // fresh: the journal alone must do the skipping
+  const SweepResult resumed = RunSweep(sweep, &resumed_cache, opts);
+  EXPECT_EQ(resumed.resumed_cells, 3);
+  EXPECT_EQ(resumed.failed_cells, 0);
+  for (size_t k = 0; k < resumed.cells.size(); ++k) {
+    // Replayed cells are exactly the seed-major prefix, and the result rows
+    // stay in canonical grid order: seeds[k / cells.size()] at row k.
+    EXPECT_EQ(resumed.cells[k].resumed, k < 3) << "cell " << k;
+    EXPECT_EQ(resumed.cells[k].seed, sweep.seeds[k / sweep.cells.size()])
+        << "cell " << k;
+  }
+
+  EXPECT_EQ(StableArtifactBytes(full, ::testing::TempDir() + "/midseed_a"),
+            StableArtifactBytes(resumed, ::testing::TempDir() + "/midseed_b"))
+      << "mid-seed-block resume must reproduce the stable artifact bitwise";
+}
+
+// Graceful stop: with the stop flag raised, unstarted cells are skipped with
+// NaN placeholders and NOT journaled; the result reports interrupted and a
+// later resume computes everything the stop skipped.
+TEST(GracefulStopTest, StopSkipsCellsAndResumeFinishesBitwise) {
+  const std::string path = ::testing::TempDir() + "/stop.journal";
+  std::remove(path.c_str());
+  const Sweep sweep = MultiSeedSweep(5);
+
+  std::atomic<bool> stop{true};
+  RunnerOptions opts = QuietOptions();
+  opts.journal_path = path;
+  opts.stop = &stop;
+  RunCache stopped_cache;
+  const SweepResult stopped = RunSweep(sweep, &stopped_cache, opts);
+  EXPECT_TRUE(stopped.interrupted);
+  EXPECT_EQ(stopped.skipped_cells, static_cast<int64_t>(stopped.cells.size()));
+  EXPECT_EQ(stopped.failed_cells, 0);
+  for (const CellResult& cell : stopped.cells) {
+    EXPECT_TRUE(cell.skipped);
+    EXPECT_TRUE(std::isnan(cell.run->eval.accuracy));
+  }
+  EXPECT_TRUE(AggregateCells(stopped).empty())
+      << "skipped placeholders must stay out of aggregates";
+  // Skipped cells are not journaled — the journal holds the header alone, so
+  // the resume recomputes the whole grid.
+  EXPECT_TRUE(SweepJournal(path, sweep.name, kEnvSeed, /*resume=*/true)
+                  .replayed()
+                  .empty());
+
+  // The interrupted artifact reports itself honestly, stable mode included.
+  const std::string json =
+      StableArtifactBytes(stopped, ::testing::TempDir() + "/stop_art");
+  EXPECT_NE(json.find("\"interrupted\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"status\": \"skipped\""), std::string::npos);
+
+  RunnerOptions resume_opts = QuietOptions();
+  resume_opts.journal_path = path;
+  resume_opts.resume = true;
+  RunCache resume_cache;
+  const SweepResult finished = RunSweep(sweep, &resume_cache, resume_opts);
+  EXPECT_FALSE(finished.interrupted);
+  EXPECT_EQ(finished.skipped_cells, 0);
+
+  RunCache clean_cache;
+  const SweepResult clean = RunSweep(sweep, &clean_cache, QuietOptions());
+  EXPECT_EQ(StableArtifactBytes(clean, ::testing::TempDir() + "/stop_a"),
+            StableArtifactBytes(finished, ::testing::TempDir() + "/stop_b"));
+}
+
+}  // namespace
+}  // namespace ppfr::runner
