@@ -588,11 +588,16 @@ int Main(int argc, char** argv) {
 
   JsonWriter json;
   json.BeginObject();
-  json.Key("schema_version").Int(4);
+  json.Key("schema_version").Int(5);
   json.Key("nodes").Int(nodes);
   json.Key("train").Int(train_count);
   json.Key("backend").String(la::ActiveBackend().name());
   json.Key("threads").Int(la::ActiveBackend().num_threads());
+  // Peak-memory accounting over the whole bench run: the arena peak counts
+  // logical bytes of live dense/sparse matrix buffers, the RSS peak is the
+  // kernel's VmHWM (0 where /proc is unavailable).
+  json.Key("arena_peak_bytes").Int(la::ArenaPeakBytes());
+  json.Key("process_peak_rss_bytes").Int(la::ProcessPeakRssBytes());
   json.Key("lanes").Int(lanes);
   json.Key("replay_lanes").Int(replay_lanes);
   json.Key("per_node_grads_ms_serial").Number(serial.seconds * 1e3);

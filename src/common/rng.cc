@@ -19,6 +19,13 @@ uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
+uint64_t MixSeed(uint64_t seed, uint64_t value) {
+  // One SplitMix64 step over the combined state; the odd multiplier keeps
+  // (seed, value) pairs from colliding under simple arithmetic relations.
+  uint64_t state = seed ^ (value * 0xd6e8feb86659fd93ULL + 0x2545f4914f6cdd1dULL);
+  return SplitMix64(&state);
+}
+
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& s : state_) s = SplitMix64(&sm);

@@ -6,6 +6,15 @@
 
 namespace ppfr {
 
+// Deterministic seed derivation: folds `value` into `seed` through one
+// SplitMix64 finalisation. Chaining names an independent stream per tuple —
+// MixSeed(MixSeed(seed, a), b) — which is the counter-based RNG idiom behind
+// the streamed graph generator (one stream per block pair), the on-demand
+// feature rows (one stream per node) and the neighbour sampler (one stream
+// per (seed, epoch, batch)): any component can be regenerated in isolation
+// without replaying a shared sequential stream.
+uint64_t MixSeed(uint64_t seed, uint64_t value);
+
 // Deterministic, seedable pseudo-random number generator (xoshiro256**,
 // seeded through SplitMix64). Every stochastic component in the library takes
 // an explicit Rng or seed so whole experiments replay bit-identically.

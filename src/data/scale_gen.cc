@@ -1,0 +1,178 @@
+#include "data/scale_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace ppfr::data {
+namespace {
+
+// Stream-tag constants folded into the base seed so the edge, feature and
+// split streams never alias each other.
+constexpr uint64_t kEdgeStreamTag = 0x45444745;     // "EDGE"
+constexpr uint64_t kFeatureStreamTag = 0x46454154;  // "FEAT"
+constexpr uint64_t kSplitStreamTag = 0x53504c54;    // "SPLT"
+
+// Draws a local rank in [0, n) with density ∝ x^(-alpha) over the continuous
+// relaxation [1, n+1] (inverse CDF), so rank 0 is the block's biggest hub.
+// alpha <= 0 falls back to uniform.
+int64_t PowerLawRank(int64_t n, double alpha, Rng* rng) {
+  if (alpha <= 0.0) return rng->UniformInt(n);
+  const double u = rng->Uniform();
+  const double top = static_cast<double>(n) + 1.0;
+  double x;
+  if (std::fabs(alpha - 1.0) < 1e-12) {
+    x = std::exp(u * std::log(top));
+  } else {
+    const double e = 1.0 - alpha;
+    x = std::pow(1.0 + u * (std::pow(top, e) - 1.0), 1.0 / e);
+  }
+  const int64_t rank = static_cast<int64_t>(std::floor(x)) - 1;
+  return std::clamp<int64_t>(rank, 0, n - 1);
+}
+
+}  // namespace
+
+int64_t ScaleGraphConfig::BlockStart(int b) const {
+  PPFR_CHECK_GE(b, 0);
+  PPFR_CHECK_LE(b, num_blocks);
+  return static_cast<int64_t>(b) * num_nodes / num_blocks;
+}
+
+int ScaleGraphConfig::BlockOf(int64_t v) const {
+  PPFR_CHECK_GE(v, 0);
+  PPFR_CHECK_LT(v, num_nodes);
+  // floor(v·B/n) lands on the right block up to boundary rounding; nudge.
+  int b = static_cast<int>(v * num_blocks / num_nodes);
+  while (b + 1 < num_blocks && v >= BlockStart(b + 1)) ++b;
+  while (b > 0 && v < BlockStart(b)) --b;
+  return b;
+}
+
+void StreamScaleEdges(const ScaleGraphConfig& config, uint64_t seed,
+                      const std::function<void(int64_t, int64_t)>& emit) {
+  const int64_t n = config.num_nodes;
+  const int num_blocks = config.num_blocks;
+  const uint64_t edge_seed = MixSeed(seed, kEdgeStreamTag);
+  const double total_edges = static_cast<double>(n) * config.average_degree / 2.0;
+
+  // Cross-pair weight normaliser: inter-block budget splits ∝ |a|·|b|.
+  double cross_weight = 0.0;
+  for (int a = 0; a < num_blocks; ++a) {
+    const double sa = static_cast<double>(config.BlockStart(a + 1) - config.BlockStart(a));
+    for (int b = a + 1; b < num_blocks; ++b) {
+      const double sb =
+          static_cast<double>(config.BlockStart(b + 1) - config.BlockStart(b));
+      cross_weight += sa * sb;
+    }
+  }
+
+  for (int a = 0; a < num_blocks; ++a) {
+    const int64_t start_a = config.BlockStart(a);
+    const int64_t size_a = config.BlockStart(a + 1) - start_a;
+    for (int b = a; b < num_blocks; ++b) {
+      const int64_t start_b = config.BlockStart(b);
+      const int64_t size_b = config.BlockStart(b + 1) - start_b;
+
+      // Deterministic budget for this block pair; an independent counter-based
+      // stream per pair means replay (and any per-pair parallel split) never
+      // depends on emission order elsewhere.
+      double budget;
+      if (a == b) {
+        budget = config.homophily * total_edges * static_cast<double>(size_a) /
+                 static_cast<double>(n);
+        if (size_a < 2) continue;
+      } else {
+        if (cross_weight <= 0.0) continue;
+        budget = (1.0 - config.homophily) * total_edges *
+                 (static_cast<double>(size_a) * static_cast<double>(size_b)) /
+                 cross_weight;
+      }
+      const int64_t m = static_cast<int64_t>(std::llround(budget));
+      Rng rng(MixSeed(MixSeed(edge_seed, static_cast<uint64_t>(a)),
+                      static_cast<uint64_t>(b)));
+      for (int64_t e = 0; e < m; ++e) {
+        const int64_t u = start_a + PowerLawRank(size_a, config.power_law_alpha, &rng);
+        const int64_t v = start_b + PowerLawRank(size_b, config.power_law_alpha, &rng);
+        emit(u, v);  // u == v (intra pairs) is a self-loop; the builder drops it
+      }
+    }
+  }
+}
+
+ScaleDataset::ScaleDataset(const ScaleGraphConfig& config, uint64_t seed)
+    : config_(config), seed_(seed) {
+  PPFR_CHECK_GE(config.num_blocks, 2);
+  PPFR_CHECK_GE(config.num_nodes, config.num_blocks);
+  PPFR_CHECK_GE(config.average_degree, 0.0);
+  PPFR_CHECK_GE(config.homophily, 0.0);
+  PPFR_CHECK_LE(config.homophily, 1.0);
+  PPFR_CHECK_LE(config.signature_size * config.num_blocks, config.feature_dim)
+      << "class signatures must fit in the feature space";
+  adj_ = graph::BuildCsrFromEdgeStream(
+      config.num_nodes, [this](const std::function<void(int64_t, int64_t)>& emit) {
+        StreamScaleEdges(config_, seed_, emit);
+      });
+}
+
+std::vector<int> ScaleDataset::LabelsFor(const std::vector<int>& nodes) const {
+  std::vector<int> labels(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) labels[i] = Label(nodes[i]);
+  return labels;
+}
+
+void ScaleDataset::FillFeatureRow(int64_t v, double* row) const {
+  const int cls = Label(v);
+  const int sig_begin = cls * config_.signature_size;
+  const int sig_end = sig_begin + config_.signature_size;
+  Rng rng(MixSeed(MixSeed(seed_, kFeatureStreamTag), static_cast<uint64_t>(v)));
+  for (int f = 0; f < config_.feature_dim; ++f) {
+    const bool in_signature = f >= sig_begin && f < sig_end;
+    const double prob =
+        in_signature ? config_.feature_on_prob : config_.feature_noise_prob;
+    row[f] = rng.Bernoulli(prob) ? 1.0 : 0.0;
+  }
+}
+
+la::Matrix ScaleDataset::GatherFeatures(const std::vector<int>& nodes) const {
+  la::Matrix out(static_cast<int>(nodes.size()), config_.feature_dim);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    FillFeatureRow(nodes[i], out.row(static_cast<int>(i)));
+  }
+  return out;
+}
+
+la::Matrix ScaleDataset::MaterializeFeatures() const {
+  PPFR_CHECK_LE(config_.num_nodes, int64_t{1} << 22)
+      << "MaterializeFeatures is a small-scale parity helper";
+  la::Matrix out(static_cast<int>(config_.num_nodes), config_.feature_dim);
+  for (int64_t v = 0; v < config_.num_nodes; ++v) {
+    FillFeatureRow(v, out.row(static_cast<int>(v)));
+  }
+  return out;
+}
+
+std::vector<int> ScaleDataset::MaterializeLabels() const {
+  std::vector<int> labels(static_cast<size_t>(config_.num_nodes));
+  for (int64_t v = 0; v < config_.num_nodes; ++v) {
+    labels[static_cast<size_t>(v)] = Label(v);
+  }
+  return labels;
+}
+
+std::vector<int> ScaleDataset::StridedNodes(int64_t count, uint64_t salt) const {
+  PPFR_CHECK_GT(count, 0);
+  PPFR_CHECK_LE(count, config_.num_nodes);
+  const int64_t stride = config_.num_nodes / count;
+  const int64_t phase = static_cast<int64_t>(
+      MixSeed(MixSeed(seed_, kSplitStreamTag), salt) % static_cast<uint64_t>(stride ? stride : 1));
+  std::vector<int> nodes(static_cast<size_t>(count));
+  for (int64_t k = 0; k < count; ++k) {
+    nodes[static_cast<size_t>(k)] = static_cast<int>(k * stride + phase);
+  }
+  return nodes;
+}
+
+}  // namespace ppfr::data

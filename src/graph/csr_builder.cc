@@ -1,0 +1,132 @@
+#include "graph/csr_builder.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace ppfr::graph {
+namespace {
+// Ceiling on directed adjacency entries (2 per undirected edge): the int64
+// row_ptr can address more, but anything past this is a generator bug (at 4
+// bytes per entry it is already a quarter-terabyte buffer), so fail loudly
+// before reserve() turns it into an opaque bad_alloc or a wrapped size.
+constexpr int64_t kMaxAdjEntries = int64_t{1} << 36;
+}  // namespace
+
+std::span<const int> CsrAdjacency::Neighbors(int64_t v) const {
+  PPFR_CHECK_GE(v, 0);
+  PPFR_CHECK_LT(v, num_nodes_);
+  return {adj_.data() + row_ptr_[v], adj_.data() + row_ptr_[v + 1]};
+}
+
+int CsrAdjacency::Degree(int64_t v) const {
+  PPFR_CHECK_GE(v, 0);
+  PPFR_CHECK_LT(v, num_nodes_);
+  return static_cast<int>(row_ptr_[v + 1] - row_ptr_[v]);
+}
+
+int CsrAdjacency::MaxDegree() const {
+  int max_deg = 0;
+  for (int64_t v = 0; v < num_nodes_; ++v) {
+    max_deg = std::max(max_deg, static_cast<int>(row_ptr_[v + 1] - row_ptr_[v]));
+  }
+  return max_deg;
+}
+
+double CsrAdjacency::AverageDegree() const {
+  if (num_nodes_ == 0) return 0.0;
+  return static_cast<double>(adj_.size()) / static_cast<double>(num_nodes_);
+}
+
+Graph CsrAdjacency::ToGraph() const {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(num_edges()));
+  for (int64_t v = 0; v < num_nodes_; ++v) {
+    for (int64_t k = row_ptr_[v]; k < row_ptr_[v + 1]; ++k) {
+      if (v < adj_[k]) edges.push_back({static_cast<int>(v), adj_[k]});
+    }
+  }
+  return Graph::FromEdges(static_cast<int>(num_nodes_), edges);
+}
+
+CsrAdjacency CsrAdjacency::FromGraph(const Graph& g) {
+  return BuildCsrFromEdgeStream(
+      g.num_nodes(), [&g](const std::function<void(int64_t, int64_t)>& emit) {
+        for (const Edge& e : g.Edges()) emit(e.u, e.v);
+      });
+}
+
+CsrAdjacency BuildCsrFromEdgeStream(
+    int64_t num_nodes,
+    const std::function<void(const std::function<void(int64_t, int64_t)>&)>& stream) {
+  PPFR_CHECK_GE(num_nodes, 0);
+  PPFR_CHECK_LE(num_nodes, kMaxCsrNodes)
+      << "node count overflows the int32 CSR column indices "
+      << "(kMaxCsrNodes = " << kMaxCsrNodes << ")";
+
+  CsrAdjacency out;
+  out.num_nodes_ = num_nodes;
+  out.row_ptr_.assign(static_cast<size_t>(num_nodes) + 1, 0);
+
+  // Pass 1: degree count. Self-loops are dropped here and must be dropped
+  // identically on replay (the emit callback applies the same filter).
+  int64_t pass1_entries = 0;
+  stream([&](int64_t u, int64_t v) {
+    PPFR_CHECK_GE(u, 0);
+    PPFR_CHECK_LT(u, num_nodes);
+    PPFR_CHECK_GE(v, 0);
+    PPFR_CHECK_LT(v, num_nodes);
+    if (u == v) return;
+    out.row_ptr_[u + 1]++;
+    out.row_ptr_[v + 1]++;
+    pass1_entries += 2;
+  });
+  PPFR_CHECK_LE(pass1_entries, kMaxAdjEntries)
+      << "edge stream too large for the adjacency buffer";
+
+  for (int64_t v = 0; v < num_nodes; ++v) out.row_ptr_[v + 1] += out.row_ptr_[v];
+  out.adj_.resize(static_cast<size_t>(pass1_entries));
+
+  // Pass 2: in-place placement through per-row cursors.
+  std::vector<int64_t> cursor(out.row_ptr_.begin(), out.row_ptr_.end() - 1);
+  int64_t pass2_entries = 0;
+  stream([&](int64_t u, int64_t v) {
+    PPFR_CHECK_GE(u, 0);
+    PPFR_CHECK_LT(u, num_nodes);
+    PPFR_CHECK_GE(v, 0);
+    PPFR_CHECK_LT(v, num_nodes);
+    if (u == v) return;
+    PPFR_CHECK_LT(pass2_entries, pass1_entries)
+        << "edge stream emitted more edges on replay than on the count pass";
+    out.adj_[static_cast<size_t>(cursor[u]++)] = static_cast<int>(v);
+    out.adj_[static_cast<size_t>(cursor[v]++)] = static_cast<int>(u);
+    pass2_entries += 2;
+  });
+  PPFR_CHECK_EQ(pass2_entries, pass1_entries)
+      << "edge stream is not replayable: pass 2 emitted a different edge count";
+
+  // Per-row sort + in-place dedupe (multi-edges collapse to simple edges),
+  // then compact the adjacency buffer and rebuild row_ptr over the kept runs.
+  int64_t write = 0;
+  int64_t begin = 0;  // original row start — row_ptr_[v] is overwritten below
+  for (int64_t v = 0; v < num_nodes; ++v) {
+    const int64_t end = out.row_ptr_[v + 1];
+    std::sort(out.adj_.begin() + begin, out.adj_.begin() + end);
+    const auto last = std::unique(out.adj_.begin() + begin, out.adj_.begin() + end);
+    const int64_t kept = last - (out.adj_.begin() + begin);
+    if (write != begin) {
+      std::copy(out.adj_.begin() + begin, out.adj_.begin() + begin + kept,
+                out.adj_.begin() + write);
+    }
+    out.row_ptr_[v] = write;
+    write += kept;
+    begin = end;
+  }
+  out.row_ptr_[num_nodes] = write;
+  out.adj_.resize(static_cast<size_t>(write));
+  out.adj_.shrink_to_fit();
+  out.RegisterArenaBytes();
+  return out;
+}
+
+}  // namespace ppfr::graph

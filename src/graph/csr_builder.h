@@ -1,0 +1,81 @@
+#ifndef PPFR_GRAPH_CSR_BUILDER_H_
+#define PPFR_GRAPH_CSR_BUILDER_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "la/matrix.h"
+
+namespace ppfr::graph {
+
+// Hard node-count ceiling imposed by the int32 column indices of the CSR
+// layout (la::CsrMatrix and CsrAdjacency share it). Builders reject larger
+// graphs with an error naming this limit instead of silently wrapping.
+inline constexpr int64_t kMaxCsrNodes = 2147483647;  // INT32_MAX
+
+// Undirected simple graph stored as bare CSR (row_ptr + sorted adjacency) —
+// no materialised edge list, unlike graph::Graph, so a 10^7-node graph costs
+// 8(n+1) + 4·2m bytes and nothing else. This is the structure the streamed
+// generator builds into and the neighbour sampler reads from; `ToGraph()`
+// bridges back to the edge-list world for small-scale parity tests.
+class CsrAdjacency {
+ public:
+  CsrAdjacency() = default;
+
+  int64_t num_nodes() const { return num_nodes_; }
+  // Undirected edge count (each edge stored twice in adj_).
+  int64_t num_edges() const { return static_cast<int64_t>(adj_.size()) / 2; }
+
+  // Sorted, deduplicated neighbours of node v.
+  std::span<const int> Neighbors(int64_t v) const;
+  int Degree(int64_t v) const;
+  int MaxDegree() const;
+  double AverageDegree() const;
+
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int>& adj() const { return adj_; }
+
+  // Materialises the canonical edge list (small graphs / parity tests only —
+  // defeats the bounded-memory point at scale).
+  Graph ToGraph() const;
+  static CsrAdjacency FromGraph(const Graph& g);
+
+ private:
+  friend CsrAdjacency BuildCsrFromEdgeStream(
+      int64_t, const std::function<void(const std::function<void(int64_t, int64_t)>&)>&);
+
+  void RegisterArenaBytes() {
+    arena_.Set(static_cast<int64_t>(row_ptr_.size() * sizeof(int64_t) +
+                                    adj_.size() * sizeof(int)));
+  }
+
+  int64_t num_nodes_ = 0;
+  std::vector<int64_t> row_ptr_;
+  std::vector<int> adj_;
+  // Last member: default copy/move/destroy keep the arena counters in sync.
+  la::internal::ArenaRegistration arena_;
+};
+
+// Builds a CsrAdjacency from a REPLAYABLE edge stream in two passes without
+// ever holding an edge list: pass 1 counts degrees, pass 2 places endpoints
+// in place via per-row cursors, then each row is sorted and deduplicated
+// (multi-edges collapse, self-loops are dropped on emit). `stream` is called
+// exactly twice and must emit the same multiset of edges both times — the
+// counter-based generator in data/scale_gen satisfies this by construction;
+// a mismatch aborts rather than corrupting the structure. Peak memory is the
+// final CSR plus one int64 cursor array — the "bounded-peak-memory" path the
+// scale bench measures.
+//
+// Endpoints are validated against [0, num_nodes) and num_nodes against
+// kMaxCsrNodes; the total directed entry count is bounds-checked before the
+// adjacency buffer is reserved.
+CsrAdjacency BuildCsrFromEdgeStream(
+    int64_t num_nodes,
+    const std::function<void(const std::function<void(int64_t, int64_t)>&)>& stream);
+
+}  // namespace ppfr::graph
+
+#endif  // PPFR_GRAPH_CSR_BUILDER_H_

@@ -53,7 +53,10 @@ la::CsrMatrix SampledMeanAggregationMatrix(const Graph& g, int fanout, Rng* rng)
   PPFR_CHECK_GT(fanout, 0);
   const int n = g.num_nodes();
   std::vector<la::Triplet> triplets;
-  triplets.reserve(static_cast<size_t>(n) * fanout);
+  // nnz is bounded by both n·fanout and the full adjacency; the min keeps the
+  // reserve sane when fanout is a "take everything" sentinel like INT_MAX.
+  triplets.reserve(static_cast<size_t>(std::min<int64_t>(
+      static_cast<int64_t>(n) * fanout, 2 * g.num_edges())));
   for (int v = 0; v < n; ++v) {
     const auto nbrs = g.Neighbors(v);
     const int deg = static_cast<int>(nbrs.size());

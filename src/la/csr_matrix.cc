@@ -49,6 +49,7 @@ CsrMatrix CsrMatrix::FromTriplets(int rows, int cols, std::vector<Triplet> tripl
   }
   // Deduplicated per-row counts -> prefix sums, in place.
   for (int r = 0; r < rows; ++r) m.row_ptr_[r + 1] += m.row_ptr_[r];
+  m.RegisterArenaBytes();
   return m;
 }
 

@@ -30,7 +30,9 @@ std::vector<int64_t> NnzBalancedRowBounds(const std::vector<int64_t>& row_ptr,
 class CsrMatrix {
  public:
   CsrMatrix() : rows_(0), cols_(0) {}
-  CsrMatrix(int rows, int cols) : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {}
+  CsrMatrix(int rows, int cols) : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {
+    RegisterArenaBytes();
+  }
 
   // Builds from triplets; duplicate (row, col) entries are summed.
   static CsrMatrix FromTriplets(int rows, int cols, std::vector<Triplet> triplets);
@@ -75,11 +77,21 @@ class CsrMatrix {
   Matrix ToDense() const;
 
  private:
+  // Re-registers this matrix's buffer bytes with the la arena counters; call
+  // after any step that (re)sizes the three buffers.
+  void RegisterArenaBytes() {
+    arena_.Set(static_cast<int64_t>(row_ptr_.size() * sizeof(int64_t) +
+                                    col_idx_.size() * sizeof(int) +
+                                    values_.size() * sizeof(double)));
+  }
+
   int rows_;
   int cols_;
   std::vector<int64_t> row_ptr_;
   std::vector<int> col_idx_;  // sorted within each row
   std::vector<double> values_;
+  // Last member: default copy/move/destroy keep the arena counters in sync.
+  internal::ArenaRegistration arena_;
 };
 
 }  // namespace ppfr::la

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <sstream>
 
 #include "la/backend.h"
@@ -10,13 +12,60 @@
 namespace ppfr::la {
 namespace {
 std::atomic<int64_t> g_matrix_alloc_count{0};
+std::atomic<int64_t> g_arena_bytes{0};
+std::atomic<int64_t> g_arena_peak_bytes{0};
+
+// Lift the peak to at least `bytes` (CAS loop; contention is rare because
+// peaks only move on growth).
+void RaiseArenaPeak(int64_t bytes) {
+  int64_t peak = g_arena_peak_bytes.load(std::memory_order_relaxed);
+  while (bytes > peak &&
+         !g_arena_peak_bytes.compare_exchange_weak(peak, bytes,
+                                                   std::memory_order_relaxed)) {
+  }
+}
 }  // namespace
 
 int64_t MatrixAllocCount() { return g_matrix_alloc_count.load(std::memory_order_relaxed); }
 
+int64_t ArenaBytesInUse() { return g_arena_bytes.load(std::memory_order_relaxed); }
+
+int64_t ArenaPeakBytes() { return g_arena_peak_bytes.load(std::memory_order_relaxed); }
+
+void ResetArenaPeakBytes() {
+  // Rebase to the current level, not zero: the peak should never read below
+  // what is live right now.
+  g_arena_peak_bytes.store(g_arena_bytes.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+}
+
+int64_t ProcessPeakRssBytes() {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  int64_t kb = 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      std::sscanf(line + 6, "%ld", &kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
 namespace internal {
 void BumpMatrixAllocCount() {
   g_matrix_alloc_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ArenaRegistration::Set(int64_t bytes) {
+  if (bytes == bytes_) return;
+  const int64_t now =
+      g_arena_bytes.fetch_add(bytes - bytes_, std::memory_order_relaxed) +
+      (bytes - bytes_);
+  bytes_ = bytes;
+  RaiseArenaPeak(now);
 }
 }  // namespace internal
 

@@ -19,8 +19,57 @@ namespace ppfr::la {
 // tape replay/pooling keeps the hot loop allocation-free; relaxed ordering
 // because only totals matter.
 int64_t MatrixAllocCount();
+
+// Byte-level arena accounting across the dense-matrix and CSR buffers:
+// `ArenaBytesInUse` is the logical bytes currently registered (buffer sizes,
+// not allocator capacities), `ArenaPeakBytes` the high-water mark since the
+// last `ResetArenaPeakBytes` (which rebases the peak to the current level).
+// The scale bench's "bounded-peak-memory" claim is measured against this
+// peak per stage; relaxed atomics because only totals matter.
+int64_t ArenaBytesInUse();
+int64_t ArenaPeakBytes();
+void ResetArenaPeakBytes();
+
+// Process peak resident set (VmHWM) in bytes, read from /proc/self/status;
+// 0 where the kernel does not expose it. Unlike the arena counters this
+// includes code, allocator slack and every non-matrix allocation, so the two
+// together separate "our data structures" from "everything else".
+int64_t ProcessPeakRssBytes();
+
 namespace internal {
 void BumpMatrixAllocCount();
+
+// Tracks one object's registered share of the process arena-byte counters.
+// Embed as the LAST member and call Set(bytes) whenever the owning object's
+// buffer sizes change; copies re-register the source's share, moves transfer
+// it, destruction releases it — so the default special members of the owner
+// keep the global counters consistent.
+class ArenaRegistration {
+ public:
+  ArenaRegistration() = default;
+  ArenaRegistration(const ArenaRegistration& other) { Set(other.bytes_); }
+  ArenaRegistration& operator=(const ArenaRegistration& other) {
+    Set(other.bytes_);
+    return *this;
+  }
+  ArenaRegistration(ArenaRegistration&& other) noexcept : bytes_(other.bytes_) {
+    other.bytes_ = 0;
+  }
+  ArenaRegistration& operator=(ArenaRegistration&& other) noexcept {
+    if (this != &other) {
+      Set(0);
+      bytes_ = other.bytes_;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+  ~ArenaRegistration() { Set(0); }
+
+  void Set(int64_t bytes);
+
+ private:
+  int64_t bytes_ = 0;
+};
 }  // namespace internal
 
 class Matrix {
@@ -31,11 +80,13 @@ class Matrix {
     PPFR_CHECK_GE(rows, 0);
     PPFR_CHECK_GE(cols, 0);
     if (!data_.empty()) internal::BumpMatrixAllocCount();
+    arena_.Set(static_cast<int64_t>(data_.size()) * sizeof(double));
   }
 
   Matrix(const Matrix& other)
       : rows_(other.rows_), cols_(other.cols_), data_(other.data_) {
     if (!data_.empty()) internal::BumpMatrixAllocCount();
+    arena_.Set(static_cast<int64_t>(data_.size()) * sizeof(double));
   }
   Matrix& operator=(const Matrix& other) = default;
   // Declaring the counting copy constructor suppresses the implicit move
@@ -107,6 +158,9 @@ class Matrix {
   int rows_;
   int cols_;
   std::vector<double> data_;
+  // Last member: its default copy/move/destroy semantics keep the global
+  // arena-byte counters consistent with `data_` (see ArenaRegistration).
+  internal::ArenaRegistration arena_;
 };
 
 // out = a * b (dense GEMM). Shapes: (m,k) x (k,n) -> (m,n).

@@ -20,6 +20,16 @@ std::string ModelKindName(ModelKind kind) {
   return "?";
 }
 
+ag::Var GnnModel::ForwardSampled(ag::Tape& tape, const SampledBlock& block,
+                                 ag::Var x) {
+  (void)tape;
+  (void)block;
+  (void)x;
+  PPFR_CHECK(false) << ModelKindName(kind())
+                    << " has no sampled mini-batch forward path";
+  return x;
+}
+
 la::Matrix GnnModel::Logits(const GraphContext& ctx) {
   ag::Tape tape;
   ag::Var out = Forward(tape, ctx, ForwardOptions{});
@@ -82,6 +92,19 @@ ag::Var GraphSage::Forward(ag::Tape& tape, const GraphContext& ctx,
   ag::Var h = ag::Relu(
       conv1_.Forward(tape, ctx, x, options.sage_aggregator, options.replay_lanes));
   return conv2_.Forward(tape, ctx, h, options.sage_aggregator, options.replay_lanes);
+}
+
+ag::Var GraphSage::ForwardSampled(ag::Tape& tape, const SampledBlock& block,
+                                  ag::Var x) {
+  PPFR_CHECK_EQ(block.hops.size(), size_t{2})
+      << "two-layer GraphSAGE needs a 2-hop sampled block";
+  PPFR_CHECK_EQ(x.value().rows(), block.num_inputs());
+  // The hop aggregators are local (frontier-indexed) operators; asymmetric,
+  // so the operand carries an explicit transpose for the backward pass.
+  ag::Var h = ag::Relu(conv1_.ForwardBlock(
+      tape, x, ag::MakeSparseOperand(block.hops[0].agg, /*symmetric=*/false)));
+  return conv2_.ForwardBlock(
+      tape, h, ag::MakeSparseOperand(block.hops[1].agg, /*symmetric=*/false));
 }
 
 std::vector<ag::Parameter*> GraphSage::Params() {

@@ -10,6 +10,7 @@
 #include "nn/gcn_conv.h"
 #include "nn/graph_context.h"
 #include "nn/sage_conv.h"
+#include "nn/sampler.h"
 
 namespace ppfr::nn {
 
@@ -37,6 +38,13 @@ class GnnModel {
 
   virtual ag::Var Forward(ag::Tape& tape, const GraphContext& ctx,
                           const ForwardOptions& options) = 0;
+  // Mini-batch forward over a sampled k-hop block (nn/sampler.h): `x` holds
+  // the gathered features of block.frontier; the result has
+  // block.num_targets() rows, aligned with the batch's target nodes. Only
+  // architectures whose layers aggregate locally can run this way — the base
+  // implementation aborts; GraphSage overrides it.
+  virtual ag::Var ForwardSampled(ag::Tape& tape, const SampledBlock& block,
+                                 ag::Var x);
   virtual std::vector<ag::Parameter*> Params() = 0;
   virtual ModelKind kind() const = 0;
   // Deep copy (used to keep the vanilla model while fine-tuning a clone).
@@ -90,6 +98,8 @@ class GraphSage final : public GnnModel {
 
   ag::Var Forward(ag::Tape& tape, const GraphContext& ctx,
                   const ForwardOptions& options) override;
+  ag::Var ForwardSampled(ag::Tape& tape, const SampledBlock& block,
+                         ag::Var x) override;
   std::vector<ag::Parameter*> Params() override;
   ModelKind kind() const override { return ModelKind::kGraphSage; }
   std::unique_ptr<GnnModel> Clone() const override;

@@ -28,6 +28,20 @@ ag::Var SageConv::Forward(ag::Tape& tape, const GraphContext& ctx, ag::Var x,
   return ag::AddRowVec(ag::Add(self_term, neigh_term), tape.Leaf(&bias_));
 }
 
+ag::Var SageConv::ForwardBlock(ag::Tape& tape, ag::Var x,
+                               const std::shared_ptr<const ag::SparseOperand>& agg) {
+  PPFR_CHECK(agg != nullptr);
+  const int num_out = agg->mat.rows();
+  PPFR_CHECK_LE(num_out, x.value().rows());
+  PPFR_CHECK_EQ(agg->mat.cols(), x.value().rows());
+  std::vector<int> prefix(static_cast<size_t>(num_out));
+  for (int i = 0; i < num_out; ++i) prefix[static_cast<size_t>(i)] = i;
+  ag::Var self_term =
+      ag::MatMul(ag::GatherRows(x, prefix), tape.Leaf(&weight_self_));
+  ag::Var neigh_term = ag::MatMul(ag::SpMM(agg, x), tape.Leaf(&weight_neigh_));
+  return ag::AddRowVec(ag::Add(self_term, neigh_term), tape.Leaf(&bias_));
+}
+
 std::vector<ag::Parameter*> SageConv::Params() {
   return {&weight_self_, &weight_neigh_, &bias_};
 }

@@ -1,13 +1,16 @@
 #include "nn/trainer.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <string>
+#include <unordered_map>
 
 #include "common/logging.h"
 #include "common/recoverable.h"
 #include "common/rng.h"
 #include "nn/adam.h"
+#include "nn/sampler.h"
 
 namespace ppfr::nn {
 namespace {
@@ -84,6 +87,117 @@ TrainStats Train(GnnModel* model, const GraphContext& ctx,
   }
   stats.final_loss = stats.epoch_losses.empty() ? 0.0 : stats.epoch_losses.back();
   return stats;
+}
+
+TrainStats TrainSampled(GnnModel* model, const SampledTrainSpec& spec,
+                        const std::vector<int>& train_nodes,
+                        const std::vector<int>& train_labels,
+                        const TrainConfig& config) {
+  train_invocations.fetch_add(1);
+  PPFR_CHECK(spec.adj != nullptr);
+  PPFR_CHECK(spec.gather_features != nullptr);
+  PPFR_CHECK(!train_nodes.empty());
+  PPFR_CHECK_EQ(train_labels.size(), train_nodes.size());
+  PPFR_CHECK(config.fairness_laplacian == nullptr)
+      << "the fairness regulariser needs full-graph probabilities; use Train()";
+  PPFR_CHECK(config.sample_weights.empty() ||
+             config.sample_weights.size() == train_nodes.size());
+
+  // Per-node label/weight lookup survives the per-epoch batch shuffles.
+  std::unordered_map<int, size_t> node_index;
+  node_index.reserve(train_nodes.size() * 2);
+  for (size_t i = 0; i < train_nodes.size(); ++i) {
+    node_index.emplace(train_nodes[i], i);
+  }
+
+  NeighborSampler sampler(spec.adj, {.fanout = config.sage_fanout,
+                                     .num_hops = 2,
+                                     .seed = config.seed});
+  std::vector<ag::Parameter*> params = model->Params();
+  Adam optimizer(params, {.lr = config.lr, .weight_decay = config.weight_decay});
+
+  TrainStats stats;
+  stats.epoch_losses.reserve(config.epochs);
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    const std::vector<std::vector<int>> batches = NeighborSampler::EpochBatches(
+        train_nodes, config.batch_nodes, config.seed, epoch);
+    double epoch_loss = 0.0;
+    for (size_t b = 0; b < batches.size(); ++b) {
+      const std::vector<int>& batch = batches[b];
+      const SampledBlock block =
+          sampler.SampleBlock(batch, epoch, static_cast<int>(b));
+
+      std::vector<int> rows(batch.size());
+      std::vector<int> labels(batch.size());
+      std::vector<double> weights(batch.size(), 1.0);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        rows[i] = static_cast<int>(i);  // targets are the leading logits rows
+        const size_t idx = node_index.at(batch[i]);
+        labels[i] = train_labels[idx];
+        if (!config.sample_weights.empty()) weights[i] = config.sample_weights[idx];
+      }
+
+      for (ag::Parameter* p : params) p->ZeroGrad();
+      // The block structure (frontier, aggregators) changes per batch, so
+      // each step records a fresh tape — reuse_tape is a full-batch feature.
+      ag::Tape tape;
+      ag::Var x = tape.Constant(spec.gather_features(block.frontier));
+      ag::Var logits = model->ForwardSampled(tape, block, x);
+      ag::Var logp = ag::LogSoftmaxRows(logits);
+      ag::Var loss = ag::WeightedNll(logp, rows, labels, weights,
+                                     static_cast<double>(batch.size()));
+      tape.Backward(loss);
+      optimizer.Step();
+
+      if (!std::isfinite(loss.scalar())) {
+        throw RecoverableError("non-finite sampled training loss at epoch " +
+                               std::to_string(epoch) + " batch " +
+                               std::to_string(b));
+      }
+      epoch_loss += loss.scalar() * static_cast<double>(batch.size());
+    }
+    epoch_loss /= static_cast<double>(train_nodes.size());
+    stats.epoch_losses.push_back(epoch_loss);
+    if (config.verbose && epoch % 20 == 0) {
+      PPFR_LOG(Info) << "epoch " << epoch << " sampled loss " << epoch_loss;
+    }
+  }
+  stats.final_loss = stats.epoch_losses.empty() ? 0.0 : stats.epoch_losses.back();
+  return stats;
+}
+
+la::Matrix SampledLogits(GnnModel* model, const SampledTrainSpec& spec,
+                         const std::vector<int>& nodes, int batch_nodes) {
+  PPFR_CHECK(spec.adj != nullptr);
+  PPFR_CHECK(spec.gather_features != nullptr);
+  PPFR_CHECK(!nodes.empty());
+  // Full fanout makes every block the exact 2-hop neighbourhood — inference
+  // is deterministic and the epoch/batch stream indices are inert.
+  NeighborSampler sampler(spec.adj, {.fanout = kAllNeighbors, .num_hops = 2,
+                                     .seed = 0});
+  la::Matrix out;
+  int64_t row = 0;
+  for (size_t begin = 0; begin < nodes.size();) {
+    const size_t end = batch_nodes > 0
+                           ? std::min(nodes.size(), begin + static_cast<size_t>(batch_nodes))
+                           : nodes.size();
+    const std::vector<int> batch(nodes.begin() + begin, nodes.begin() + end);
+    const SampledBlock block = sampler.SampleBlock(batch, 0, 0);
+    ag::Tape tape;
+    ag::Var x = tape.Constant(spec.gather_features(block.frontier));
+    ag::Var logits = model->ForwardSampled(tape, block, x);
+    const la::Matrix& vals = logits.value();
+    if (out.rows() == 0) {
+      out = la::Matrix(static_cast<int>(nodes.size()), vals.cols());
+    }
+    for (int i = 0; i < static_cast<int>(batch.size()); ++i) {
+      std::copy(vals.row(i), vals.row(i) + vals.cols(),
+                out.row(static_cast<int>(row + i)));
+    }
+    row += static_cast<int64_t>(batch.size());
+    begin = end;
+  }
+  return out;
 }
 
 double Accuracy(const la::Matrix& logits, const std::vector<int>& labels,

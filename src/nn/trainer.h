@@ -1,9 +1,11 @@
 #ifndef PPFR_NN_TRAINER_H_
 #define PPFR_NN_TRAINER_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
+#include "graph/csr_builder.h"
 #include "la/csr_matrix.h"
 #include "nn/models.h"
 
@@ -27,6 +29,10 @@ struct TrainConfig {
   // GraphSAGE neighbour sampling fanout (per epoch).
   int sage_fanout = 5;
 
+  // Mini-batch size for TrainSampled (target nodes per batch); <= 0 trains
+  // one batch holding every train node. Ignored by full-batch Train().
+  int batch_nodes = 0;
+
   uint64_t seed = 1;  // drives neighbour sampling only
   bool verbose = false;
 
@@ -49,6 +55,38 @@ struct TrainStats {
 TrainStats Train(GnnModel* model, const GraphContext& ctx,
                  const std::vector<int>& train_nodes, const std::vector<int>& labels,
                  const TrainConfig& config);
+
+// Data access for neighbour-sampled mini-batch training at scale: the CSR
+// adjacency the sampler walks (non-owning) plus a feature gather producing
+// the rows for a frontier of global node ids on demand — at no point does a
+// full feature matrix exist. data::ScaleDataset::GatherFeatures binds
+// directly; a dense feature matrix binds via a row-copy lambda in tests.
+struct SampledTrainSpec {
+  const graph::CsrAdjacency* adj = nullptr;
+  std::function<la::Matrix(const std::vector<int>&)> gather_features;
+};
+
+// Neighbour-sampled mini-batch training (GraphSAGE-style models only — the
+// model must implement ForwardSampled). `train_labels` is aligned with
+// `train_nodes`. Per epoch the train nodes are shuffled into batches of
+// config.batch_nodes; each batch samples a fanout-capped 2-hop block
+// (deterministic in (config.seed, epoch, batch)), gathers only the frontier's
+// feature rows and steps Adam on the batch NLL. With batch_nodes <= 0 and
+// sage_fanout >= max degree this computes the same loss as full-batch
+// Train() up to float summation order (the parity the tests pin within
+// tolerance). The fairness regulariser and tape reuse are full-batch-only
+// features; config.fairness_laplacian must be null and reuse_tape is ignored
+// (block structure changes per batch).
+TrainStats TrainSampled(GnnModel* model, const SampledTrainSpec& spec,
+                        const std::vector<int>& train_nodes,
+                        const std::vector<int>& train_labels,
+                        const TrainConfig& config);
+
+// Inference logits for `nodes` through full-fanout (exact) sampled blocks in
+// batches of `batch_nodes`: row i holds the logits of nodes[i]. Deterministic
+// — no sampling randomness at full fanout.
+la::Matrix SampledLogits(GnnModel* model, const SampledTrainSpec& spec,
+                         const std::vector<int>& nodes, int batch_nodes = 1024);
 
 // Process-wide count of Train() calls (vanilla runs and fine-tunes alike).
 // The scenario runner's stage cache exists to drive this number down — its
